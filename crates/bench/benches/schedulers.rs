@@ -1,0 +1,61 @@
+//! Wall-clock throughput of the scheduling algorithms on the host machine
+//! (the i860 cost model handles the paper's overhead figures; this measures
+//! the actual Rust implementation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use commsched::{lp, rs_n, rs_nl, CompressedMatrix};
+use hypercube::Hypercube;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let cube = Hypercube::new(6);
+    let mut group = c.benchmark_group("schedulers_n64");
+    for d in [4usize, 16, 48] {
+        let com = workloads::random_dregular(64, d, 1024, 42);
+        group.bench_with_input(BenchmarkId::new("lp", d), &com, |b, com| {
+            b.iter(|| black_box(lp(com)))
+        });
+        group.bench_with_input(BenchmarkId::new("rs_n", d), &com, |b, com| {
+            b.iter(|| black_box(rs_n(com, 7)))
+        });
+        group.bench_with_input(BenchmarkId::new("rs_nl", d), &com, |b, com| {
+            b.iter(|| black_box(rs_nl(com, &cube, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression_n64");
+    for d in [4usize, 48] {
+        let com = workloads::random_dregular(64, d, 1024, 42);
+        group.bench_with_input(BenchmarkId::new("compress", d), &com, |b, com| {
+            b.iter(|| black_box(CompressedMatrix::compress(com, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_larger_machines(c: &mut Criterion) {
+    // Scaling beyond the paper: schedulers on 256 and 1024 nodes.
+    let mut group = c.benchmark_group("rs_nl_scaling_d8");
+    group.sample_size(20);
+    for dims in [6u32, 8, 10] {
+        let n = 1usize << dims;
+        let cube = Hypercube::new(dims);
+        let com = workloads::random_dregular(n, 8, 1024, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &com, |b, com| {
+            b.iter(|| black_box(rs_nl(com, &cube, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_compression,
+    bench_larger_machines
+);
+criterion_main!(benches);

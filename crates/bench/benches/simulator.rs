@@ -1,0 +1,46 @@
+//! Event throughput of the discrete-event simulator: full
+//! schedule-execution runs on the 64-node machine model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use commrt::{compile, Scheme};
+use commsched::{ac, lp, rs_nl};
+use hypercube::Hypercube;
+use simnet::{simulate, MachineParams};
+
+fn bench_simulation(c: &mut Criterion) {
+    let cube = Hypercube::new(6);
+    let params = MachineParams::ipsc860();
+    let mut group = c.benchmark_group("simulate_n64_1kb");
+    group.sample_size(30);
+    for d in [4usize, 16, 48] {
+        let com = workloads::random_dregular(64, d, 1024, 11);
+        let progs_ac = compile(&com, &ac(&com), Scheme::S2);
+        let progs_lp = compile(&com, &lp(&com), Scheme::S1);
+        let progs_nl = compile(&com, &rs_nl(&com, &cube, 11), Scheme::S1);
+        group.bench_with_input(BenchmarkId::new("ac", d), &progs_ac, |b, p| {
+            b.iter(|| black_box(simulate(&cube, &params, p.clone()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("lp", d), &progs_lp, |b, p| {
+            b.iter(|| black_box(simulate(&cube, &params, p.clone()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("rs_nl", d), &progs_nl, |b, p| {
+            b.iter(|| black_box(simulate(&cube, &params, p.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hold_and_wait(c: &mut Criterion) {
+    let cube = Hypercube::new(6);
+    let params = MachineParams::ipsc860_hold_and_wait();
+    let com = workloads::random_dregular(64, 16, 1024, 5);
+    let progs = compile(&com, &ac(&com), Scheme::S2);
+    c.bench_function("simulate_hold_and_wait_ac_d16", |b| {
+        b.iter(|| black_box(simulate(&cube, &params, progs.clone()).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_hold_and_wait);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates **Figures 10 and 11** of the paper: the scheduling
+//! (computation) overhead of RS_N and RS_NL as a fraction of the
+//! communication cost, versus message size (2^x bytes, x = 4..17), for
+//! every density — assuming the schedule is used once. The fraction falls
+//! sharply when the message size crosses the 100-byte protocol switch and
+//! becomes negligible for large messages, which is the paper's argument
+//! that the schedulers are cheap enough for *runtime* scheduling.
+//!
+//! Run: `cargo run -p repro-bench --release --bin fig10to11`
+
+use commrt::{write_csv, CellRecord, ExperimentRunner};
+use commsched::SchedulerKind;
+use repro_bench::{figure_sizes, measure_cell, paper_cube, sample_count, DENSITIES};
+
+fn main() {
+    let cube = paper_cube();
+    let runner = ExperimentRunner::ipsc860();
+    let samples = sample_count().min(20);
+    let sizes = figure_sizes();
+
+    let mut records = Vec::new();
+    for (kind, fig) in [(SchedulerKind::RsN, 10u32), (SchedulerKind::RsNl, 11)] {
+        println!(
+            "Figure {fig}: comp/comm fraction for {} (schedule used once)",
+            kind.label()
+        );
+        print!("{:>9} |", "bytes");
+        for d in DENSITIES {
+            print!(" {:>8}", format!("d={d}"));
+        }
+        println!();
+        for &bytes in &sizes {
+            print!("{bytes:>9} |");
+            for d in DENSITIES {
+                let cell = measure_cell(&runner, &cube, kind, d, bytes, samples)
+                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", kind.label()));
+                let frac = cell.comp_ms / cell.comm_ms;
+                records.push(CellRecord::from_cell(
+                    &format!("fig{fig}"),
+                    kind.label(),
+                    d,
+                    bytes,
+                    &cell,
+                ));
+                print!(" {:>8.3}", frac);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!("paper: RS_N fraction <= ~0.6 beyond 128 B, < 0.25 beyond 2 KB;");
+    println!("       RS_NL fraction <= ~2.5 for small messages, < 0.25 beyond 8 KB");
+    write_csv(std::path::Path::new("results/fig10to11.csv"), &records).expect("write csv");
+    println!("wrote results/fig10to11.csv");
+}

@@ -1,0 +1,85 @@
+//! Regenerates **Figure 5** of the paper: the regions of the
+//! `(density, message size)` plane where each algorithm has the lowest
+//! communication cost on the 64-node machine (scheduling cost excluded,
+//! exactly as the paper's figure assumes static or amortized scheduling).
+//!
+//! Run: `cargo run -p repro-bench --release --bin fig5`
+
+use commrt::{write_csv, ExperimentRunner};
+use commsched::SchedulerKind;
+use repro_bench::{measure_cell, paper_cube, sample_count, DENSITIES};
+
+fn main() {
+    let cube = paper_cube();
+    let runner = ExperimentRunner::ipsc860();
+    let samples = sample_count().min(20); // a 2-D sweep; keep it tractable
+    let sizes: Vec<u32> = (6..=16).map(|x| 1u32 << x).collect(); // 64 B .. 64 KB
+
+    println!("Figure 5 reproduction: winner per (d, msg size), {samples} samples per cell");
+    println!("(columns are log2(msg bytes) = 6..16, as in the paper's x-axis)\n");
+    print!("{:>4} |", "d");
+    for bytes in &sizes {
+        print!(" {:>6}", format!("2^{}", bytes.trailing_zeros()));
+    }
+    println!();
+    println!("-----+{}", "-".repeat(sizes.len() * 7));
+
+    let mut records = Vec::new();
+    // Cells indexed [density][size] -> per-algorithm (label, comm, comp).
+    let mut grid: Vec<Vec<Vec<(&str, f64, f64)>>> = Vec::new();
+    for d in DENSITIES {
+        print!("{d:>4} |");
+        let mut row = Vec::new();
+        for &bytes in &sizes {
+            let mut cellv = Vec::new();
+            let mut best: Option<(&str, f64)> = None;
+            for kind in SchedulerKind::all() {
+                let cell = measure_cell(&runner, &cube, kind, d, bytes, samples)
+                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", kind.label()));
+                records.push(commrt::CellRecord::from_cell(
+                    "fig5",
+                    kind.label(),
+                    d,
+                    bytes,
+                    &cell,
+                ));
+                cellv.push((kind.label(), cell.comm_ms, cell.comp_ms));
+                if best.is_none() || cell.comm_ms < best.unwrap().1 {
+                    best = Some((kind.label(), cell.comm_ms));
+                }
+            }
+            row.push(cellv);
+            print!(" {:>6}", best.unwrap().0);
+        }
+        grid.push(row);
+        println!();
+    }
+
+    println!("\npaper's regions: AC at small d/M; LP at large d and M >~1 KB; RS_N(L) elsewhere");
+
+    // Extension the paper discusses but does not plot: the same regions when
+    // the schedule is computed at runtime and used only ONCE, so each
+    // algorithm is charged comm + comp. Zero-overhead AC expands; RS_NL
+    // shrinks toward large messages.
+    println!("\nwinner when the schedule is used once (comm + scheduling cost):");
+    print!("{:>4} |", "d");
+    for bytes in &sizes {
+        print!(" {:>6}", format!("2^{}", bytes.trailing_zeros()));
+    }
+    println!();
+    println!("-----+{}", "-".repeat(sizes.len() * 7));
+    for (di, d) in DENSITIES.iter().enumerate() {
+        print!("{d:>4} |");
+        for si in 0..sizes.len() {
+            let best = grid[di][si]
+                .iter()
+                .min_by(|a, b| (a.1 + a.2).total_cmp(&(b.1 + b.2)))
+                .expect("cells present");
+            print!(" {:>6}", best.0);
+        }
+        println!();
+    }
+
+    write_csv(std::path::Path::new("results/fig5.csv"), &records).expect("write csv");
+    println!("wrote results/fig5.csv");
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Figures 6-9** of the paper: communication cost vs message
+//! size (16 B .. 128 KB) for the four algorithms, one figure per density
+//! d in {4, 8, 16, 32}.
+//!
+//! Run: `cargo run -p repro-bench --release --bin fig6to9`
+
+use commrt::{write_csv, CellRecord, ExperimentRunner};
+use commsched::SchedulerKind;
+use repro_bench::{figure_sizes, measure_cell, paper_cube, sample_count};
+
+fn main() {
+    let cube = paper_cube();
+    let runner = ExperimentRunner::ipsc860();
+    let samples = sample_count().min(25);
+    let sizes = figure_sizes();
+    let figure_for_d = [(4usize, 6u32), (8, 7), (16, 8), (32, 9)];
+
+    let mut records = Vec::new();
+    for (d, fig) in figure_for_d {
+        println!("Figure {fig}: communication cost (ms) vs message size, d = {d}");
+        println!(
+            "{:>9} | {:>10} {:>10} {:>10} {:>10}",
+            "bytes", "AC", "LP", "RS_N", "RS_NL"
+        );
+        for &bytes in &sizes {
+            let mut row = vec![format!("{bytes:>9} |")];
+            for kind in SchedulerKind::all() {
+                let cell = measure_cell(&runner, &cube, kind, d, bytes, samples)
+                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", kind.label()));
+                records.push(CellRecord::from_cell(
+                    &format!("fig{fig}"),
+                    kind.label(),
+                    d,
+                    bytes,
+                    &cell,
+                ));
+                row.push(format!("{:>10.2}", cell.comm_ms));
+            }
+            println!("{}", row.join(" "));
+        }
+        println!();
+    }
+
+    write_csv(std::path::Path::new("results/fig6to9.csv"), &records).expect("write csv");
+    println!("wrote results/fig6to9.csv");
+}

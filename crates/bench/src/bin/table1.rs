@@ -1,0 +1,42 @@
+//! Regenerates **Table 1** of the paper: communication cost (ms), number of
+//! communication phases, and scheduling cost for AC, LP, RS_N and RS_NL on
+//! a 64-node hypercube, for d in {4, 8, 16, 32, 48} and message sizes
+//! {256 B, 1 KB, 128 KB}.
+//!
+//! Run: `cargo run -p repro-bench --release --bin table1`
+//! (set `REPRO_SAMPLES` to override the paper's 50 samples per cell).
+
+use commrt::{write_csv, write_json, ExperimentRunner};
+use commsched::SchedulerKind;
+use repro_bench::{
+    format_density_block, paper_cube, record_cell, sample_count, DENSITIES, TABLE1_SIZES,
+};
+
+fn main() {
+    let cube = paper_cube();
+    let runner = ExperimentRunner::ipsc860();
+    let samples = sample_count();
+    println!("Table 1 reproduction: 64-node iPSC/860 model, {samples} samples per cell\n");
+
+    let mut all_records = Vec::new();
+    for d in DENSITIES {
+        let mut rows = Vec::new();
+        for bytes in TABLE1_SIZES {
+            let mut records = Vec::new();
+            for kind in SchedulerKind::all() {
+                let rec = record_cell("table1", &runner, &cube, kind, d, bytes, samples)
+                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", kind.label()));
+                records.push(rec.clone());
+                all_records.push(rec);
+            }
+            rows.push((bytes, records));
+        }
+        print!("{}", format_density_block(d, &rows));
+        println!();
+    }
+
+    let out_dir = std::path::Path::new("results");
+    write_csv(&out_dir.join("table1.csv"), &all_records).expect("write csv");
+    write_json(&out_dir.join("table1.json"), &all_records).expect("write json");
+    println!("wrote results/table1.csv and results/table1.json");
+}

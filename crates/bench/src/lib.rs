@@ -1,0 +1,203 @@
+//! Shared driver code for the reproduction harness: the experiment grid of
+//! Wang & Ranka (1994) Section 6 — a 64-node hypercube, densities
+//! `d ∈ {4, 8, 16, 32, 48}`, uniform message sizes from 16 B to 128 KB, 50
+//! random samples per cell — plus helpers shared by the per-figure
+//! binaries.
+
+#![forbid(unsafe_code)]
+
+use commrt::{CellRecord, CellResult, ExperimentRunner, Scheme};
+use commsched::{ac, lp, rs_n, rs_nl, CommMatrix, Schedule, SchedulerKind};
+use hypercube::Hypercube;
+use workloads::SampleSet;
+
+/// The paper's machine: a 64-node hypercube.
+pub fn paper_cube() -> Hypercube {
+    Hypercube::new(6)
+}
+
+/// The densities of Table 1.
+pub const DENSITIES: [usize; 5] = [4, 8, 16, 32, 48];
+
+/// The message sizes of Table 1 (bytes).
+pub const TABLE1_SIZES: [u32; 3] = [256, 1024, 131_072];
+
+/// The message-size sweep of Figures 6-9: powers of two from 16 B to 128 KB.
+pub fn figure_sizes() -> Vec<u32> {
+    (4..=17).map(|x| 1u32 << x).collect()
+}
+
+/// Sample count: the paper uses 50; the harness accepts an override via the
+/// `REPRO_SAMPLES` environment variable to trade precision for speed.
+pub fn sample_count() -> usize {
+    std::env::var("REPRO_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(50)
+}
+
+/// Produce the schedule of `kind` for `com` (seeded where randomized).
+pub fn schedule_for(kind: SchedulerKind, com: &CommMatrix, cube: &Hypercube, seed: u64) -> Schedule {
+    match kind {
+        SchedulerKind::Ac => ac(com),
+        SchedulerKind::Lp => lp(com),
+        SchedulerKind::RsN => rs_n(com, seed),
+        SchedulerKind::RsNl => rs_nl(com, cube, seed),
+    }
+}
+
+/// Measure one `(algorithm, d, msg_bytes)` cell on the paper's machine.
+///
+/// # Errors
+///
+/// Propagates the first simulation error of any sample.
+pub fn measure_cell(
+    runner: &ExperimentRunner,
+    cube: &Hypercube,
+    kind: SchedulerKind,
+    d: usize,
+    msg_bytes: u32,
+    samples: usize,
+) -> Result<CellResult, simnet::SimError> {
+    let n = cube.num_nodes_();
+    // Base seed mixes the cell coordinates so no two cells share samples.
+    let base = (d as u64) * 1_000_003 + (msg_bytes as u64) * 7 + kind as u64;
+    let set = SampleSet::new(base, samples);
+    // The paper's assumption 2: "all nodes send and receive an approximately
+    // equal number of messages" — the exactly d-regular generator (its RS_N
+    // phase counts ~d + log d only hold under that regularity).
+    runner.run_cell(
+        cube,
+        &set,
+        &move |seed| workloads::random_dregular(n, d, msg_bytes, seed),
+        &|com, seed| schedule_for(kind, com, cube, seed),
+        Scheme::paper_default(kind),
+    )
+}
+
+/// Convenience: measure and convert to a [`CellRecord`].
+///
+/// # Errors
+///
+/// Propagates the first simulation error of any sample.
+pub fn record_cell(
+    experiment: &str,
+    runner: &ExperimentRunner,
+    cube: &Hypercube,
+    kind: SchedulerKind,
+    d: usize,
+    msg_bytes: u32,
+    samples: usize,
+) -> Result<CellRecord, simnet::SimError> {
+    let cell = measure_cell(runner, cube, kind, d, msg_bytes, samples)?;
+    Ok(CellRecord::from_cell(
+        experiment,
+        kind.label(),
+        d,
+        msg_bytes,
+        &cell,
+    ))
+}
+
+/// Extension trait covering the `num_nodes` call without importing
+/// `Topology` everywhere in the binaries.
+pub trait CubeExt {
+    /// Number of nodes.
+    fn num_nodes_(&self) -> usize;
+}
+
+impl CubeExt for Hypercube {
+    fn num_nodes_(&self) -> usize {
+        use hypercube::Topology;
+        self.num_nodes()
+    }
+}
+
+/// Render a Table-1-style block for one density.
+pub fn format_density_block(d: usize, rows: &[(u32, Vec<CellRecord>)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "d = {d}");
+    let _ = writeln!(
+        out,
+        "  {:>9} | {:>10} {:>10} {:>10} {:>10}",
+        "msg size", "AC", "LP", "RS_N", "RS_NL"
+    );
+    for (bytes, records) in rows {
+        let find = |label: &str| {
+            records
+                .iter()
+                .find(|r| r.algorithm == label)
+                .map_or(f64::NAN, |r| r.comm_ms)
+        };
+        let _ = writeln!(
+            out,
+            "  {:>8}B | {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            bytes,
+            find("AC"),
+            find("LP"),
+            find("RS_N"),
+            find("RS_NL")
+        );
+    }
+    if let Some((_, records)) = rows.last() {
+        let find = |label: &str, f: &dyn Fn(&CellRecord) -> f64| {
+            records
+                .iter()
+                .find(|r| r.algorithm == label)
+                .map_or(f64::NAN, f)
+        };
+        let _ = writeln!(
+            out,
+            "  {:>9} | {:>10} {:>10.2} {:>10.2} {:>10.2}",
+            "# iters",
+            "-",
+            find("LP", &|r| r.phases),
+            find("RS_N", &|r| r.phases),
+            find("RS_NL", &|r| r.phases)
+        );
+        let _ = writeln!(
+            out,
+            "  {:>9} | {:>10} {:>10.2} {:>10.2} {:>10.2}",
+            "comp",
+            "-",
+            find("LP", &|r| r.comp_ms),
+            find("RS_N", &|r| r.comp_ms),
+            find("RS_NL", &|r| r.comp_ms)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_sizes_span_16b_to_128kb() {
+        let sizes = figure_sizes();
+        assert_eq!(sizes.first(), Some(&16));
+        assert_eq!(sizes.last(), Some(&131_072));
+        assert_eq!(sizes.len(), 14);
+    }
+
+    #[test]
+    fn cell_seeds_differ_across_cells() {
+        // Different (kind, d, bytes) must map to different base seeds.
+        let a = (4u64) * 1_000_003 + 256 * 7 + SchedulerKind::Ac as u64;
+        let b = (8u64) * 1_000_003 + 256 * 7 + SchedulerKind::Ac as u64;
+        let c = (4u64) * 1_000_003 + 1024 * 7 + SchedulerKind::Lp as u64;
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_cell_measures() {
+        let cube = paper_cube();
+        let runner = ExperimentRunner::ipsc860();
+        let cell = measure_cell(&runner, &cube, SchedulerKind::RsN, 4, 1024, 3).unwrap();
+        assert!(cell.comm_ms > 0.0);
+        assert!(cell.phases >= 4.0);
+    }
+}

@@ -1,0 +1,307 @@
+use hypercube::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::algorithms::rs_n::permutation_from;
+use crate::algorithms::RsOptions;
+use crate::{
+    CommMatrix, CompressedMatrix, PartialPermutation, PathsTable, Schedule, ScheduleKind,
+    SchedulerKind,
+};
+
+/// Randomized scheduling avoiding node **and link** contention — `RS_NL`
+/// (Section 5, Figure 4).
+///
+/// Extends [`crate::rs_n`] with the `PATHS` reservation table: a candidate
+/// destination is admitted to a phase only if the deterministic circuit to
+/// it (`Check_Path`) is disjoint from every circuit already reserved this
+/// phase, after which the circuit is claimed (`Mark_Path`). The resulting
+/// phases are link-contention-free by construction on any deterministic
+/// topology — hypercube or mesh.
+///
+/// Additionally, per the paper, candidates that complete a **reciprocal
+/// pair** get priority (step 3(c)i): if row `x` holds a live message to `y`
+/// while `y` holds one to `x`, and both circuits are free, both are placed
+/// in the same phase so the runtime can fuse them into one concurrent
+/// pairwise exchange — the iPSC/860's cheap bidirectional mode.
+///
+/// Costs roughly 3x the scheduling operations of RS_N (path checks walk up
+/// to `log n` links per candidate), the trade-off quantified by the paper's
+/// Figures 10 and 11.
+pub fn rs_nl<T: Topology + ?Sized>(com: &CommMatrix, topo: &T, seed: u64) -> Schedule {
+    rs_nl_with(com, topo, seed, RsOptions::default())
+}
+
+/// [`rs_nl`] with explicit [`RsOptions`] (ablations).
+pub fn rs_nl_with<T: Topology + ?Sized>(
+    com: &CommMatrix,
+    topo: &T,
+    seed: u64,
+    opts: RsOptions,
+) -> Schedule {
+    let n = com.n();
+    assert_eq!(
+        topo.num_nodes(),
+        n,
+        "matrix is {n} nodes but topology has {}",
+        topo.num_nodes()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ccom = CompressedMatrix::compress_with(com, opts.randomize_rows, &mut rng);
+    let mut paths = PathsTable::new(topo);
+    // pending[s*n + d] = message s->d not yet scheduled; gives the pairwise
+    // pass an O(1) "does y still owe x a message?" lookup instead of a row
+    // scan (each node can maintain this bitmap of its own column for free
+    // while building CCOM, so one op per probe is the honest cost).
+    let mut pending = vec![false; n * n];
+    for (s, d, _) in com.messages() {
+        pending[s.index() * n + d.index()] = true;
+    }
+    let mut ops: u64 = 0;
+    let mut phases: Vec<PartialPermutation> = Vec::new();
+    let mut tsend: Vec<i32> = vec![-1; n];
+    let mut trecv: Vec<i32> = vec![-1; n];
+    let mut remaining = ccom.total_remaining();
+
+    while remaining > 0 {
+        tsend.fill(-1);
+        trecv.fill(-1);
+        paths.clear();
+        ops += n as u64;
+        let start = if opts.random_start {
+            rng.random_range(0..n)
+        } else {
+            0
+        };
+        let mut x = start;
+        for _ in 0..n {
+            ops += 1;
+            // A row may already have been scheduled this phase as the far
+            // side of a reciprocal pair.
+            if tsend[x] != -1 {
+                x = (x + 1) % n;
+                continue;
+            }
+            let mut placed = false;
+            // Pass 1 (pairwise preference): find y with a live reverse
+            // message y -> x, both endpoints free, both circuits free.
+            if opts.pairwise_preference && trecv[x] == -1 {
+                let mut candidate: Option<(usize, i32)> = None;
+                for (z, &y) in ccom.live_row(x).iter().enumerate() {
+                    ops += 1;
+                    let yu = y as usize;
+                    if trecv[yu] != -1 || tsend[yu] != -1 {
+                        continue;
+                    }
+                    // Does y still owe a message to x?
+                    ops += 1;
+                    if !pending[yu * n + x] {
+                        continue;
+                    }
+                    if paths.check(topo, NodeId(x as u32), NodeId(y as u32), &mut ops)
+                        && paths.check(topo, NodeId(y as u32), NodeId(x as u32), &mut ops)
+                    {
+                        candidate = Some((z, y));
+                        break;
+                    }
+                }
+                if let Some((z, y)) = candidate {
+                    let yu = y as usize;
+                    tsend[x] = y;
+                    trecv[yu] = x as i32;
+                    tsend[yu] = x as i32;
+                    trecv[x] = y;
+                    paths.mark(topo, NodeId(x as u32), NodeId(y as u32));
+                    paths.mark(topo, NodeId(y as u32), NodeId(x as u32));
+                    ccom.remove(x, z);
+                    let z2 = ccom
+                        .live_row(yu)
+                        .iter()
+                        .position(|&w| w as usize == x)
+                        .expect("reverse message verified live");
+                    ccom.remove(yu, z2);
+                    pending[x * n + yu] = false;
+                    pending[yu * n + x] = false;
+                    remaining -= 2;
+                    placed = true;
+                }
+            }
+            // Pass 2: the plain RS_N scan with the Check_Path condition.
+            if !placed {
+                let mut candidate: Option<(usize, i32)> = None;
+                for (z, &y) in ccom.live_row(x).iter().enumerate() {
+                    ops += 1;
+                    if trecv[y as usize] != -1 {
+                        continue;
+                    }
+                    if paths.check(topo, NodeId(x as u32), NodeId(y as u32), &mut ops) {
+                        candidate = Some((z, y));
+                        break;
+                    }
+                }
+                if let Some((z, y)) = candidate {
+                    tsend[x] = y;
+                    trecv[y as usize] = x as i32;
+                    paths.mark(topo, NodeId(x as u32), NodeId(y as u32));
+                    ccom.remove(x, z);
+                    pending[x * n + y as usize] = false;
+                    remaining -= 1;
+                }
+            }
+            x = (x + 1) % n;
+        }
+        phases.push(permutation_from(&tsend));
+    }
+
+    let compress_ops = (n + ccom.width() * n) as u64;
+    Schedule::new(
+        ScheduleKind::Phased,
+        SchedulerKind::RsNl,
+        n,
+        phases,
+        ops,
+        compress_ops,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_schedule;
+    use hypercube::{Hypercube, Mesh2d};
+
+    fn shift_pattern(n: usize, d: usize, bytes: u32) -> CommMatrix {
+        let mut m = CommMatrix::new(n);
+        for i in 0..n {
+            for k in 1..=d {
+                m.set(i, (i + k) % n, bytes);
+            }
+        }
+        m
+    }
+
+    /// A symmetric pattern: i <-> i+k for k in 1..=d/2.
+    fn symmetric_pattern(n: usize, half_d: usize, bytes: u32) -> CommMatrix {
+        let mut m = CommMatrix::new(n);
+        for i in 0..n {
+            for k in 1..=half_d {
+                m.set(i, (i + k) % n, bytes);
+                m.set((i + k) % n, i, bytes);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn schedules_everything_and_is_link_free() {
+        let cube = Hypercube::new(5);
+        let com = shift_pattern(32, 6, 100);
+        let s = rs_nl(&com, &cube, 11);
+        validate_schedule(&com, &s).unwrap();
+        assert!(s.link_contention_free(&cube));
+    }
+
+    #[test]
+    fn works_on_meshes_too() {
+        // The generality claim of Section 5: RS_NL only needs deterministic
+        // routing, so it runs unchanged on a mesh.
+        let mesh = Mesh2d::new(4, 8);
+        let com = shift_pattern(32, 5, 64);
+        let s = rs_nl(&com, &mesh, 2);
+        validate_schedule(&com, &s).unwrap();
+        assert!(s.link_contention_free(&mesh));
+    }
+
+    #[test]
+    fn pairwise_preference_creates_exchanges() {
+        let cube = Hypercube::new(5);
+        let com = symmetric_pattern(32, 3, 128);
+        let with = rs_nl_with(&com, &cube, 9, RsOptions::default());
+        let without = rs_nl_with(
+            &com,
+            &cube,
+            9,
+            RsOptions {
+                pairwise_preference: false,
+                ..RsOptions::default()
+            },
+        );
+        validate_schedule(&com, &with).unwrap();
+        validate_schedule(&com, &without).unwrap();
+        assert!(
+            with.exchange_pairs() > without.exchange_pairs(),
+            "{} vs {}",
+            with.exchange_pairs(),
+            without.exchange_pairs()
+        );
+        // On a symmetric pattern the preference should pair most messages.
+        assert!(with.exchange_pairs() * 2 >= com.message_count() / 2);
+    }
+
+    #[test]
+    fn needs_more_phases_than_rs_n() {
+        // Link avoidance can only delay messages relative to RS_N.
+        let cube = Hypercube::new(6);
+        let com = shift_pattern(64, 16, 100);
+        let nl = rs_nl(&com, &cube, 4);
+        let n_only = crate::rs_n(&com, 4);
+        assert!(nl.num_phases() + 2 >= n_only.num_phases());
+        validate_schedule(&com, &nl).unwrap();
+    }
+
+    #[test]
+    fn costs_more_ops_than_rs_n() {
+        let cube = Hypercube::new(6);
+        let com = shift_pattern(64, 16, 100);
+        let nl = rs_nl(&com, &cube, 4);
+        let n_only = crate::rs_n(&com, 4);
+        assert!(
+            nl.ops() > 2 * n_only.ops(),
+            "RS_NL {} vs RS_N {}",
+            nl.ops(),
+            n_only.ops()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cube = Hypercube::new(5);
+        let com = shift_pattern(32, 6, 100);
+        assert_eq!(rs_nl(&com, &cube, 3).phases(), rs_nl(&com, &cube, 3).phases());
+    }
+
+    #[test]
+    #[should_panic(expected = "topology has")]
+    fn topology_size_mismatch_panics() {
+        let cube = Hypercube::new(3);
+        let com = CommMatrix::new(16);
+        rs_nl(&com, &cube, 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let cube = Hypercube::new(4);
+        let com = CommMatrix::new(16);
+        let s = rs_nl(&com, &cube, 0);
+        assert_eq!(s.num_phases(), 0);
+    }
+
+    #[test]
+    fn dense_all_to_all_completes() {
+        let cube = Hypercube::new(4);
+        let n = 16;
+        let mut com = CommMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    com.set(i, j, 8);
+                }
+            }
+        }
+        let s = rs_nl(&com, &cube, 21);
+        validate_schedule(&com, &s).unwrap();
+        assert!(s.link_contention_free(&cube));
+        // All-to-all needs at least n-1 phases.
+        assert!(s.num_phases() >= n - 1);
+    }
+}

@@ -1,0 +1,218 @@
+use hypercube::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The communication matrix `COM`.
+///
+/// `COM(i, j) = m > 0` means node `i` must send one `m`-byte message to node
+/// `j`. The diagonal is forbidden (a node does not message itself through
+/// the network). Row `i` is node `i`'s *send vector*; column `i` is its
+/// *receive vector* (Section 2 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommMatrix {
+    n: usize,
+    /// Row-major `n * n` byte counts; 0 = no message.
+    data: Vec<u32>,
+}
+
+impl CommMatrix {
+    /// An empty matrix for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matrix needs at least one node");
+        CommMatrix {
+            n,
+            data: vec![0; n * n],
+        }
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n` or any diagonal entry is non-zero.
+    pub fn from_rows(n: usize, data: Vec<u32>) -> Self {
+        assert_eq!(data.len(), n * n, "buffer size mismatch");
+        for i in 0..n {
+            assert_eq!(data[i * n + i], 0, "self-message at node {i}");
+        }
+        CommMatrix { n, data }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Message size from `src` to `dst` (0 = none).
+    #[inline]
+    pub fn get(&self, src: usize, dst: usize) -> u32 {
+        self.data[src * self.n + dst]
+    }
+
+    /// Set the message size from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or `src == dst` with `bytes > 0`.
+    pub fn set(&mut self, src: usize, dst: usize, bytes: u32) {
+        assert!(src < self.n && dst < self.n, "node out of range");
+        assert!(src != dst || bytes == 0, "self-message at node {src}");
+        self.data[src * self.n + dst] = bytes;
+    }
+
+    /// Row `i` as a slice — node `i`'s send vector.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Iterate all messages as `(src, dst, bytes)`.
+    pub fn messages(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            self.row(i)
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b > 0)
+                .map(move |(j, &b)| (NodeId(i as u32), NodeId(j as u32), b))
+        })
+    }
+
+    /// Total number of messages.
+    pub fn message_count(&self) -> usize {
+        self.data.iter().filter(|&&b| b > 0).count()
+    }
+
+    /// Total bytes over all messages.
+    pub fn total_bytes(&self) -> u64 {
+        self.data.iter().map(|&b| b as u64).sum()
+    }
+
+    /// Out-degree of node `i` (messages sent).
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.row(i).iter().filter(|&&b| b > 0).count()
+    }
+
+    /// In-degree of node `j` (messages received).
+    pub fn in_degree(&self, j: usize) -> usize {
+        (0..self.n).filter(|&i| self.get(i, j) > 0).count()
+    }
+
+    /// The paper's *density* `d`: the maximum number of messages any node
+    /// sends or receives. At least `d` permutations are needed to route
+    /// everything (Assumption 3).
+    pub fn density(&self) -> usize {
+        (0..self.n)
+            .map(|i| self.out_degree(i).max(self.in_degree(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether all messages share one size (the paper's experiments assume
+    /// uniform sizes; [`crate::nonuniform`] lifts this).
+    pub fn is_uniform(&self) -> bool {
+        let mut sizes = self.data.iter().filter(|&&b| b > 0);
+        match sizes.next() {
+            None => true,
+            Some(&first) => sizes.all(|&b| b == first),
+        }
+    }
+
+    /// Whether the pattern is symmetric (`COM(i,j) > 0` iff `COM(j,i) > 0`);
+    /// symmetric patterns let LP pair every message into an exchange.
+    pub fn is_symmetric_pattern(&self) -> bool {
+        (0..self.n).all(|i| {
+            (0..self.n).all(|j| (self.get(i, j) > 0) == (self.get(j, i) > 0))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CommMatrix {
+        let mut m = CommMatrix::new(4);
+        m.set(0, 1, 100);
+        m.set(0, 2, 100);
+        m.set(1, 0, 50);
+        m.set(3, 0, 100);
+        m
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        CommMatrix::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-message")]
+    fn diagonal_rejected() {
+        let mut m = CommMatrix::new(4);
+        m.set(2, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-message")]
+    fn from_rows_rejects_diagonal() {
+        CommMatrix::from_rows(2, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_diagonal_set_is_allowed() {
+        let mut m = CommMatrix::new(4);
+        m.set(2, 2, 0); // a no-op, not an error
+        assert_eq!(m.get(2, 2), 0);
+    }
+
+    #[test]
+    fn degrees_and_density() {
+        let m = sample();
+        assert_eq!(m.out_degree(0), 2);
+        assert_eq!(m.in_degree(0), 2);
+        assert_eq!(m.out_degree(2), 0);
+        assert_eq!(m.in_degree(2), 1);
+        assert_eq!(m.density(), 2);
+        assert_eq!(m.message_count(), 4);
+        assert_eq!(m.total_bytes(), 350);
+    }
+
+    #[test]
+    fn messages_iterator_matches_entries() {
+        let m = sample();
+        let msgs: Vec<_> = m.messages().collect();
+        assert_eq!(msgs.len(), 4);
+        assert!(msgs.contains(&(NodeId(1), NodeId(0), 50)));
+    }
+
+    #[test]
+    fn uniformity() {
+        let mut m = CommMatrix::new(3);
+        assert!(m.is_uniform()); // vacuously
+        m.set(0, 1, 10);
+        m.set(1, 2, 10);
+        assert!(m.is_uniform());
+        m.set(2, 0, 20);
+        assert!(!m.is_uniform());
+    }
+
+    #[test]
+    fn symmetry() {
+        let mut m = CommMatrix::new(3);
+        m.set(0, 1, 10);
+        assert!(!m.is_symmetric_pattern());
+        m.set(1, 0, 99); // sizes may differ; the *pattern* is symmetric
+        assert!(m.is_symmetric_pattern());
+    }
+
+    #[test]
+    fn row_slices() {
+        let m = sample();
+        assert_eq!(m.row(0), &[0, 100, 100, 0]);
+        assert_eq!(m.row(2), &[0, 0, 0, 0]);
+    }
+}

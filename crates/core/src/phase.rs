@@ -1,0 +1,203 @@
+use hypercube::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// One communication phase: a **partial permutation** `pm` with
+/// `pm[i] = Some(j)` meaning node `i` sends its pending message to node `j`
+/// in this phase, and `None` meaning node `i` stays silent (the paper's
+/// `pm_i = -1`).
+///
+/// The defining property (Section 2) is injectivity: no two senders target
+/// the same receiver, so every node sends at most one and receives at most
+/// one message — no *node contention*.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialPermutation {
+    dests: Vec<Option<NodeId>>,
+}
+
+impl PartialPermutation {
+    /// An all-silent phase over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        PartialPermutation {
+            dests: vec![None; n],
+        }
+    }
+
+    /// Build from a destination vector.
+    pub fn from_dests(dests: Vec<Option<NodeId>>) -> Self {
+        PartialPermutation { dests }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Destination of node `i` in this phase.
+    #[inline]
+    pub fn dest(&self, i: usize) -> Option<NodeId> {
+        self.dests[i]
+    }
+
+    /// Assign `src -> dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` already has a destination in this phase (node
+    /// contention on the send side is a scheduler bug, not a runtime
+    /// condition).
+    pub fn assign(&mut self, src: NodeId, dst: NodeId) {
+        assert!(
+            self.dests[src.index()].is_none(),
+            "{src} already sends in this phase"
+        );
+        self.dests[src.index()] = Some(dst);
+    }
+
+    /// Iterate `(src, dst)` pairs of the phase.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.dests
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|dst| (NodeId(i as u32), dst)))
+    }
+
+    /// Number of messages in the phase.
+    pub fn len(&self) -> usize {
+        self.dests.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Whether the phase carries no messages.
+    pub fn is_empty(&self) -> bool {
+        self.dests.iter().all(|d| d.is_none())
+    }
+
+    /// Check the partial-permutation property: distinct senders have
+    /// distinct receivers, and nobody sends to itself.
+    pub fn is_partial_permutation(&self) -> bool {
+        let mut seen = vec![false; self.n()];
+        for (src, dst) in self.pairs() {
+            if src == dst || seen[dst.index()] {
+                return false;
+            }
+            seen[dst.index()] = true;
+        }
+        true
+    }
+
+    /// Whether `i <-> j` form a reciprocal (pairwise-exchange) pair in this
+    /// phase: `pm[i] = j` and `pm[j] = i`. The runtime fuses such pairs
+    /// into concurrent bidirectional exchanges on the iPSC/860.
+    pub fn is_exchange_pair(&self, i: NodeId) -> bool {
+        match self.dests[i.index()] {
+            Some(j) => self.dests[j.index()] == Some(i),
+            None => false,
+        }
+    }
+
+    /// Count reciprocal pairs (each pair counted once).
+    pub fn exchange_pairs(&self) -> usize {
+        self.pairs()
+            .filter(|&(src, dst)| src.0 < dst.0 && self.dests[dst.index()] == Some(src))
+            .count()
+    }
+
+    /// Whether all circuits of this phase are pairwise link-disjoint on
+    /// `topo` — the *link contention freedom* RS_NL and LP guarantee.
+    pub fn is_link_free<T: Topology + ?Sized>(&self, topo: &T) -> bool {
+        let mut claimed = vec![false; topo.link_count()];
+        for (src, dst) in self.pairs() {
+            for l in topo.route(src, dst).links() {
+                if claimed[l.index()] {
+                    return false;
+                }
+                claimed[l.index()] = true;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::Hypercube;
+
+    #[test]
+    fn assign_and_query() {
+        let mut pm = PartialPermutation::empty(4);
+        assert!(pm.is_empty());
+        pm.assign(NodeId(0), NodeId(2));
+        pm.assign(NodeId(2), NodeId(0));
+        assert_eq!(pm.len(), 2);
+        assert_eq!(pm.dest(0), Some(NodeId(2)));
+        assert_eq!(pm.dest(1), None);
+        assert!(pm.is_partial_permutation());
+    }
+
+    #[test]
+    #[should_panic(expected = "already sends")]
+    fn double_assign_panics() {
+        let mut pm = PartialPermutation::empty(4);
+        pm.assign(NodeId(0), NodeId(1));
+        pm.assign(NodeId(0), NodeId(2));
+    }
+
+    #[test]
+    fn node_contention_detected() {
+        // Two senders, one receiver: NOT a partial permutation.
+        let pm = PartialPermutation::from_dests(vec![
+            Some(NodeId(2)),
+            Some(NodeId(2)),
+            None,
+            None,
+        ]);
+        assert!(!pm.is_partial_permutation());
+    }
+
+    #[test]
+    fn self_send_detected() {
+        let pm = PartialPermutation::from_dests(vec![Some(NodeId(0)), None]);
+        assert!(!pm.is_partial_permutation());
+    }
+
+    #[test]
+    fn exchange_pairs_counted_once() {
+        let mut pm = PartialPermutation::empty(6);
+        pm.assign(NodeId(0), NodeId(3));
+        pm.assign(NodeId(3), NodeId(0));
+        pm.assign(NodeId(1), NodeId(2)); // one-way
+        assert_eq!(pm.exchange_pairs(), 1);
+        assert!(pm.is_exchange_pair(NodeId(0)));
+        assert!(pm.is_exchange_pair(NodeId(3)));
+        assert!(!pm.is_exchange_pair(NodeId(1)));
+        assert!(!pm.is_exchange_pair(NodeId(4)));
+    }
+
+    #[test]
+    fn link_freedom_on_cube() {
+        let cube = Hypercube::new(3);
+        // XOR-by-1 pairs: link free.
+        let mut pm = PartialPermutation::empty(8);
+        for i in 0..8u32 {
+            pm.assign(NodeId(i), NodeId(i ^ 1));
+        }
+        assert!(pm.is_link_free(&cube));
+        // 0->3 (via 1) and 1->... make 1->3's circuit collide: 0->3 uses
+        // links (0,d0),(1,d1); 5->1 uses (5,d2)... pick a known conflict:
+        // 0->3 and 1->2? 1->2 fixes bits 0,1: 1->0 (d0), 0->2 (d1). No
+        // conflict with (0,d0)? (0,d0) is 0->1; (1,d0) is 1->0. Disjoint.
+        // Use 0->3 ((0,d0),(1,d1)) and 5->3 (5^3=6: (5,d1),(7,d2)?
+        // e-cube 5->3: diff=6, fix d1: 5->7 (5,d1), fix d2: 7->3 (7,d2).
+        // Still disjoint. Share (1,d1): sender 1 to dst with bit1 set ->
+        // 1->3 uses (1,d1). So 0->3 and 1->... 1 already sends? Make a
+        // phase with 0->3 and 1->3: that's node contention, not the point.
+        // 1->7: diff 6: (1,d1),(3,d2). Shares (1,d1)? 0->3's second link is
+        // (1,d1). Yes!
+        let mut pm2 = PartialPermutation::empty(8);
+        pm2.assign(NodeId(0), NodeId(3));
+        pm2.assign(NodeId(1), NodeId(7));
+        assert!(pm2.is_partial_permutation());
+        assert!(!pm2.is_link_free(&cube));
+    }
+}

@@ -1,0 +1,169 @@
+use hypercube::Topology;
+use serde::{Deserialize, Serialize};
+
+use crate::PartialPermutation;
+
+/// Which algorithm produced a schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Asynchronous communication (Section 3): no schedule.
+    Ac,
+    /// Linear permutation (Section 4.1).
+    Lp,
+    /// Randomized scheduling avoiding node contention (Section 4.2).
+    RsN,
+    /// Randomized scheduling avoiding node and link contention (Section 5).
+    RsNl,
+}
+
+impl SchedulerKind {
+    /// The short name used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Ac => "AC",
+            SchedulerKind::Lp => "LP",
+            SchedulerKind::RsN => "RS_N",
+            SchedulerKind::RsNl => "RS_NL",
+        }
+    }
+
+    /// All four algorithms, in the paper's column order.
+    pub fn all() -> [SchedulerKind; 4] {
+        [
+            SchedulerKind::Ac,
+            SchedulerKind::Lp,
+            SchedulerKind::RsN,
+            SchedulerKind::RsNl,
+        ]
+    }
+}
+
+/// How the runtime should interpret a [`Schedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// No phases: every node posts its receives and blasts its sends
+    /// (asynchronous communication).
+    Async,
+    /// Execute the phases in order under loose synchrony.
+    Phased,
+}
+
+/// A communication schedule: the decomposition of a [`crate::CommMatrix`]
+/// into ordered communication phases, plus cost accounting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schedule {
+    kind: ScheduleKind,
+    algorithm: SchedulerKind,
+    n: usize,
+    phases: Vec<PartialPermutation>,
+    /// Abstract operations spent computing the schedule (inner-loop steps);
+    /// see [`crate::I860CostModel`].
+    ops_schedule: u64,
+    /// Abstract operations spent compressing `COM` into `CCOM`.
+    ops_compress: u64,
+}
+
+impl Schedule {
+    pub(crate) fn new(
+        kind: ScheduleKind,
+        algorithm: SchedulerKind,
+        n: usize,
+        phases: Vec<PartialPermutation>,
+        ops_schedule: u64,
+        ops_compress: u64,
+    ) -> Self {
+        Schedule {
+            kind,
+            algorithm,
+            n,
+            phases,
+            ops_schedule,
+            ops_compress,
+        }
+    }
+
+    /// Async or phased.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// The producing algorithm.
+    pub fn algorithm(&self) -> SchedulerKind {
+        self.algorithm
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The communication phases (empty for [`ScheduleKind::Async`]).
+    pub fn phases(&self) -> &[PartialPermutation] {
+        &self.phases
+    }
+
+    /// Number of phases — the paper's "# iters" row.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Abstract scheduling operations (excluding compression).
+    pub fn ops(&self) -> u64 {
+        self.ops_schedule
+    }
+
+    /// Abstract operations of the `COM -> CCOM` compression step.
+    pub fn compress_ops(&self) -> u64 {
+        self.ops_compress
+    }
+
+    /// Total messages across all phases.
+    pub fn message_count(&self) -> usize {
+        self.phases.iter().map(|p| p.len()).sum()
+    }
+
+    /// Total reciprocal (exchange) pairs across phases.
+    pub fn exchange_pairs(&self) -> usize {
+        self.phases.iter().map(|p| p.exchange_pairs()).sum()
+    }
+
+    /// Whether every phase is link-contention-free on `topo` (the RS_NL /
+    /// LP guarantee; generally false for RS_N).
+    pub fn link_contention_free<T: Topology + ?Sized>(&self, topo: &T) -> bool {
+        self.phases.iter().all(|p| p.is_link_free(topo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::NodeId;
+
+    fn phase(n: usize, pairs: &[(u32, u32)]) -> PartialPermutation {
+        let mut pm = PartialPermutation::empty(n);
+        for &(s, d) in pairs {
+            pm.assign(NodeId(s), NodeId(d));
+        }
+        pm
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedulerKind::RsNl.label(), "RS_NL");
+        assert_eq!(SchedulerKind::all().len(), 4);
+    }
+
+    #[test]
+    fn counts() {
+        let phases = vec![
+            phase(4, &[(0, 1), (1, 0), (2, 3)]),
+            phase(4, &[(3, 2)]),
+        ];
+        let s = Schedule::new(ScheduleKind::Phased, SchedulerKind::RsN, 4, phases, 100, 10);
+        assert_eq!(s.num_phases(), 2);
+        assert_eq!(s.message_count(), 4);
+        assert_eq!(s.exchange_pairs(), 1);
+        assert_eq!(s.ops(), 100);
+        assert_eq!(s.compress_ops(), 10);
+    }
+}

@@ -1,0 +1,203 @@
+use std::fmt;
+
+use crate::{CommMatrix, Schedule, ScheduleKind};
+
+/// Why a schedule fails validation against its communication matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Schedule and matrix disagree on the node count.
+    WrongSize {
+        /// Nodes in the matrix.
+        matrix: usize,
+        /// Nodes in the schedule.
+        schedule: usize,
+    },
+    /// A phase violates the partial-permutation property (two senders
+    /// target one receiver, or a node sends to itself).
+    NotPermutation {
+        /// Offending phase index.
+        phase: usize,
+    },
+    /// A scheduled message does not exist in the matrix.
+    UnknownMessage {
+        /// Phase index.
+        phase: usize,
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+    },
+    /// A message appears in more than one phase (the decomposition must be
+    /// disjoint: "there exists a *unique* k such that pm_k(i) = j").
+    DuplicateMessage {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+    },
+    /// A message of the matrix appears in no phase.
+    MissingMessage {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::WrongSize { matrix, schedule } => {
+                write!(f, "matrix has {matrix} nodes, schedule {schedule}")
+            }
+            ValidationError::NotPermutation { phase } => {
+                write!(f, "phase {phase} is not a partial permutation")
+            }
+            ValidationError::UnknownMessage { phase, src, dst } => {
+                write!(f, "phase {phase} schedules {src}->{dst} which is not in COM")
+            }
+            ValidationError::DuplicateMessage { src, dst } => {
+                write!(f, "message {src}->{dst} scheduled more than once")
+            }
+            ValidationError::MissingMessage { src, dst } => {
+                write!(f, "message {src}->{dst} never scheduled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check that `schedule` is a correct decomposition of `com`:
+///
+/// 1. every phase is a partial permutation (node-contention freedom),
+/// 2. every scheduled message exists in `com`,
+/// 3. every message of `com` is scheduled **exactly once**.
+///
+/// [`ScheduleKind::Async`] schedules are vacuously valid (the runtime sends
+/// straight from the matrix) apart from the size check.
+///
+/// # Errors
+///
+/// The first violation found, as a [`ValidationError`].
+pub fn validate_schedule(com: &CommMatrix, schedule: &Schedule) -> Result<(), ValidationError> {
+    let n = com.n();
+    if schedule.n() != n {
+        return Err(ValidationError::WrongSize {
+            matrix: n,
+            schedule: schedule.n(),
+        });
+    }
+    if schedule.kind() == ScheduleKind::Async {
+        return Ok(());
+    }
+    let mut seen = vec![false; n * n];
+    for (k, pm) in schedule.phases().iter().enumerate() {
+        if !pm.is_partial_permutation() {
+            return Err(ValidationError::NotPermutation { phase: k });
+        }
+        for (src, dst) in pm.pairs() {
+            let (s, d) = (src.index(), dst.index());
+            if com.get(s, d) == 0 {
+                return Err(ValidationError::UnknownMessage {
+                    phase: k,
+                    src: s,
+                    dst: d,
+                });
+            }
+            if seen[s * n + d] {
+                return Err(ValidationError::DuplicateMessage { src: s, dst: d });
+            }
+            seen[s * n + d] = true;
+        }
+    }
+    for (src, dst, _) in com.messages() {
+        if !seen[src.index() * n + dst.index()] {
+            return Err(ValidationError::MissingMessage {
+                src: src.index(),
+                dst: dst.index(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartialPermutation, SchedulerKind};
+    use hypercube::NodeId;
+
+    fn com3() -> CommMatrix {
+        let mut m = CommMatrix::new(3);
+        m.set(0, 1, 5);
+        m.set(1, 2, 5);
+        m
+    }
+
+    fn phased(n: usize, phases: Vec<PartialPermutation>) -> Schedule {
+        Schedule::new(ScheduleKind::Phased, SchedulerKind::RsN, n, phases, 0, 0)
+    }
+
+    #[test]
+    fn accepts_correct_schedule() {
+        let mut pm = PartialPermutation::empty(3);
+        pm.assign(NodeId(0), NodeId(1));
+        pm.assign(NodeId(1), NodeId(2));
+        validate_schedule(&com3(), &phased(3, vec![pm])).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_size() {
+        let s = phased(4, vec![]);
+        assert!(matches!(
+            validate_schedule(&com3(), &s),
+            Err(ValidationError::WrongSize { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_message() {
+        let mut pm = PartialPermutation::empty(3);
+        pm.assign(NodeId(0), NodeId(1));
+        let err = validate_schedule(&com3(), &phased(3, vec![pm])).unwrap_err();
+        assert_eq!(err, ValidationError::MissingMessage { src: 1, dst: 2 });
+        assert!(err.to_string().contains("never scheduled"));
+    }
+
+    #[test]
+    fn rejects_duplicate_message() {
+        let mut pm1 = PartialPermutation::empty(3);
+        pm1.assign(NodeId(0), NodeId(1));
+        pm1.assign(NodeId(1), NodeId(2));
+        let mut pm2 = PartialPermutation::empty(3);
+        pm2.assign(NodeId(0), NodeId(1));
+        let err = validate_schedule(&com3(), &phased(3, vec![pm1, pm2])).unwrap_err();
+        assert_eq!(err, ValidationError::DuplicateMessage { src: 0, dst: 1 });
+    }
+
+    #[test]
+    fn rejects_unknown_message() {
+        let mut pm = PartialPermutation::empty(3);
+        pm.assign(NodeId(2), NodeId(0));
+        let err = validate_schedule(&com3(), &phased(3, vec![pm])).unwrap_err();
+        assert!(matches!(err, ValidationError::UnknownMessage { .. }));
+    }
+
+    #[test]
+    fn rejects_node_contention() {
+        let pm = PartialPermutation::from_dests(vec![
+            Some(NodeId(2)),
+            Some(NodeId(2)),
+            None,
+        ]);
+        let err = validate_schedule(&com3(), &phased(3, vec![pm])).unwrap_err();
+        assert!(matches!(err, ValidationError::NotPermutation { .. }));
+    }
+
+    #[test]
+    fn async_is_vacuously_valid() {
+        let s = crate::ac(&com3());
+        validate_schedule(&com3(), &s).unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a **directed** communication channel.
+///
+/// Every full-duplex physical wire contributes two `LinkId`s, one per
+/// direction. The encoding is topology-specific (see
+/// [`crate::Topology::link_count`]); for the hypercube the outgoing channel
+/// of node `u` along dimension `d` has id `u * dims + d`.
+///
+/// Directed channels are the unit of circuit-switched reservation: two
+/// circuits contend if and only if they share a `LinkId`. Opposite
+/// directions of the same wire never contend, which is what makes pairwise
+/// exchange between neighbours fully concurrent on the iPSC/860.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The link's index as a `usize`, for direct occupancy-table indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(LinkId(17).index(), 17);
+        assert_eq!(format!("{}", LinkId(3)), "L3");
+    }
+}

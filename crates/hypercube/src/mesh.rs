@@ -1,0 +1,210 @@
+use crate::{LinkId, NodeId, Path, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A 2-D mesh with dimension-ordered (XY) routing.
+///
+/// The paper's `PATHS` reservation table "can be much smaller for regular
+/// topologies like mesh and hypercube" (Section 5); this topology exists to
+/// demonstrate that the scheduling layer is topology-generic: RS_NL works
+/// unchanged on a mesh because all it needs is deterministic routing.
+///
+/// Nodes are numbered row-major: node `(r, c)` has id `r * cols + c`.
+/// Routing goes along X (columns) first, then along Y (rows) — the standard
+/// deadlock-free dimension order. Each node has four directed outgoing
+/// channels (E, W, S, N), so `LinkId = node * 4 + direction`; ids at the
+/// mesh boundary are simply never produced by `route`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh2d {
+    rows: usize,
+    cols: usize,
+}
+
+/// Direction encoding for mesh channels.
+const EAST: u32 = 0;
+const WEST: u32 = 1;
+const SOUTH: u32 = 2;
+const NORTH: u32 = 3;
+
+impl Mesh2d {
+    /// A mesh with `rows x cols` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero or the node count overflows `u32`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh extents must be positive");
+        assert!(
+            rows.checked_mul(cols).is_some_and(|n| n <= u32::MAX as usize),
+            "mesh too large"
+        );
+        Mesh2d { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(row, col)` coordinates of a node.
+    #[inline]
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        (node.index() / self.cols, node.index() % self.cols)
+    }
+
+    /// Node id at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates lie outside the mesh.
+    #[inline]
+    pub fn node_at(&self, row: usize, col: usize) -> NodeId {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) outside mesh");
+        NodeId((row * self.cols + col) as u32)
+    }
+
+    #[inline]
+    fn channel(&self, node: u32, dir: u32) -> LinkId {
+        LinkId(node * 4 + dir)
+    }
+}
+
+impl Topology for Mesh2d {
+    fn num_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn link_count(&self) -> usize {
+        self.rows * self.cols * 4
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Path {
+        let (sr, sc) = self.coords(src);
+        let (dr, dc) = self.coords(dst);
+        let mut links = Vec::with_capacity(sr.abs_diff(dr) + sc.abs_diff(dc));
+        let mut cur = src.0;
+        // X first: walk the column coordinate toward dc.
+        let mut c = sc;
+        while c != dc {
+            if c < dc {
+                links.push(self.channel(cur, EAST));
+                cur += 1;
+                c += 1;
+            } else {
+                links.push(self.channel(cur, WEST));
+                cur -= 1;
+                c -= 1;
+            }
+        }
+        // Then Y: walk the row coordinate toward dr.
+        let mut r = sr;
+        while r != dr {
+            if r < dr {
+                links.push(self.channel(cur, SOUTH));
+                cur += self.cols as u32;
+                r += 1;
+            } else {
+                links.push(self.channel(cur, NORTH));
+                cur -= self.cols as u32;
+                r -= 1;
+            }
+        }
+        debug_assert_eq!(cur, dst.0);
+        Path::new(src, dst, links)
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        let (sr, sc) = self.coords(src);
+        let (dr, dc) = self.coords(dst);
+        sr.abs_diff(dr) + sc.abs_diff(dc)
+    }
+
+    fn diameter(&self) -> usize {
+        (self.rows - 1) + (self.cols - 1)
+    }
+
+    fn name(&self) -> String {
+        format!("mesh2d({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "extents must be positive")]
+    fn zero_extent_rejected() {
+        Mesh2d::new(0, 4);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh2d::new(3, 5);
+        for r in 0..3 {
+            for c in 0..5 {
+                assert_eq!(m.coords(m.node_at(r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_routing_goes_x_then_y() {
+        let m = Mesh2d::new(4, 4);
+        // (0,0) -> (2,2): east, east, south, south.
+        let p = m.route(m.node_at(0, 0), m.node_at(2, 2));
+        assert_eq!(p.hops(), 4);
+        assert_eq!(
+            p.links(),
+            &[
+                LinkId(EAST),          // node 0, east
+                LinkId(4 + EAST),      // node 1, east
+                LinkId(2 * 4 + SOUTH), // node 2, south
+                LinkId(6 * 4 + SOUTH), // node 6, south
+            ]
+        );
+    }
+
+    #[test]
+    fn hops_is_manhattan_distance() {
+        let m = Mesh2d::new(5, 7);
+        for a in 0..m.num_nodes() {
+            for b in 0..m.num_nodes() {
+                let (ar, ac) = m.coords(NodeId(a as u32));
+                let (br, bc) = m.coords(NodeId(b as u32));
+                let d = ar.abs_diff(br) + ac.abs_diff(bc);
+                assert_eq!(m.hops(NodeId(a as u32), NodeId(b as u32)), d);
+                assert_eq!(m.route(NodeId(a as u32), NodeId(b as u32)).hops(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn route_self_is_empty() {
+        let m = Mesh2d::new(2, 2);
+        assert_eq!(m.route(NodeId(3), NodeId(3)).hops(), 0);
+    }
+
+    #[test]
+    fn links_in_range() {
+        let m = Mesh2d::new(4, 6);
+        for a in 0..m.num_nodes() {
+            for b in 0..m.num_nodes() {
+                for l in m.route(NodeId(a as u32), NodeId(b as u32)).links() {
+                    assert!(l.index() < m.link_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_corner_to_corner() {
+        let m = Mesh2d::new(4, 6);
+        assert_eq!(m.diameter(), 8);
+        assert_eq!(m.hops(m.node_at(0, 0), m.node_at(3, 5)), 8);
+    }
+}

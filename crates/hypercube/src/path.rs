@@ -1,0 +1,99 @@
+use crate::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The circuit a message claims between a source and a destination node:
+/// an ordered sequence of directed links, as produced by the topology's
+/// deterministic routing function.
+///
+/// The paper writes this as `path(i,j) = {edge(i,m1), edge(m1,m2), ...,
+/// edge(mx,j)}`. An empty path means `src == dst` (a node never contends
+/// with itself; local "sends" are free).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    src: NodeId,
+    dst: NodeId,
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Build a path from its endpoints and the directed links it claims.
+    pub fn new(src: NodeId, dst: NodeId, links: Vec<LinkId>) -> Self {
+        Path { src, dst, links }
+    }
+
+    /// Source endpoint.
+    #[inline]
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Destination endpoint.
+    #[inline]
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The directed links claimed by this circuit, in traversal order.
+    #[inline]
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of hops (links) on the path.
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether this path shares any directed link with `other`.
+    ///
+    /// This is the paper's *link contention* predicate. Paths are short
+    /// (at most the network diameter, 6 on the 64-node cube), so the
+    /// quadratic scan beats any hashing scheme.
+    pub fn intersects(&self, other: &Path) -> bool {
+        self.links
+            .iter()
+            .any(|l| other.links.iter().any(|m| m == l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: u32, dst: u32, links: &[u32]) -> Path {
+        Path::new(
+            NodeId(src),
+            NodeId(dst),
+            links.iter().map(|&l| LinkId(l)).collect(),
+        )
+    }
+
+    #[test]
+    fn empty_path_never_intersects() {
+        let empty = p(3, 3, &[]);
+        let busy = p(0, 1, &[0, 1, 2]);
+        assert!(!empty.intersects(&busy));
+        assert!(!busy.intersects(&empty));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = p(0, 5, &[0, 4, 9]);
+        let b = p(2, 7, &[4, 11]);
+        let c = p(2, 7, &[3, 11]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+    }
+
+    #[test]
+    fn accessors() {
+        let a = p(0, 5, &[0, 4]);
+        assert_eq!(a.src(), NodeId(0));
+        assert_eq!(a.dst(), NodeId(5));
+        assert_eq!(a.hops(), 2);
+        assert_eq!(a.links(), &[LinkId(0), LinkId(4)]);
+    }
+}

@@ -1,0 +1,90 @@
+//! The *concatenate* operation (all-gather) of the paper's runtime
+//! scheduling story: before any node can compute a schedule it must hold
+//! the full communication matrix, so all nodes combine their send vectors
+//! by recursive doubling over the hypercube — `log n` pairwise-exchange
+//! rounds with doubling payloads, total cost `O(dn + tau log n)`.
+
+use hypercube::Hypercube;
+use simnet::{simulate, MachineParams, Program, SimError, SimReport, Tag};
+
+/// Build the recursive-doubling all-gather programs: in round `r` every
+/// node exchanges its accumulated `2^r * row_bytes` payload with partner
+/// `i XOR 2^r`.
+///
+/// `row_bytes` is the size of one node's contribution (its compacted send
+/// vector — `d` destination/size pairs).
+///
+/// # Panics
+///
+/// Panics if `row_bytes == 0`.
+pub fn allgather_programs(cube: &Hypercube, row_bytes: u32) -> Vec<Program> {
+    assert!(row_bytes > 0, "empty send vectors make no sense");
+    let n = 1usize << cube.dims();
+    let mut builders: Vec<_> = (0..n).map(|_| Program::builder()).collect();
+    for r in 0..cube.dims() {
+        let chunk = row_bytes.saturating_mul(1 << r);
+        for (i, b) in builders.iter_mut().enumerate() {
+            let partner = hypercube::NodeId((i ^ (1 << r)) as u32);
+            b.exchange(partner, chunk, chunk, Tag(r));
+        }
+    }
+    builders.into_iter().map(|b| b.build()).collect()
+}
+
+/// Simulate the all-gather and return its cost — the schedule-distribution
+/// overhead to add when evaluating *runtime* (as opposed to static)
+/// scheduling.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn allgather_cost(
+    cube: &Hypercube,
+    params: &MachineParams,
+    row_bytes: u32,
+) -> Result<SimReport, SimError> {
+    simulate(cube, params, allgather_programs(cube, row_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_in_log_n_rounds() {
+        let cube = Hypercube::new(4);
+        let params = MachineParams::ipsc860();
+        let report = allgather_cost(&cube, &params, 256).unwrap();
+        // 16 nodes * 4 rounds, each round one fused exchange per pair.
+        assert_eq!(report.stats.transfers, 16 * 4 / 2);
+        assert!(report.makespan_ns > 0);
+    }
+
+    #[test]
+    fn cost_grows_with_row_size_but_sublinearly_in_rounds() {
+        let cube = Hypercube::new(5);
+        let params = MachineParams::ipsc860();
+        let small = allgather_cost(&cube, &params, 64).unwrap().makespan_ns;
+        let big = allgather_cost(&cube, &params, 4096).unwrap().makespan_ns;
+        assert!(big > small);
+        // Payload doubles every round: the last round dominates; total is
+        // O(n * row_bytes), not O(n log n * row_bytes).
+        let very_big = allgather_cost(&cube, &params, 8192).unwrap().makespan_ns;
+        assert!((very_big as f64) < 2.5 * big as f64);
+    }
+
+    #[test]
+    fn exchange_phases_are_contention_free() {
+        // Recursive doubling uses XOR permutations, so no phase blocks.
+        let cube = Hypercube::new(6);
+        let params = MachineParams::ipsc860();
+        let report = allgather_cost(&cube, &params, 512).unwrap();
+        assert_eq!(report.stats.transfers_blocked, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty send vectors")]
+    fn zero_row_bytes_rejected() {
+        allgather_programs(&Hypercube::new(3), 0);
+    }
+}

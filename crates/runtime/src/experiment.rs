@@ -1,0 +1,196 @@
+use commsched::{CommMatrix, I860CostModel, Schedule};
+use hypercube::Topology;
+use parking_lot::Mutex;
+use simnet::{MachineParams, SimError};
+use workloads::SampleSet;
+
+use crate::{compile, Scheme};
+
+/// Aggregated measurements of one experiment cell (one algorithm at one
+/// `(density, message size)` point), averaged over a [`SampleSet`] exactly
+/// the way the paper aggregates: per sample, the cost is the *maximum* time
+/// spent by any processor; the cell reports the mean over samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellResult {
+    /// Mean communication cost over samples (ms).
+    pub comm_ms: f64,
+    /// Fastest sample (ms).
+    pub comm_ms_min: f64,
+    /// Slowest sample (ms).
+    pub comm_ms_max: f64,
+    /// Mean number of communication phases (the paper's "# iters";
+    /// 0 for AC).
+    pub phases: f64,
+    /// Mean simulated scheduling cost under the i860 model (ms).
+    pub comp_ms: f64,
+    /// Mean reciprocal pairs fused into exchanges per schedule.
+    pub exchange_pairs: f64,
+    /// Samples aggregated.
+    pub samples: usize,
+}
+
+/// Runs experiment cells sample-parallel across host threads.
+///
+/// The simulator is deterministic, so unlike the paper we do not repeat
+/// each measurement `k` times — variance comes only from the sampled
+/// matrices (and scheduler seeds), which is exactly what the sample mean
+/// captures.
+#[derive(Clone, Debug)]
+pub struct ExperimentRunner {
+    /// Machine model used for every simulation.
+    pub params: MachineParams,
+    /// Cost model converting scheduler op counts to i860 milliseconds.
+    pub cost_model: I860CostModel,
+    /// Worker threads (defaults to available parallelism).
+    pub threads: usize,
+}
+
+impl ExperimentRunner {
+    /// Runner with the paper's machine calibration.
+    pub fn ipsc860() -> Self {
+        ExperimentRunner {
+            params: MachineParams::ipsc860(),
+            cost_model: I860CostModel::default(),
+            threads: std::thread::available_parallelism().map_or(4, usize::from),
+        }
+    }
+
+    /// Measure one cell: generate each sample with `gen(seed)`, schedule it
+    /// with `sched(&com, seed)`, execute under `scheme`, and aggregate.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] of any sample (by sample index).
+    pub fn run_cell<T: Topology + ?Sized>(
+        &self,
+        topo: &T,
+        set: &SampleSet,
+        gen: &(dyn Fn(u64) -> CommMatrix + Sync),
+        sched: &(dyn Fn(&CommMatrix, u64) -> Schedule + Sync),
+        scheme: Scheme,
+    ) -> Result<CellResult, SimError> {
+        let k = set.len();
+        let results: Mutex<Vec<Option<Result<SampleOutcome, SimError>>>> =
+            Mutex::new(vec![None; k]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = self.threads.clamp(1, k);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= k {
+                        return;
+                    }
+                    let seed = set.seed(idx);
+                    let outcome = self.run_sample(topo, seed, gen, sched, scheme);
+                    results.lock()[idx] = Some(outcome);
+                });
+            }
+        });
+        let outcomes = results.into_inner();
+        let mut comm_sum = 0.0;
+        let mut comm_min = f64::INFINITY;
+        let mut comm_max = 0.0f64;
+        let mut phase_sum = 0.0;
+        let mut comp_sum = 0.0;
+        let mut pair_sum = 0.0;
+        for o in outcomes {
+            let o = o.expect("worker filled every slot")?;
+            comm_sum += o.comm_ms;
+            comm_min = comm_min.min(o.comm_ms);
+            comm_max = comm_max.max(o.comm_ms);
+            phase_sum += o.phases as f64;
+            comp_sum += o.comp_ms;
+            pair_sum += o.exchange_pairs as f64;
+        }
+        let kf = k as f64;
+        Ok(CellResult {
+            comm_ms: comm_sum / kf,
+            comm_ms_min: comm_min,
+            comm_ms_max: comm_max,
+            phases: phase_sum / kf,
+            comp_ms: comp_sum / kf,
+            exchange_pairs: pair_sum / kf,
+            samples: k,
+        })
+    }
+
+    fn run_sample<T: Topology + ?Sized>(
+        &self,
+        topo: &T,
+        seed: u64,
+        gen: &dyn Fn(u64) -> CommMatrix,
+        sched: &dyn Fn(&CommMatrix, u64) -> Schedule,
+        scheme: Scheme,
+    ) -> Result<SampleOutcome, SimError> {
+        let com = gen(seed);
+        let schedule = sched(&com, seed);
+        let programs = compile(&com, &schedule, scheme);
+        let report = simnet::simulate(topo, &self.params, programs)?;
+        Ok(SampleOutcome {
+            comm_ms: report.makespan_ms(),
+            phases: schedule.num_phases(),
+            comp_ms: self.cost_model.schedule_ms(&schedule),
+            exchange_pairs: schedule.exchange_pairs(),
+        })
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SampleOutcome {
+    comm_ms: f64,
+    phases: usize,
+    comp_ms: f64,
+    exchange_pairs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched::{rs_n, rs_nl};
+    use hypercube::Hypercube;
+
+    #[test]
+    fn cell_aggregates_samples() {
+        let cube = Hypercube::new(4);
+        let runner = ExperimentRunner::ipsc860();
+        let set = SampleSet::new(77, 8);
+        let cell = runner
+            .run_cell(
+                &cube,
+                &set,
+                &|seed| workloads::random_dense(16, 3, 1024, seed),
+                &|com, seed| rs_n(com, seed),
+                Scheme::S2,
+            )
+            .unwrap();
+        assert_eq!(cell.samples, 8);
+        assert!(cell.comm_ms > 0.0);
+        assert!(cell.comm_ms_min <= cell.comm_ms && cell.comm_ms <= cell.comm_ms_max);
+        assert!(cell.phases >= 3.0);
+        assert!(cell.comp_ms > 0.0);
+    }
+
+    #[test]
+    fn cell_results_are_deterministic_across_thread_counts() {
+        let cube = Hypercube::new(4);
+        let mut runner = ExperimentRunner::ipsc860();
+        let set = SampleSet::new(3, 6);
+        let gen = |seed| workloads::random_dense(16, 4, 512, seed);
+        let run = |r: &ExperimentRunner| {
+            r.run_cell(
+                &cube,
+                &set,
+                &gen,
+                &|com, seed| rs_nl(com, &Hypercube::new(4), seed),
+                Scheme::S1,
+            )
+            .unwrap()
+        };
+        runner.threads = 1;
+        let a = run(&runner);
+        runner.threads = 8;
+        let b = run(&runner);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,46 @@
+//! Runtime layer: turns a communication matrix plus a schedule into
+//! executable per-node [`simnet::Program`]s and runs experiments.
+//!
+//! This crate plays the role of the NX message-passing library and the
+//! experiment driver in the paper:
+//!
+//! * [`compile`] implements the two communication schemes of Section 6 —
+//!   **S1** (receiver posts its buffer, sends a 0-byte *ready* signal, the
+//!   sender transmits on the signal; reciprocal pairs are fused into
+//!   concurrent pairwise exchanges) and **S2** (post all receives up front,
+//!   send everything in schedule order, confirm at the end). Asynchronous
+//!   (AC) schedules compile to the post/send/confirm program of Figure 1.
+//! * [`allgather`] implements the *concatenate* operation the paper uses to
+//!   replicate every node's send vector before runtime scheduling
+//!   (recursive doubling on the hypercube).
+//! * [`ExperimentRunner`] reproduces the paper's measurement methodology:
+//!   many independently seeded samples per configuration, cost = maximum
+//!   time over processors, averaged over samples — fanned out over host
+//!   threads.
+//!
+//! ```
+//! use commrt::{run_schedule, Scheme};
+//! use commsched::rs_nl;
+//! use hypercube::Hypercube;
+//! use simnet::MachineParams;
+//!
+//! let cube = Hypercube::new(4);
+//! let com = workloads::random_dense(16, 3, 1024, 7);
+//! let schedule = rs_nl(&com, &cube, 7);
+//! let report = run_schedule(&cube, &MachineParams::ipsc860(), &com, &schedule, Scheme::S1)
+//!     .unwrap();
+//! assert!(report.makespan_ns > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod allgather;
+mod compile;
+mod experiment;
+mod report;
+mod scheme;
+
+pub use compile::{compile, compile_ac_send_detect, run_schedule, run_schedule_traced};
+pub use experiment::{CellResult, ExperimentRunner};
+pub use report::{write_csv, write_json, CellRecord};
+pub use scheme::Scheme;

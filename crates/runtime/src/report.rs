@@ -1,0 +1,132 @@
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CellResult;
+
+/// One row of an experiment output table — serializable for EXPERIMENTS.md
+/// and downstream plotting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Experiment id ("table1", "fig6", ...).
+    pub experiment: String,
+    /// Algorithm label ("AC", "LP", "RS_N", "RS_NL").
+    pub algorithm: String,
+    /// Density `d`.
+    pub d: usize,
+    /// Message size in bytes.
+    pub msg_bytes: u32,
+    /// Mean communication cost (ms).
+    pub comm_ms: f64,
+    /// Mean phases ("# iters"; 0 for AC).
+    pub phases: f64,
+    /// Mean scheduling cost under the i860 model (ms).
+    pub comp_ms: f64,
+    /// Samples aggregated.
+    pub samples: usize,
+}
+
+impl CellRecord {
+    /// Assemble a record from a measured cell.
+    pub fn from_cell(
+        experiment: &str,
+        algorithm: &str,
+        d: usize,
+        msg_bytes: u32,
+        cell: &CellResult,
+    ) -> Self {
+        CellRecord {
+            experiment: experiment.to_string(),
+            algorithm: algorithm.to_string(),
+            d,
+            msg_bytes,
+            comm_ms: cell.comm_ms,
+            phases: cell.phases,
+            comp_ms: cell.comp_ms,
+            samples: cell.samples,
+        }
+    }
+}
+
+/// Write records as CSV (with header).
+///
+/// # Errors
+///
+/// I/O errors from the filesystem.
+pub fn write_csv(path: &Path, records: &[CellRecord]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        out,
+        "experiment,algorithm,d,msg_bytes,comm_ms,phases,comp_ms,samples"
+    )?;
+    for r in records {
+        writeln!(
+            out,
+            "{},{},{},{},{:.4},{:.2},{:.4},{}",
+            r.experiment, r.algorithm, r.d, r.msg_bytes, r.comm_ms, r.phases, r.comp_ms, r.samples
+        )?;
+    }
+    out.flush()
+}
+
+/// Write records as pretty JSON.
+///
+/// # Errors
+///
+/// I/O or serialization errors.
+pub fn write_json(path: &Path, records: &[CellRecord]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let json = serde_json::to_string_pretty(records)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> CellRecord {
+        CellRecord {
+            experiment: "table1".into(),
+            algorithm: "RS_NL".into(),
+            d: 8,
+            msg_bytes: 1024,
+            comm_ms: 13.16,
+            phases: 11.92,
+            comp_ms: 13.56,
+            samples: 50,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("ipsc_sched_test_csv");
+        let path = dir.join("out.csv");
+        write_csv(&path, &[record()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("experiment,algorithm"));
+        let row = lines.next().unwrap();
+        assert!(row.contains("RS_NL"));
+        assert!(row.contains("1024"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("ipsc_sched_test_json");
+        let path = dir.join("out.json");
+        write_json(&path, &[record()]).unwrap();
+        let parsed: Vec<CellRecord> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].algorithm, "RS_NL");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,58 @@
+use commsched::SchedulerKind;
+use serde::{Deserialize, Serialize};
+
+/// The two communication schemes evaluated in Section 6 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Loose synchrony: for every phased message the receiver posts its
+    /// application buffer and sends a 0-byte **ready** signal; the sender
+    /// transmits only after the signal, so data always lands directly in
+    /// the application buffer (no system-buffer copy). Reciprocal pairs of
+    /// a phase are fused into concurrent pairwise exchanges — the iPSC/860
+    /// feature LP and RS_NL exploit.
+    S1,
+    /// Post-everything-then-blast: every node posts all of its receive
+    /// buffers up front, issues all of its sends asynchronously in schedule
+    /// order, and finally confirms all arrivals. No per-message handshake,
+    /// no exchange fusion; the schedule contributes ordering only.
+    S2,
+}
+
+impl Scheme {
+    /// The scheme each algorithm used for the paper's reported numbers:
+    /// S1 where the algorithm exploits pairwise bidirectional exchange
+    /// (LP, RS_NL), S2 otherwise (AC, RS_N).
+    pub fn paper_default(kind: SchedulerKind) -> Scheme {
+        match kind {
+            SchedulerKind::Lp | SchedulerKind::RsNl => Scheme::S1,
+            SchedulerKind::Ac | SchedulerKind::RsN => Scheme::S2,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::S1 => "S1",
+            Scheme::S2 => "S2",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section6() {
+        assert_eq!(Scheme::paper_default(SchedulerKind::Ac), Scheme::S2);
+        assert_eq!(Scheme::paper_default(SchedulerKind::Lp), Scheme::S1);
+        assert_eq!(Scheme::paper_default(SchedulerKind::RsN), Scheme::S2);
+        assert_eq!(Scheme::paper_default(SchedulerKind::RsNl), Scheme::S1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scheme::S1.label(), "S1");
+        assert_eq!(Scheme::S2.label(), "S2");
+    }
+}

@@ -1,0 +1,89 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of an in-flight transfer (index into the simulator's slab).
+pub(crate) type TransferId = usize;
+
+/// What happens when an event fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EvKind {
+    /// Resume a node's program.
+    Resume(usize),
+    /// A transfer's data movement finished.
+    XferDone(TransferId),
+    /// A hold-and-wait transfer attempts its next claim step.
+    XferAdvance(TransferId),
+}
+
+/// Deterministic time-ordered event queue.
+///
+/// Ties at equal timestamps break on a monotonically increasing sequence
+/// number, so simulation outcomes are a pure function of the inputs.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, EvKind)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, time: u64, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse((time, self.seq, kind)));
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(u64, EvKind)> {
+        self.heap.pop().map(|Reverse((t, _, k))| (t, k))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, EvKind::Resume(0));
+        q.push(10, EvKind::Resume(1));
+        q.push(20, EvKind::Resume(2));
+        assert_eq!(q.pop(), Some((10, EvKind::Resume(1))));
+        assert_eq!(q.pop(), Some((20, EvKind::Resume(2))));
+        assert_eq!(q.pop(), Some((30, EvKind::Resume(0))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(42, EvKind::Resume(i));
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, EvKind::Resume(i))));
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, EvKind::XferDone(7));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

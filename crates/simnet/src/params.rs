@@ -1,0 +1,211 @@
+use serde::{Deserialize, Serialize};
+
+/// How a transfer acquires the resources of its circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClaimPolicy {
+    /// The transfer starts only when *all* of its resources (engines, every
+    /// link of the route, delivery capacity) are simultaneously free.
+    /// Waiting transfers hold nothing, so the policy is deadlock-free with
+    /// unbounded buffers. Pending transfers are retried oldest-first.
+    Atomic,
+    /// Incremental claiming in route order with hold-and-wait: the circuit
+    /// probe holds every link acquired so far while queueing (FIFO) for the
+    /// next one — the way real circuit-switched e-cube hardware behaves.
+    /// Produces head-of-line blocking and tree saturation under load.
+    /// Requires [`PortModel::Split`].
+    HoldAndWait,
+}
+
+/// How a node's communication hardware is shared between its outgoing and
+/// incoming transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortModel {
+    /// One engine per node: any two transfers touching the node serialize,
+    /// *except* a synchronized pairwise exchange, which is fused and costs a
+    /// single occupancy. This is the paper's Observation 1 and the default.
+    Unified,
+    /// Separate send and receive ports: a node's send overlaps its receive
+    /// freely (optimistic hardware; used in ablations and required by
+    /// [`ClaimPolicy::HoldAndWait`]).
+    Split,
+}
+
+/// Timing and protocol constants of the simulated machine.
+///
+/// Defaults ([`MachineParams::ipsc860`]) are calibrated from the published
+/// iPSC/860 measurements the paper cites (Bokhari, ICASE reports 90/91):
+/// roughly 75 us end-to-end latency for short messages, ~160 us startup plus
+/// ~0.36 us/byte (2.8 MB/s) for long messages, and a protocol switch at
+/// 100 bytes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Messages of at most this many bytes use the short-message protocol.
+    pub protocol_threshold_bytes: u32,
+    /// Fixed cost of a short-message transfer (ns).
+    pub short_startup_ns: u64,
+    /// Per-byte cost under the short protocol (ns/byte).
+    pub short_per_byte_ns: f64,
+    /// Fixed cost of a long-message transfer (ns).
+    pub long_startup_ns: u64,
+    /// Per-byte cost under the long protocol (ns/byte); the inverse of the
+    /// link bandwidth.
+    pub long_per_byte_ns: f64,
+    /// Circuit-establishment cost per hop of the route (ns).
+    pub hop_ns: u64,
+    /// Software cost for posting a receive buffer (ns, on the node program).
+    pub recv_post_ns: u64,
+    /// Software cost for initiating a send (ns, on the node program).
+    pub send_overhead_ns: u64,
+    /// Cost per byte of copying a system-buffered message into the
+    /// application buffer (ns/byte). The paper stresses this is expensive
+    /// enough that schedulers should avoid it (S1 exists for this reason).
+    pub copy_per_byte_ns: f64,
+    /// Extra synchronization cost of a fused pairwise exchange (ns);
+    /// physically the 0-byte "pairwise synchronization" round.
+    pub exchange_sync_ns: u64,
+    /// System buffer capacity per node for unposted arrivals; `None` means
+    /// unbounded. Small values reproduce the blocking/deadlock hazard of
+    /// asynchronous communication (paper Section 3).
+    pub buffer_bytes: Option<u64>,
+    /// Resource acquisition policy.
+    pub claim: ClaimPolicy,
+    /// Node port sharing model.
+    pub ports: PortModel,
+}
+
+impl MachineParams {
+    /// Calibration for the 64-node CalTech iPSC/860 of the paper.
+    pub fn ipsc860() -> Self {
+        MachineParams {
+            protocol_threshold_bytes: 100,
+            short_startup_ns: 75_000,
+            short_per_byte_ns: 20.0,
+            long_startup_ns: 160_000,
+            long_per_byte_ns: 357.0, // 2.8 MB/s
+            hop_ns: 10_000,
+            recv_post_ns: 10_000,
+            send_overhead_ns: 15_000,
+            copy_per_byte_ns: 400.0, // copying is slower than the wire
+            exchange_sync_ns: 75_000,
+            buffer_bytes: None,
+            claim: ClaimPolicy::Atomic,
+            ports: PortModel::Unified,
+        }
+    }
+
+    /// The hardware-ish ablation configuration: split ports and
+    /// hold-and-wait circuit establishment.
+    pub fn ipsc860_hold_and_wait() -> Self {
+        MachineParams {
+            claim: ClaimPolicy::HoldAndWait,
+            ports: PortModel::Split,
+            ..Self::ipsc860()
+        }
+    }
+
+    /// Wire time of a `bytes`-byte message, excluding per-hop circuit setup.
+    #[inline]
+    pub fn wire_ns(&self, bytes: u32) -> u64 {
+        if bytes <= self.protocol_threshold_bytes {
+            self.short_startup_ns + (bytes as f64 * self.short_per_byte_ns) as u64
+        } else {
+            self.long_startup_ns + (bytes as f64 * self.long_per_byte_ns) as u64
+        }
+    }
+
+    /// Full transfer time over a route of `hops` links.
+    #[inline]
+    pub fn transfer_ns(&self, bytes: u32, hops: usize) -> u64 {
+        self.wire_ns(bytes) + self.hop_ns * hops.saturating_sub(1) as u64
+    }
+
+    /// Application-buffer copy time for a system-buffered arrival.
+    #[inline]
+    pub fn copy_ns(&self, bytes: u32) -> u64 {
+        (bytes as f64 * self.copy_per_byte_ns) as u64
+    }
+
+    /// Validate parameter consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found, e.g.
+    /// hold-and-wait claiming combined with a unified port (which would
+    /// deadlock two nodes sending to each other).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.claim == ClaimPolicy::HoldAndWait && self.ports == PortModel::Unified {
+            return Err(
+                "HoldAndWait claiming requires PortModel::Split (a unified engine would \
+                 deadlock on reciprocal sends)"
+                    .into(),
+            );
+        }
+        if self.long_per_byte_ns < 0.0 || self.short_per_byte_ns < 0.0 || self.copy_per_byte_ns < 0.0
+        {
+            return Err("per-byte costs must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        Self::ipsc860()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_long_protocol_switch() {
+        let p = MachineParams::ipsc860();
+        let at_threshold = p.wire_ns(100);
+        let above = p.wire_ns(101);
+        // Crossing the threshold jumps the startup cost — the cliff in the
+        // paper's overhead figures.
+        assert!(above > at_threshold + 50_000);
+    }
+
+    #[test]
+    fn long_messages_cost_bandwidth() {
+        let p = MachineParams::ipsc860();
+        let m128k = p.wire_ns(128 * 1024);
+        // 128 KiB at 2.8 MB/s is about 46.8 ms.
+        assert!((40_000_000..55_000_000).contains(&m128k), "{m128k}");
+    }
+
+    #[test]
+    fn hops_add_setup_cost() {
+        let p = MachineParams::ipsc860();
+        assert_eq!(
+            p.transfer_ns(1024, 3) - p.transfer_ns(1024, 1),
+            2 * p.hop_ns
+        );
+        // One hop and zero hops cost the same (startup includes first hop).
+        assert_eq!(p.transfer_ns(1024, 1), p.wire_ns(1024));
+    }
+
+    #[test]
+    fn default_is_valid() {
+        MachineParams::ipsc860().validate().unwrap();
+        MachineParams::ipsc860_hold_and_wait().validate().unwrap();
+    }
+
+    #[test]
+    fn hold_and_wait_needs_split_ports() {
+        let p = MachineParams {
+            claim: ClaimPolicy::HoldAndWait,
+            ports: PortModel::Unified,
+            ..MachineParams::ipsc860()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn copy_is_expensive() {
+        let p = MachineParams::ipsc860();
+        assert!(p.copy_ns(4096) as f64 > 4096.0 * p.long_per_byte_ns);
+    }
+}

@@ -1,0 +1,60 @@
+use hypercube::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::Tag;
+
+/// What a trace record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A transfer was requested (entered the pending set).
+    Requested,
+    /// A transfer acquired its circuit and started moving data.
+    Started,
+    /// A transfer finished and released its circuit.
+    Finished,
+    /// A message was parked in the receiver's system buffer.
+    Buffered,
+    /// A buffered message was copied into its application buffer.
+    Copied,
+    /// A node's program completed.
+    NodeDone,
+}
+
+/// One record of the optional execution trace (see
+/// [`crate::simulate_traced`]); used by diagnostics and the contention
+/// visualization example.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time (ns).
+    pub time_ns: u64,
+    /// Record type.
+    pub kind: TraceKind,
+    /// Source node of the transfer (or the node itself for `NodeDone`).
+    pub src: NodeId,
+    /// Destination node (same as `src` for `NodeDone`).
+    pub dst: NodeId,
+    /// Message tag (Tag(0) for `NodeDone`).
+    pub tag: Tag,
+    /// Message size in bytes (0 for `NodeDone`).
+    pub bytes: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_event_debug_and_clone() {
+        let ev = TraceEvent {
+            time_ns: 42,
+            kind: TraceKind::Started,
+            src: NodeId(1),
+            dst: NodeId(2),
+            tag: Tag(7),
+            bytes: 128,
+        };
+        let copy = ev.clone();
+        assert_eq!(copy.kind, TraceKind::Started);
+        assert!(format!("{ev:?}").contains("Started"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Workload generators for unstructured-communication experiments.
+//!
+//! The paper's test set is "50 randomly generated samples for each density
+//! `d`" with uniform message sizes on 64 nodes ([`random_dense`] +
+//! [`SampleSet`]). Beyond that, this crate generates the structured
+//! permutations classically used on hypercubes ([`structured`]) and the
+//! irregular application-like patterns (PARTI/CHAOS lineage) that motivate
+//! the paper: partitioned-mesh halo exchanges, hot-spots, and skewed
+//! power-law traffic ([`irregular`]).
+//!
+//! All generators are deterministic functions of their seed.
+
+#![forbid(unsafe_code)]
+
+pub mod collective;
+pub mod irregular;
+mod random;
+mod samples;
+pub mod structured;
+
+pub use random::{random_dense, random_dregular, random_nonuniform};
+pub use samples::SampleSet;

@@ -1,0 +1,97 @@
+use commsched::CommMatrix;
+
+/// The paper's experimental test set: `count` independently seeded samples
+/// of one workload configuration ("the test set used in the experiments
+/// contains 50 randomly generated samples for each density d").
+///
+/// Sample `k` of a set with base seed `s` uses seed `s * 1000 + k`, so sets
+/// with different base seeds never share samples.
+#[derive(Clone, Debug)]
+pub struct SampleSet {
+    base_seed: u64,
+    count: usize,
+}
+
+impl SampleSet {
+    /// The paper's default: 50 samples.
+    pub fn paper(base_seed: u64) -> Self {
+        Self::new(base_seed, 50)
+    }
+
+    /// A set of `count` samples derived from `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(base_seed: u64, count: usize) -> Self {
+        assert!(count > 0, "a sample set needs at least one sample");
+        SampleSet { base_seed, count }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The seed of sample `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn seed(&self, k: usize) -> u64 {
+        assert!(k < self.count, "sample {k} out of {}", self.count);
+        self.base_seed * 1000 + k as u64
+    }
+
+    /// All seeds of the set.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count).map(|k| self.seed(k))
+    }
+
+    /// Generate every sample through `f`.
+    pub fn generate(&self, f: impl Fn(u64) -> CommMatrix) -> Vec<CommMatrix> {
+        self.seeds().map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_dense;
+
+    #[test]
+    fn paper_set_has_fifty_samples() {
+        let s = SampleSet::paper(1);
+        assert_eq!(s.len(), 50);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn seeds_are_distinct_within_and_across_sets() {
+        let a = SampleSet::new(1, 50);
+        let b = SampleSet::new(2, 50);
+        let mut all: Vec<u64> = a.seeds().chain(b.seeds()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn generate_produces_distinct_matrices() {
+        let set = SampleSet::new(3, 5);
+        let mats = set.generate(|seed| random_dense(16, 3, 64, seed));
+        assert_eq!(mats.len(), 5);
+        assert_ne!(mats[0], mats[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn seed_bounds_checked() {
+        SampleSet::new(1, 3).seed(3);
+    }
+}

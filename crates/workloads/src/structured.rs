@@ -1,0 +1,182 @@
+//! Structured (regular) communication patterns classically studied on
+//! hypercubes; useful as baselines and stress cases for the schedulers.
+
+use commsched::CommMatrix;
+use hypercube::perm;
+
+/// Matrix transpose: node `i` of an implicit `sqrt(n) x sqrt(n)` grid sends
+/// to its transposed peer.
+///
+/// # Panics
+///
+/// Panics unless `n` is a perfect square or `bytes == 0`.
+pub fn transpose(n: usize, bytes: u32) -> CommMatrix {
+    let side = (n as f64).sqrt() as usize;
+    assert_eq!(side * side, n, "transpose needs a square node count");
+    assert!(bytes > 0);
+    let mut com = CommMatrix::new(n);
+    for r in 0..side {
+        for c in 0..side {
+            let src = r * side + c;
+            let dst = c * side + r;
+            if src != dst {
+                com.set(src, dst, bytes);
+            }
+        }
+    }
+    com
+}
+
+/// Cyclic shift by `k`: node `i` sends to `(i + k) mod n`.
+///
+/// # Panics
+///
+/// Panics if `k % n == 0` (that would be a self-send) or `bytes == 0`.
+pub fn shift(n: usize, k: usize, bytes: u32) -> CommMatrix {
+    assert!(!k.is_multiple_of(n), "shift by a multiple of n is a self-send");
+    assert!(bytes > 0);
+    let mut com = CommMatrix::new(n);
+    for i in 0..n {
+        com.set(i, (i + k) % n, bytes);
+    }
+    com
+}
+
+/// Bit-reverse permutation traffic — a known worst case for e-cube routing
+/// (heavy link contention when launched all at once).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two.
+pub fn bit_reverse(n: usize, bytes: u32) -> CommMatrix {
+    assert!(bytes > 0);
+    let dests = perm::bit_reverse(n);
+    let mut com = CommMatrix::new(n);
+    for (i, d) in dests.iter().enumerate() {
+        if i != d.index() {
+            com.set(i, d.index(), bytes);
+        }
+    }
+    com
+}
+
+/// Bit-complement permutation — the classic link-contention-free hypercube
+/// permutation (every message crosses all dimensions).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two.
+pub fn bit_complement(n: usize, bytes: u32) -> CommMatrix {
+    assert!(bytes > 0);
+    let dests = perm::bit_complement(n);
+    let mut com = CommMatrix::new(n);
+    for (i, d) in dests.iter().enumerate() {
+        com.set(i, d.index(), bytes);
+    }
+    com
+}
+
+/// Complete exchange (all-to-all personalized): everyone messages everyone.
+/// Density `n - 1` — the heaviest pattern, where LP shines.
+pub fn all_to_all(n: usize, bytes: u32) -> CommMatrix {
+    assert!(bytes > 0);
+    let mut com = CommMatrix::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                com.set(i, j, bytes);
+            }
+        }
+    }
+    com
+}
+
+/// Symmetric ring halo: node `i` exchanges with `i±1 .. i±w` (mod n) —
+/// density `2w`, fully pairable into exchanges.
+///
+/// # Panics
+///
+/// Panics if `2 * w >= n` or `bytes == 0`.
+pub fn ring_halo(n: usize, w: usize, bytes: u32) -> CommMatrix {
+    assert!(2 * w < n, "halo width {w} too large for {n} nodes");
+    assert!(bytes > 0);
+    let mut com = CommMatrix::new(n);
+    for i in 0..n {
+        for k in 1..=w {
+            com.set(i, (i + k) % n, bytes);
+            com.set(i, (i + n - k) % n, bytes);
+        }
+    }
+    com
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_is_an_involution_pattern() {
+        let com = transpose(16, 64);
+        for (s, d, _) in com.messages() {
+            assert!(com.get(d.index(), s.index()) > 0);
+        }
+        // Grid-diagonal blocks ((r, r) positions, e.g. nodes 0 and 5 on the
+        // 4x4 grid) send nothing; off-diagonal blocks send exactly once.
+        assert_eq!(com.out_degree(0), 0);
+        assert_eq!(com.out_degree(5), 0);
+        assert_eq!(com.out_degree(1), 1);
+        assert!(com.is_symmetric_pattern());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn transpose_rejects_non_square() {
+        transpose(12, 64);
+    }
+
+    #[test]
+    fn shift_density_one() {
+        let com = shift(64, 7, 128);
+        assert_eq!(com.density(), 1);
+        assert_eq!(com.message_count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn shift_rejects_zero() {
+        shift(8, 8, 1);
+    }
+
+    #[test]
+    fn bit_patterns_are_permutations() {
+        for com in [bit_reverse(32, 8), bit_complement(32, 8)] {
+            for j in 0..32 {
+                assert!(com.in_degree(j) <= 1);
+            }
+            assert_eq!(com.density(), 1);
+        }
+        // Bit reverse fixes palindromic addresses; complement fixes none.
+        assert_eq!(bit_complement(32, 8).message_count(), 32);
+        assert!(bit_reverse(32, 8).message_count() < 32);
+    }
+
+    #[test]
+    fn all_to_all_density() {
+        let com = all_to_all(16, 4);
+        assert_eq!(com.density(), 15);
+        assert_eq!(com.message_count(), 16 * 15);
+    }
+
+    #[test]
+    fn ring_halo_is_symmetric_with_density_2w() {
+        let com = ring_halo(64, 3, 256);
+        assert!(com.is_symmetric_pattern());
+        assert_eq!(com.density(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn ring_halo_width_bound() {
+        ring_halo(8, 4, 1);
+    }
+}

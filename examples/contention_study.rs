@@ -1,0 +1,74 @@
+//! Anatomy of contention: traces one hot-spot workload under AC, RS_N and
+//! RS_NL and shows where time goes — blocked circuits, buffered bytes,
+//! link utilization — the quantities the paper's scheduling algorithms
+//! exist to control.
+//!
+//! Run: `cargo run --release --example contention_study`
+
+use commrt::run_schedule_traced;
+use ipsc_sched::prelude::*;
+use simnet::TraceKind;
+
+fn main() {
+    let cube = Hypercube::new(6);
+    let params = MachineParams::ipsc860();
+
+    // Hot-spot traffic: everyone must deliver to 2 popular nodes plus 6
+    // random peers — the adversarial case for unscheduled communication.
+    let com = workloads::irregular::hotspot(64, 2, 6, 16_384, 5);
+    println!(
+        "hot-spot pattern: density = {} (in-degree at the hot nodes), {} messages\n",
+        com.density(),
+        com.message_count()
+    );
+
+    println!(
+        "{:<6} {:>10} {:>9} {:>12} {:>12} {:>10}",
+        "alg", "comm (ms)", "blocked", "blocked (ms)", "buffered (KB)", "link util"
+    );
+    for kind in [SchedulerKind::Ac, SchedulerKind::RsN, SchedulerKind::RsNl] {
+        let schedule = match kind {
+            SchedulerKind::Ac => ac(&com),
+            SchedulerKind::RsN => rs_n(&com, 9),
+            SchedulerKind::RsNl => rs_nl(&com, &cube, 9),
+            SchedulerKind::Lp => unreachable!(),
+        };
+        let (report, trace) = run_schedule_traced(
+            &cube,
+            &params,
+            &com,
+            &schedule,
+            Scheme::paper_default(kind),
+        )
+        .expect("simulation runs");
+        let buffered: u64 = report.stats.nodes.iter().map(|s| s.buffered_bytes).sum();
+        println!(
+            "{:<6} {:>10.2} {:>9} {:>12.2} {:>12.1} {:>9.1}%",
+            kind.label(),
+            report.makespan_ms(),
+            report.stats.transfers_blocked,
+            report.stats.blocked_ns_total as f64 / 1e6,
+            buffered as f64 / 1024.0,
+            100.0 * report.mean_link_utilization(hypercube::Topology::link_count(&cube)),
+        );
+        // Show the first moments of the run from the trace: how long until
+        // the first 16 transfers get going?
+        let mut starts: Vec<u64> = trace
+            .iter()
+            .filter(|e| e.kind == TraceKind::Started)
+            .map(|e| e.time_ns)
+            .collect();
+        starts.sort_unstable();
+        if starts.len() >= 16 {
+            println!(
+                "         first transfer at {:.2} ms, 16th at {:.2} ms",
+                starts[0] as f64 / 1e6,
+                starts[15] as f64 / 1e6
+            );
+        }
+    }
+
+    println!("\nReading: AC piles blocked circuits onto the hot receivers; RS_N spreads");
+    println!("them across phases (node contention gone); RS_NL additionally keeps every");
+    println!("phase link-disjoint, so blocking falls to protocol-level waits only.");
+}

@@ -1,0 +1,51 @@
+//! # ipsc-sched
+//!
+//! Scheduling of unstructured (all-to-many personalized) communication on a
+//! circuit-switched hypercube — a faithful reproduction of
+//! *Wang & Ranka, "Scheduling of Unstructured Communication on the Intel
+//! iPSC/860" (1994)* as a Rust workspace.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`hypercube`] — topologies and deterministic routing (e-cube, XY).
+//! * [`simnet`] — a discrete-event simulator of the iPSC/860's
+//!   circuit-switched network (the hardware substitute).
+//! * [`commsched`] — the paper's contribution: decomposing a communication
+//!   matrix into contention-free partial permutations (AC, LP, RS_N, RS_NL).
+//! * [`workloads`] — generators for the paper's random test sets and richer
+//!   irregular patterns.
+//! * [`commrt`] — the runtime layer: compiles schedules + protocols (S1/S2)
+//!   into per-node programs and runs experiments.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use ipsc_sched::prelude::*;
+//!
+//! let cube = Hypercube::new(6);                      // 64 nodes
+//! let com = workloads::random_dense(64, 8, 1024, 42); // d=8, 1 KiB messages
+//! let schedule = rs_nl(&com, &cube, 7);              // avoid node+link contention
+//! let report = run_schedule(&cube, &MachineParams::ipsc860(), &com, &schedule, Scheme::S1)
+//!     .expect("simulation succeeds");
+//! println!("communication cost: {:.2} ms", report.makespan_ms());
+//! ```
+
+pub use commrt;
+pub use commsched;
+pub use hypercube;
+pub use simnet;
+pub use workloads;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use commrt::{run_schedule, ExperimentRunner, Scheme};
+    pub use commsched::{
+        ac, greedy, lp, rs_n, rs_nl, validate_schedule, CommMatrix, Schedule, ScheduleQuality,
+        SchedulerKind,
+    };
+    pub use hypercube::{Hypercube, Mesh2d, NodeId, Topology};
+    pub use simnet::{simulate, MachineParams, SimReport};
+    pub use workloads;
+}

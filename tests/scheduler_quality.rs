@@ -1,0 +1,82 @@
+//! Cross-scheduler quality comparisons using `commsched::ScheduleQuality` —
+//! the structural explanations behind Table 1's time differences.
+
+use commsched::{greedy, ScheduleQuality};
+use ipsc_sched::prelude::*;
+
+#[test]
+fn lp_trades_fill_for_pairing() {
+    // On symmetric traffic LP pairs 100% of messages but wastes phases at
+    // low density; RS_N fills phases densely but pairs almost nothing.
+    let cube = Hypercube::new(6);
+    let com = workloads::structured::ring_halo(64, 2, 1024); // d = 4
+    let lp_q = ScheduleQuality::measure(&lp(&com), &cube);
+    let rs_q = ScheduleQuality::measure(&rs_n(&com, 1), &cube);
+    assert_eq!(lp_q.phases, 63);
+    assert!(lp_q.pairing_rate > 0.99);
+    assert!(lp_q.mean_fill < 0.1, "LP mostly idles at d=4: {}", lp_q.mean_fill);
+    assert!(rs_q.phases <= 8);
+    assert!(rs_q.mean_fill > 0.5, "RS_N packs phases: {}", rs_q.mean_fill);
+}
+
+#[test]
+fn rs_nl_pairs_far_more_than_rs_n_on_symmetric_traffic() {
+    let cube = Hypercube::new(6);
+    let com = workloads::irregular::grid_halo(8, 8, 2048, 512);
+    let rs = ScheduleQuality::measure(&rs_n(&com, 2), &cube);
+    let nl = ScheduleQuality::measure(&rs_nl(&com, &cube, 2), &cube);
+    assert!(
+        nl.pairing_rate > 3.0 * rs.pairing_rate.max(0.01),
+        "RS_NL {} vs RS_N {}",
+        nl.pairing_rate,
+        rs.pairing_rate
+    );
+    assert_eq!(nl.link_free_phases, nl.phases);
+    assert!(rs.link_free_phases < rs.phases || rs.phases <= 2);
+}
+
+#[test]
+fn greedy_handles_skew_better_than_random_sweep() {
+    // On power-law traffic the greedy busiest-first heuristic should use no
+    // more phases than RS_N (averaged over several instances).
+    let mut greedy_total = 0usize;
+    let mut rs_total = 0usize;
+    for seed in 0..8 {
+        let com = workloads::irregular::powerlaw(64, 24, 1.1, 512, seed);
+        greedy_total += greedy(&com).num_phases();
+        rs_total += rs_n(&com, seed).num_phases();
+    }
+    assert!(
+        greedy_total <= rs_total + 2,
+        "greedy {greedy_total} vs rs_n {rs_total} phases over 8 instances"
+    );
+}
+
+#[test]
+fn mean_hops_matches_expectation_on_random_traffic() {
+    // Random destinations on a 6-cube average 3 hops (n/2 bits differ);
+    // Gray-embedded halos average exactly 1.
+    let cube = Hypercube::new(6);
+    let random = workloads::random_dregular(64, 8, 256, 3);
+    let q = ScheduleQuality::measure(&rs_n(&random, 3), &cube);
+    assert!((2.5..3.5).contains(&q.mean_hops), "{}", q.mean_hops);
+    let embedded = workloads::collective::embedded_grid_halo(3, 3, 256);
+    let q2 = ScheduleQuality::measure(&rs_n(&embedded, 3), &cube);
+    assert!((q2.mean_hops - 1.0).abs() < 1e-9, "{}", q2.mean_hops);
+}
+
+#[test]
+fn butterfly_traffic_is_the_schedulers_best_case() {
+    // The union of all FFT stages is a d=log2(n) pattern that decomposes
+    // perfectly: RS_NL should find a near-minimal, fully link-free,
+    // highly-paired schedule.
+    let cube = Hypercube::new(6);
+    let com = workloads::collective::butterfly_all_stages(64, 4096);
+    let s = rs_nl(&com, &cube, 9);
+    validate_schedule(&com, &s).unwrap();
+    let q = ScheduleQuality::measure(&s, &cube);
+    assert!(q.phases <= 6 + 4, "butterfly needs ~log2(n) phases: {}", q.phases);
+    assert_eq!(q.link_free_phases, q.phases);
+    assert!(q.pairing_rate > 0.8, "butterfly pairs perfectly: {}", q.pairing_rate);
+    assert!((q.mean_hops - 1.0).abs() < 1e-9);
+}
