@@ -37,7 +37,13 @@ fn main() {
                 ..RsOptions::default()
             };
             let cell = runner
-                .run_cell(&cube, &set, &gen, &|com, seed| rs_n_with(com, seed, opts), Scheme::S2)
+                .run_cell(
+                    &cube,
+                    &set,
+                    &gen,
+                    &|com, seed| rs_n_with(com, seed, opts),
+                    Scheme::S2,
+                )
                 .expect("cell");
             println!(
                 "  {label:<20} phases = {:>6.2}   comm = {:>7.2} ms",
@@ -128,7 +134,10 @@ fn main() {
         for (label, params) in [
             ("unified + atomic (default)", default),
             ("split   + atomic          ", split_atomic),
-            ("split   + hold-and-wait   ", MachineParams::ipsc860_hold_and_wait()),
+            (
+                "split   + hold-and-wait   ",
+                MachineParams::ipsc860_hold_and_wait(),
+            ),
         ] {
             let runner = ExperimentRunner {
                 params,
@@ -149,7 +158,9 @@ fn main() {
         println!("   engine; hold-and-wait then adds back tree-saturation blocking)\n");
     }
 
-    println!("=== Ablation 5: AC without pre-posted receives (send-detect-receive, d=8, 16 KB) ===");
+    println!(
+        "=== Ablation 5: AC without pre-posted receives (send-detect-receive, d=8, 16 KB) ==="
+    );
     {
         // With pre-posted receives (Figure 1) buffers are never touched; the
         // paper's Section 3 hazard appears in the send-detect-receive

@@ -38,7 +38,12 @@ pub fn sample_count() -> usize {
 }
 
 /// Produce the schedule of `kind` for `com` (seeded where randomized).
-pub fn schedule_for(kind: SchedulerKind, com: &CommMatrix, cube: &Hypercube, seed: u64) -> Schedule {
+pub fn schedule_for(
+    kind: SchedulerKind,
+    com: &CommMatrix,
+    cube: &Hypercube,
+    seed: u64,
+) -> Schedule {
     match kind {
         SchedulerKind::Ac => ac(com),
         SchedulerKind::Lp => lp(com),

@@ -267,7 +267,10 @@ mod tests {
     fn deterministic_per_seed() {
         let cube = Hypercube::new(5);
         let com = shift_pattern(32, 6, 100);
-        assert_eq!(rs_nl(&com, &cube, 3).phases(), rs_nl(&com, &cube, 3).phases());
+        assert_eq!(
+            rs_nl(&com, &cube, 3).phases(),
+            rs_nl(&com, &cube, 3).phases()
+        );
     }
 
     #[test]

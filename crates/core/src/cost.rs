@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::Schedule;
 
 /// Converts abstract scheduler operation counts into simulated scheduling
@@ -22,7 +20,7 @@ use crate::Schedule;
 /// Real wall-clock scheduling throughput on the host machine is measured
 /// separately by the Criterion benches; this model is only for reproducing
 /// the paper's overhead ratios.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct I860CostModel {
     /// Simulated nanoseconds per abstract scheduling operation.
     pub ns_per_op: f64,

@@ -1,5 +1,4 @@
 use hypercube::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// The communication matrix `COM`.
 ///
@@ -7,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// `j`. The diagonal is forbidden (a node does not message itself through
 /// the network). Row `i` is node `i`'s *send vector*; column `i` is its
 /// *receive vector* (Section 2 of the paper).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CommMatrix {
     n: usize,
     /// Row-major `n * n` byte counts; 0 = no message.
@@ -124,9 +123,7 @@ impl CommMatrix {
     /// Whether the pattern is symmetric (`COM(i,j) > 0` iff `COM(j,i) > 0`);
     /// symmetric patterns let LP pair every message into an exchange.
     pub fn is_symmetric_pattern(&self) -> bool {
-        (0..self.n).all(|i| {
-            (0..self.n).all(|j| (self.get(i, j) > 0) == (self.get(j, i) > 0))
-        })
+        (0..self.n).all(|i| (0..self.n).all(|j| (self.get(i, j) > 0) == (self.get(j, i) > 0)))
     }
 }
 

@@ -1,5 +1,4 @@
 use hypercube::{NodeId, Topology};
-use serde::{Deserialize, Serialize};
 
 /// One communication phase: a **partial permutation** `pm` with
 /// `pm[i] = Some(j)` meaning node `i` sends its pending message to node `j`
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// The defining property (Section 2) is injectivity: no two senders target
 /// the same receiver, so every node sends at most one and receives at most
 /// one message — no *node contention*.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PartialPermutation {
     dests: Vec<Option<NodeId>>,
 }
@@ -146,12 +145,7 @@ mod tests {
     #[test]
     fn node_contention_detected() {
         // Two senders, one receiver: NOT a partial permutation.
-        let pm = PartialPermutation::from_dests(vec![
-            Some(NodeId(2)),
-            Some(NodeId(2)),
-            None,
-            None,
-        ]);
+        let pm = PartialPermutation::from_dests(vec![Some(NodeId(2)), Some(NodeId(2)), None, None]);
         assert!(!pm.is_partial_permutation());
     }
 

@@ -1,10 +1,9 @@
 use hypercube::Topology;
-use serde::{Deserialize, Serialize};
 
 use crate::PartialPermutation;
 
 /// Which algorithm produced a schedule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// Asynchronous communication (Section 3): no schedule.
     Ac,
@@ -39,7 +38,7 @@ impl SchedulerKind {
 }
 
 /// How the runtime should interpret a [`Schedule`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScheduleKind {
     /// No phases: every node posts its receives and blasts its sends
     /// (asynchronous communication).
@@ -50,7 +49,7 @@ pub enum ScheduleKind {
 
 /// A communication schedule: the decomposition of a [`crate::CommMatrix`]
 /// into ordered communication phases, plus cost accounting.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Schedule {
     kind: ScheduleKind,
     algorithm: SchedulerKind,
@@ -155,10 +154,7 @@ mod tests {
 
     #[test]
     fn counts() {
-        let phases = vec![
-            phase(4, &[(0, 1), (1, 0), (2, 3)]),
-            phase(4, &[(3, 2)]),
-        ];
+        let phases = vec![phase(4, &[(0, 1), (1, 0), (2, 3)]), phase(4, &[(3, 2)])];
         let s = Schedule::new(ScheduleKind::Phased, SchedulerKind::RsN, 4, phases, 100, 10);
         assert_eq!(s.num_phases(), 2);
         assert_eq!(s.message_count(), 4);

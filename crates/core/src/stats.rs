@@ -4,12 +4,11 @@
 //! low density, while RS_N's are dense but unpaired.
 
 use hypercube::Topology;
-use serde::{Deserialize, Serialize};
 
 use crate::{CommMatrix, Schedule};
 
 /// Aggregate quality metrics of a phased schedule.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScheduleQuality {
     /// Number of phases.
     pub phases: usize,

@@ -54,7 +54,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "phase {phase} is not a partial permutation")
             }
             ValidationError::UnknownMessage { phase, src, dst } => {
-                write!(f, "phase {phase} schedules {src}->{dst} which is not in COM")
+                write!(
+                    f,
+                    "phase {phase} schedules {src}->{dst} which is not in COM"
+                )
             }
             ValidationError::DuplicateMessage { src, dst } => {
                 write!(f, "message {src}->{dst} scheduled more than once")
@@ -186,11 +189,7 @@ mod tests {
 
     #[test]
     fn rejects_node_contention() {
-        let pm = PartialPermutation::from_dests(vec![
-            Some(NodeId(2)),
-            Some(NodeId(2)),
-            None,
-        ]);
+        let pm = PartialPermutation::from_dests(vec![Some(NodeId(2)), Some(NodeId(2)), None]);
         let err = validate_schedule(&com3(), &phased(3, vec![pm])).unwrap_err();
         assert!(matches!(err, ValidationError::NotPermutation { .. }));
     }

@@ -1,5 +1,4 @@
 use crate::{LinkId, NodeId, Path, Topology};
-use serde::{Deserialize, Serialize};
 
 /// The binary hypercube interconnect of the Intel iPSC/860.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// pre-claims the whole path (circuit switching) before data flows, which is
 /// why link contention translates into blocked circuits rather than slow
 /// shared links.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Hypercube {
     dims: u32,
 }
@@ -71,12 +70,7 @@ impl Hypercube {
     /// Calls `f(cur, dim, link)` for every hop: the circuit extends from
     /// node `cur` across dimension `dim` over directed channel `link`.
     #[inline]
-    pub fn for_each_hop<F: FnMut(NodeId, u32, LinkId)>(
-        &self,
-        src: NodeId,
-        dst: NodeId,
-        mut f: F,
-    ) {
+    pub fn for_each_hop<F: FnMut(NodeId, u32, LinkId)>(&self, src: NodeId, dst: NodeId, mut f: F) {
         let mut cur = src.0;
         let diff = src.0 ^ dst.0;
         debug_assert!(diff >> self.dims == 0, "nodes outside the cube");
@@ -153,7 +147,11 @@ mod tests {
         let path = cube.route(NodeId(0), NodeId(7));
         assert_eq!(
             path.links(),
-            &[cube.link(NodeId(0), 0), cube.link(NodeId(1), 1), cube.link(NodeId(3), 2)]
+            &[
+                cube.link(NodeId(0), 0),
+                cube.link(NodeId(1), 1),
+                cube.link(NodeId(3), 2)
+            ]
         );
     }
 

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a **directed** communication channel.
@@ -12,7 +11,7 @@ use std::fmt;
 /// circuits contend if and only if they share a `LinkId`. Opposite
 /// directions of the same wire never contend, which is what makes pairwise
 /// exchange between neighbours fully concurrent on the iPSC/860.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl LinkId {

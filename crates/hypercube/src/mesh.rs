@@ -1,5 +1,4 @@
 use crate::{LinkId, NodeId, Path, Topology};
-use serde::{Deserialize, Serialize};
 
 /// A 2-D mesh with dimension-ordered (XY) routing.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// deadlock-free dimension order. Each node has four directed outgoing
 /// channels (E, W, S, N), so `LinkId = node * 4 + direction`; ids at the
 /// mesh boundary are simply never produced by `route`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Mesh2d {
     rows: usize,
     cols: usize,
@@ -34,7 +33,8 @@ impl Mesh2d {
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "mesh extents must be positive");
         assert!(
-            rows.checked_mul(cols).is_some_and(|n| n <= u32::MAX as usize),
+            rows.checked_mul(cols)
+                .is_some_and(|n| n <= u32::MAX as usize),
             "mesh too large"
         );
         Mesh2d { rows, cols }
@@ -63,7 +63,10 @@ impl Mesh2d {
     /// Panics if the coordinates lie outside the mesh.
     #[inline]
     pub fn node_at(&self, row: usize, col: usize) -> NodeId {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) outside mesh");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) outside mesh"
+        );
         NodeId((row * self.cols + col) as u32)
     }
 

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a compute node (processor) in a topology.
@@ -6,7 +5,7 @@ use std::fmt;
 /// Nodes are numbered `0..n`. On the hypercube the binary representation of
 /// the id *is* the node's position: bit `d` selects the side of dimension
 /// `d`, and neighbours differ in exactly one bit.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

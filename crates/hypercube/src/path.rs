@@ -1,5 +1,4 @@
 use crate::{LinkId, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// The circuit a message claims between a source and a destination node:
 /// an ordered sequence of directed links, as produced by the topology's
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// The paper writes this as `path(i,j) = {edge(i,m1), edge(m1,m2), ...,
 /// edge(mx,j)}`. An empty path means `src == dst` (a node never contends
 /// with itself; local "sends" are free).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Path {
     src: NodeId,
     dst: NodeId,

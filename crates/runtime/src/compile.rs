@@ -244,7 +244,11 @@ mod tests {
         assert_eq!(progs.len(), 16);
         // Every node: in-degree posts, 4 async sends, two waits.
         for (i, p) in progs.iter().enumerate() {
-            let posts = p.ops().iter().filter(|o| matches!(o, Op::PostRecv { .. })).count();
+            let posts = p
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, Op::PostRecv { .. }))
+                .count();
             let sends = p
                 .ops()
                 .iter()
@@ -309,8 +313,14 @@ mod tests {
             .filter(|o| matches!(o, Op::Exchange { .. }))
             .count();
         assert_eq!(exchanges, 2, "one Exchange op per endpoint");
-        let report = run_schedule(&cube, &MachineParams::ipsc860(), &com, &schedule, Scheme::S1)
-            .unwrap();
+        let report = run_schedule(
+            &cube,
+            &MachineParams::ipsc860(),
+            &com,
+            &schedule,
+            Scheme::S1,
+        )
+        .unwrap();
         assert!(report.makespan_ns > 0);
     }
 
@@ -336,8 +346,14 @@ mod tests {
     fn phased_s2_orders_but_never_deadlocks() {
         let (com, cube) = com_and_cube();
         let schedule = rs_n(&com, 1);
-        let report =
-            run_schedule(&cube, &MachineParams::ipsc860(), &com, &schedule, Scheme::S2).unwrap();
+        let report = run_schedule(
+            &cube,
+            &MachineParams::ipsc860(),
+            &com,
+            &schedule,
+            Scheme::S2,
+        )
+        .unwrap();
         assert!(report.makespan_ns > 0);
     }
 

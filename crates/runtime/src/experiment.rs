@@ -1,7 +1,7 @@
 use commsched::{CommMatrix, I860CostModel, Schedule};
 use hypercube::Topology;
-use parking_lot::Mutex;
 use simnet::{MachineParams, SimError};
+use std::sync::Mutex;
 use workloads::SampleSet;
 
 use crate::{compile, Scheme};
@@ -83,11 +83,11 @@ impl ExperimentRunner {
                     }
                     let seed = set.seed(idx);
                     let outcome = self.run_sample(topo, seed, gen, sched, scheme);
-                    results.lock()[idx] = Some(outcome);
+                    results.lock().expect("no panics hold the lock")[idx] = Some(outcome);
                 });
             }
         });
-        let outcomes = results.into_inner();
+        let outcomes = results.into_inner().expect("no panics hold the lock");
         let mut comm_sum = 0.0;
         let mut comm_min = f64::INFINITY;
         let mut comm_max = 0.0f64;

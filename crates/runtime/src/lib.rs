@@ -42,5 +42,5 @@ mod scheme;
 
 pub use compile::{compile, compile_ac_send_detect, run_schedule, run_schedule_traced};
 pub use experiment::{CellResult, ExperimentRunner};
-pub use report::{write_csv, write_json, CellRecord};
+pub use report::{read_json, write_csv, write_json, CellRecord};
 pub use scheme::Scheme;

@@ -1,13 +1,11 @@
 use std::io::Write;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
 use crate::CellResult;
 
 /// One row of an experiment output table — serializable for EXPERIMENTS.md
 /// and downstream plotting.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CellRecord {
     /// Experiment id ("table1", "fig6", ...).
     pub experiment: String,
@@ -75,16 +73,119 @@ pub fn write_csv(path: &Path, records: &[CellRecord]) -> std::io::Result<()> {
 
 /// Write records as pretty JSON.
 ///
+/// The workspace builds offline with no serde available, so the (flat,
+/// fixed-schema) records are rendered by hand; [`read_json`] parses the
+/// same shape back.
+///
 /// # Errors
 ///
-/// I/O or serialization errors.
+/// I/O errors from the filesystem.
 pub fn write_json(path: &Path, records: &[CellRecord]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let json = serde_json::to_string_pretty(records)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "  {{\n    \"experiment\": \"{}\",\n    \"algorithm\": \"{}\",\n    \"d\": {},\n    \"msg_bytes\": {},\n    \"comm_ms\": {},\n    \"phases\": {},\n    \"comp_ms\": {},\n    \"samples\": {}\n  }}{comma}\n",
+            escape_json(&r.experiment),
+            escape_json(&r.algorithm),
+            r.d,
+            r.msg_bytes,
+            r.comm_ms,
+            r.phases,
+            r.comp_ms,
+            r.samples
+        ));
+    }
+    json.push_str("]\n");
     std::fs::write(path, json)
+}
+
+/// Read records written by [`write_json`].
+///
+/// # Errors
+///
+/// I/O errors, or [`std::io::ErrorKind::InvalidData`] if the file does not
+/// have the `write_json` shape.
+pub fn read_json(path: &Path) -> std::io::Result<Vec<CellRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    parse_records(&text).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{} is not a cell-record JSON file", path.display()),
+        )
+    })
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Inverse of [`escape_json`] applied to one `"..."` value: strips the
+/// enclosing quotes and resolves the `\"`, `\\`, `\n` escapes. `None` on
+/// anything malformed.
+fn unescape_json(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            // An unescaped quote inside the value means `inner` ended at an
+            // escaped quote and we stripped the wrong delimiter.
+            return None;
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Minimal parser for the exact object layout [`write_json`] emits: one
+/// `"key": value` pair per line, objects separated by `},`.
+fn parse_records(text: &str) -> Option<Vec<CellRecord>> {
+    let trimmed = text.trim();
+    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
+        return None;
+    }
+    let mut records = Vec::new();
+    let mut fields: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    for line in trimmed.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some((key, value)) = line.split_once(':') {
+            let key = key.trim().trim_matches('"').to_string();
+            fields.insert(key, value.trim().to_string());
+        } else if line == "}" && !fields.is_empty() {
+            let take = |k: &str| fields.get(k).cloned();
+            records.push(CellRecord {
+                experiment: unescape_json(&take("experiment")?)?,
+                algorithm: unescape_json(&take("algorithm")?)?,
+                d: take("d")?.parse().ok()?,
+                msg_bytes: take("msg_bytes")?.parse().ok()?,
+                comm_ms: take("comm_ms")?.parse().ok()?,
+                phases: take("phases")?.parse().ok()?,
+                comp_ms: take("comp_ms")?.parse().ok()?,
+                samples: take("samples")?.parse().ok()?,
+            });
+            fields.clear();
+        }
+    }
+    Some(records)
 }
 
 #[cfg(test)]
@@ -123,10 +224,45 @@ mod tests {
         let dir = std::env::temp_dir().join("ipsc_sched_test_json");
         let path = dir.join("out.json");
         write_json(&path, &[record()]).unwrap();
-        let parsed: Vec<CellRecord> =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let parsed = read_json(&path).unwrap();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].algorithm, "RS_NL");
+        assert_eq!(parsed[0].msg_bytes, 1024);
+        assert!((parsed[0].comm_ms - 13.16).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_roundtrip_escapes_quotes_and_newlines() {
+        let dir = std::env::temp_dir().join("ipsc_sched_test_json_esc");
+        let path = dir.join("out.json");
+        let mut rec = record();
+        rec.experiment = "line1\nline2".into();
+        rec.algorithm = "with \"quote\" and tail\"".into();
+        write_json(&path, &[rec.clone()]).unwrap();
+        let parsed = read_json(&path).unwrap();
+        assert_eq!(parsed[0].experiment, rec.experiment);
+        assert_eq!(parsed[0].algorithm, rec.algorithm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_json_rejects_non_record_files() {
+        let dir = std::env::temp_dir().join("ipsc_sched_test_json_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not_records.csv");
+        std::fs::write(&path, "experiment,algorithm\ntable1,AC\n").unwrap();
+        let err = read_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_record_list_roundtrips() {
+        let dir = std::env::temp_dir().join("ipsc_sched_test_json_empty");
+        let path = dir.join("out.json");
+        write_json(&path, &[]).unwrap();
+        assert!(read_json(&path).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,8 +1,7 @@
 use commsched::SchedulerKind;
-use serde::{Deserialize, Serialize};
 
 /// The two communication schemes evaluated in Section 6 of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Loose synchrony: for every phased message the receiver posts its
     /// application buffer and sends a 0-byte **ready** signal; the sender

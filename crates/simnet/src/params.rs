@@ -1,7 +1,5 @@
-use serde::{Deserialize, Serialize};
-
 /// How a transfer acquires the resources of its circuit.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ClaimPolicy {
     /// The transfer starts only when *all* of its resources (engines, every
     /// link of the route, delivery capacity) are simultaneously free.
@@ -18,7 +16,7 @@ pub enum ClaimPolicy {
 
 /// How a node's communication hardware is shared between its outgoing and
 /// incoming transfers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PortModel {
     /// One engine per node: any two transfers touching the node serialize,
     /// *except* a synchronized pairwise exchange, which is fused and costs a
@@ -37,7 +35,7 @@ pub enum PortModel {
 /// roughly 75 us end-to-end latency for short messages, ~160 us startup plus
 /// ~0.36 us/byte (2.8 MB/s) for long messages, and a protocol switch at
 /// 100 bytes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineParams {
     /// Messages of at most this many bytes use the short-message protocol.
     pub protocol_threshold_bytes: u32,
@@ -140,7 +138,9 @@ impl MachineParams {
                     .into(),
             );
         }
-        if self.long_per_byte_ns < 0.0 || self.short_per_byte_ns < 0.0 || self.copy_per_byte_ns < 0.0
+        if self.long_per_byte_ns < 0.0
+            || self.short_per_byte_ns < 0.0
+            || self.copy_per_byte_ns < 0.0
         {
             return Err("per-byte costs must be non-negative".into());
         }

@@ -1,10 +1,9 @@
 use hypercube::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Message tag disambiguating multiple messages between the same pair of
 /// nodes (the runtime layer encodes phase number and message kind here).
 /// `(src, dst, tag)` uniquely identifies a message within one simulation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Tag(pub u32);
 
 /// One instruction of a node's communication program.
@@ -12,7 +11,7 @@ pub struct Tag(pub u32);
 /// Programs are the interface between the scheduling/runtime layer and the
 /// simulator: the runtime compiles a communication schedule plus a protocol
 /// (S1 or S2) into one `Program` per node; the simulator executes them.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Op {
     /// Post an application receive buffer for the message `(src, tag)`.
     /// Arrivals with a posted buffer are delivered directly (no copy).
@@ -77,7 +76,7 @@ pub enum Op {
 }
 
 /// A node's complete communication program.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Program {
     ops: Vec<Op>,
 }

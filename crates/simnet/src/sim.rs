@@ -26,7 +26,9 @@ pub fn simulate<T: Topology + ?Sized>(
     params: &MachineParams,
     programs: Vec<Program>,
 ) -> Result<SimReport, SimError> {
-    Sim::new(topo, params, programs, false)?.run().map(|(r, _)| r)
+    Sim::new(topo, params, programs, false)?
+        .run()
+        .map(|(r, _)| r)
 }
 
 /// Like [`simulate`], additionally returning the full execution trace.
@@ -218,8 +220,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
                             msg: format!("references {p} outside the {n}-node machine"),
                         });
                     }
-                    if p.index() == i && !matches!(op, Op::PostRecv { .. } | Op::WaitRecv { .. })
-                    {
+                    if p.index() == i && !matches!(op, Op::PostRecv { .. } | Op::WaitRecv { .. }) {
                         return Err(SimError::ProgramError {
                             node: i,
                             msg: "self-directed send or exchange".into(),
@@ -440,22 +441,20 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
                         }
                     }
                 }
-                Op::WaitRecv { src, tag } => {
-                    match self.nodes[node].recvs.get(&(src.0, tag.0)) {
-                        Some(RecvState::Delivered) => {}
-                        Some(_) => {
-                            self.nodes[node].block = Block::WaitRecv(src.0, tag);
-                            return;
-                        }
-                        None => {
-                            self.error(
-                                node,
-                                format!("WaitRecv({src}, {tag:?}) without a matching PostRecv"),
-                            );
-                            return;
-                        }
+                Op::WaitRecv { src, tag } => match self.nodes[node].recvs.get(&(src.0, tag.0)) {
+                    Some(RecvState::Delivered) => {}
+                    Some(_) => {
+                        self.nodes[node].block = Block::WaitRecv(src.0, tag);
+                        return;
                     }
-                }
+                    None => {
+                        self.error(
+                            node,
+                            format!("WaitRecv({src}, {tag:?}) without a matching PostRecv"),
+                        );
+                        return;
+                    }
+                },
                 Op::WaitAllRecvs => {
                     if self.nodes[node].unfinished_recvs > 0 {
                         self.nodes[node].block = Block::WaitAllRecvs;
@@ -520,13 +519,23 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         }
     }
 
-    fn do_exchange(&mut self, node: usize, partner: u32, send_bytes: u32, recv_bytes: u32, tag: Tag) {
+    fn do_exchange(
+        &mut self,
+        node: usize,
+        partner: u32,
+        send_bytes: u32,
+        recv_bytes: u32,
+        tag: Tag,
+    ) {
         let a = (node as u32).min(partner);
         let b = (node as u32).max(partner);
         let key = (a, b, tag.0);
         if let Some(half) = self.rendezvous.remove(&key) {
             if half.node == node as u32 {
-                self.error(node, format!("duplicate Exchange with P{partner} tag {tag:?}"));
+                self.error(
+                    node,
+                    format!("duplicate Exchange with P{partner} tag {tag:?}"),
+                );
                 return;
             }
             if half.send_bytes != recv_bytes || half.recv_bytes != send_bytes {
@@ -605,8 +614,8 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         // schedules eliminate). Short-protocol messages and 0-byte control
         // signals are fire-and-forget through system buffers and bypass the
         // queue; exchange parts are gated by their rendezvous instead.
-        let issue_seq = (!exchange_part && bytes > self.params.protocol_threshold_bytes)
-            .then(|| {
+        let issue_seq =
+            (!exchange_part && bytes > self.params.protocol_threshold_bytes).then(|| {
                 let seq = self.nodes[src as usize].issue_next;
                 self.nodes[src as usize].issue_next += 1;
                 seq
@@ -803,7 +812,14 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
     fn activate(&mut self, id: TransferId, direct: bool) {
         let (kind, src, dst, bytes, tag, duration) = {
             let t = &self.transfers[id];
-            (t.kind, t.src as usize, t.dst as usize, t.bytes, t.tag, t.duration)
+            (
+                t.kind,
+                t.src as usize,
+                t.dst as usize,
+                t.bytes,
+                t.tag,
+                t.duration,
+            )
         };
         // Claim resources.
         match kind {
@@ -875,7 +891,13 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
             }
             let (kind, src, dst, nlinks, idx) = {
                 let t = &self.transfers[id];
-                (t.kind, t.src as usize, t.dst as usize, t.links.len(), t.claim_idx)
+                (
+                    t.kind,
+                    t.src as usize,
+                    t.dst as usize,
+                    t.links.len(),
+                    t.claim_idx,
+                )
             };
             if kind == TKind::Copy {
                 // Copies only need the receive port.
@@ -1025,7 +1047,14 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
     fn finish_transfer(&mut self, id: TransferId) {
         let (kind, src, dst, bytes, tag, duration) = {
             let t = &self.transfers[id];
-            (t.kind, t.src as usize, t.dst as usize, t.bytes, t.tag, t.duration)
+            (
+                t.kind,
+                t.src as usize,
+                t.dst as usize,
+                t.bytes,
+                t.tag,
+                t.duration,
+            )
         };
         self.transfers[id].state = TState::Done;
         self.trace_push(TraceKind::Finished, src as u32, dst as u32, tag, bytes);
@@ -1078,8 +1107,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
             }
             TKind::Data { exchange_part } => {
                 let key = (src as u32, tag.0);
-                let state = *self
-                    .nodes[dst]
+                let state = *self.nodes[dst]
                     .recvs
                     .get(&key)
                     .expect("active transfer must have a recv entry");

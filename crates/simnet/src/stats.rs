@@ -1,8 +1,7 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-node accounting.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct NodeStats {
     /// Time the node's engine(s) spent moving data (ns).
     pub engine_busy_ns: u64,
@@ -21,7 +20,7 @@ pub struct NodeStats {
 }
 
 /// Whole-run accounting.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimStats {
     /// Per-node breakdown.
     pub nodes: Vec<NodeStats>,
@@ -44,7 +43,7 @@ pub struct SimStats {
 }
 
 /// Result of a successful simulation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Completion time of the slowest node (ns) — the quantity the paper
     /// reports ("the maximum time spent by any processor").
@@ -69,7 +68,7 @@ impl SimReport {
 }
 
 /// Why a simulation could not complete.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum SimError {
     /// No event can fire but some program has not finished: the run is
     /// deadlocked (e.g. bounded buffers full, or mismatched programs).
@@ -148,6 +147,8 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("deadlock"));
         assert!(s.contains("P3"));
-        assert!(SimError::EventBudgetExhausted.to_string().contains("budget"));
+        assert!(SimError::EventBudgetExhausted
+            .to_string()
+            .contains("budget"));
     }
 }

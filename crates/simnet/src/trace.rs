@@ -1,10 +1,9 @@
 use hypercube::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::Tag;
 
 /// What a trace record describes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceKind {
     /// A transfer was requested (entered the pending set).
     Requested,
@@ -23,7 +22,7 @@ pub enum TraceKind {
 /// One record of the optional execution trace (see
 /// [`crate::simulate_traced`]); used by diagnostics and the contention
 /// visualization example.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TraceEvent {
     /// Simulated time (ns).
     pub time_ns: u64,

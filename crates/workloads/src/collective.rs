@@ -145,15 +145,9 @@ mod tests {
             }
             com
         };
-        let naive_hops: usize = naive
-            .messages()
-            .map(|(s, d, _)| cube.hops(s, d))
-            .sum();
+        let naive_hops: usize = naive.messages().map(|(s, d, _)| cube.hops(s, d)).sum();
         let embedded = embedded_grid_halo(3, 3, 4096);
-        let embedded_hops: usize = embedded
-            .messages()
-            .map(|(s, d, _)| cube.hops(s, d))
-            .sum();
+        let embedded_hops: usize = embedded.messages().map(|(s, d, _)| cube.hops(s, d)).sum();
         assert_eq!(embedded_hops, embedded.message_count());
         assert!(naive_hops > embedded_hops);
         let _ = NodeId(0);

@@ -106,7 +106,12 @@ fn try_matching_layer(
             }
         }
     }
-    Some(assign.into_iter().map(|c| c.expect("all rows matched")).collect())
+    Some(
+        assign
+            .into_iter()
+            .map(|c| c.expect("all rows matched"))
+            .collect(),
+    )
 }
 
 /// Random pattern with non-uniform message sizes drawn log-uniformly from

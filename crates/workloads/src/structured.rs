@@ -33,7 +33,10 @@ pub fn transpose(n: usize, bytes: u32) -> CommMatrix {
 ///
 /// Panics if `k % n == 0` (that would be a self-send) or `bytes == 0`.
 pub fn shift(n: usize, k: usize, bytes: u32) -> CommMatrix {
-    assert!(!k.is_multiple_of(n), "shift by a multiple of n is a self-send");
+    assert!(
+        !k.is_multiple_of(n),
+        "shift by a multiple of n is a self-send"
+    );
     assert!(bytes > 0);
     let mut com = CommMatrix::new(n);
     for i in 0..n {

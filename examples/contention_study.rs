@@ -33,14 +33,9 @@ fn main() {
             SchedulerKind::RsNl => rs_nl(&com, &cube, 9),
             SchedulerKind::Lp => unreachable!(),
         };
-        let (report, trace) = run_schedule_traced(
-            &cube,
-            &params,
-            &com,
-            &schedule,
-            Scheme::paper_default(kind),
-        )
-        .expect("simulation runs");
+        let (report, trace) =
+            run_schedule_traced(&cube, &params, &com, &schedule, Scheme::paper_default(kind))
+                .expect("simulation runs");
         let buffered: u64 = report.stats.nodes.iter().map(|s| s.buffered_bytes).sum();
         println!(
             "{:<6} {:>10.2} {:>9} {:>12.2} {:>12.1} {:>9.1}%",

@@ -23,7 +23,10 @@ fn main() {
         com.is_symmetric_pattern()
     );
 
-    println!("{:<6} {:>8} {:>10} {:>10}", "alg", "phases", "pairs", "comm (ms)");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10}",
+        "alg", "phases", "pairs", "comm (ms)"
+    );
     for kind in SchedulerKind::all() {
         let schedule = match kind {
             SchedulerKind::Ac => ac(&com),
@@ -32,14 +35,8 @@ fn main() {
             SchedulerKind::RsNl => rs_nl(&com, &cube, 3),
         };
         validate_schedule(&com, &schedule).expect("valid");
-        let report = run_schedule(
-            &cube,
-            &params,
-            &com,
-            &schedule,
-            Scheme::paper_default(kind),
-        )
-        .expect("runs");
+        let report = run_schedule(&cube, &params, &com, &schedule, Scheme::paper_default(kind))
+            .expect("runs");
         println!(
             "{:<6} {:>8} {:>10} {:>10.2}",
             kind.label(),

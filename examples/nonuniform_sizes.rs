@@ -36,7 +36,12 @@ fn main() {
     let packed_ms = run(&packed);
 
     println!("\n{:<24} {:>8} {:>12}", "scheduler", "phases", "comm (ms)");
-    println!("{:<24} {:>8} {:>12.2}", "RS_N (first feasible)", plain.num_phases(), plain_ms);
+    println!(
+        "{:<24} {:>8} {:>12.2}",
+        "RS_N (first feasible)",
+        plain.num_phases(),
+        plain_ms
+    );
     println!(
         "{:<24} {:>8} {:>12.2}",
         "RS_N (largest first)",
@@ -52,7 +57,11 @@ fn main() {
     let show = |label: &str, s: &Schedule| {
         let mut maxima = phase_max_bytes(s, &com);
         maxima.sort_unstable_by(|a, b| b.cmp(a));
-        let head: Vec<String> = maxima.iter().take(10).map(|m| format!("{}K", m / 1024)).collect();
+        let head: Vec<String> = maxima
+            .iter()
+            .take(10)
+            .map(|m| format!("{}K", m / 1024))
+            .collect();
         println!("{label:<24} top phase maxima: {}", head.join(" "));
     };
     println!();

@@ -31,14 +31,22 @@ fn main() {
     // Per-use costs.
     let scheduled =
         run_schedule(&cube, &params, &com, &schedule, Scheme::S1).expect("scheduled run");
-    let unscheduled =
-        run_schedule(&cube, &params, &com, &ac(&com), Scheme::S2).expect("AC run");
+    let unscheduled = run_schedule(&cube, &params, &com, &ac(&com), Scheme::S2).expect("AC run");
 
     println!("d = {d}, M = {bytes} B on the 64-node machine");
-    println!("  concatenate (all-gather) : {:>8.3} ms", gather.makespan_ms());
+    println!(
+        "  concatenate (all-gather) : {:>8.3} ms",
+        gather.makespan_ms()
+    );
     println!("  RS_NL scheduling (i860)  : {:>8.3} ms", sched_ms);
-    println!("  scheduled comm per use   : {:>8.3} ms", scheduled.makespan_ms());
-    println!("  asynchronous comm per use: {:>8.3} ms", unscheduled.makespan_ms());
+    println!(
+        "  scheduled comm per use   : {:>8.3} ms",
+        scheduled.makespan_ms()
+    );
+    println!(
+        "  asynchronous comm per use: {:>8.3} ms",
+        unscheduled.makespan_ms()
+    );
 
     let gain = unscheduled.makespan_ms() - scheduled.makespan_ms();
     println!("\n  per-use gain             : {gain:>8.3} ms");

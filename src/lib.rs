@@ -32,6 +32,9 @@
 //! println!("communication cost: {:.2} ms", report.makespan_ms());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use commrt;
 pub use commsched;
 pub use hypercube;

@@ -138,9 +138,15 @@ fn fig10_overhead_fraction_drops_with_message_size() {
     let at_64 = frac(64);
     let at_256 = frac(256);
     let at_128k = frac(M128K);
-    assert!(at_64 > at_256, "drop across the protocol switch: {at_64} vs {at_256}");
+    assert!(
+        at_64 > at_256,
+        "drop across the protocol switch: {at_64} vs {at_256}"
+    );
     assert!(at_256 > at_128k);
-    assert!(at_128k < 0.05, "fraction at 128 KB should be negligible: {at_128k}");
+    assert!(
+        at_128k < 0.05,
+        "fraction at 128 KB should be negligible: {at_128k}"
+    );
 }
 
 #[test]

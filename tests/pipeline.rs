@@ -180,8 +180,7 @@ fn mesh_topology_end_to_end() {
             SchedulerKind::Lp => unreachable!(),
         };
         validate_schedule(&com, &s).unwrap();
-        let report =
-            run_schedule(&mesh, &params, &com, &s, Scheme::paper_default(kind)).unwrap();
+        let report = run_schedule(&mesh, &params, &com, &s, Scheme::paper_default(kind)).unwrap();
         assert!(report.makespan_ns > 0);
     }
 }

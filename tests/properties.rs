@@ -9,10 +9,7 @@ use ipsc_sched::prelude::*;
 /// Strategy: a random sparse communication matrix over `n` nodes with at
 /// most `max_deg` messages per sender and sizes in 1..=64 KiB.
 fn arb_matrix(n: usize, max_deg: usize) -> impl Strategy<Value = CommMatrix> {
-    let cells = proptest::collection::vec(
-        (0..n, 0..n, 1u32..65_536),
-        0..(n * max_deg),
-    );
+    let cells = proptest::collection::vec((0..n, 0..n, 1u32..65_536), 0..(n * max_deg));
     cells.prop_map(move |entries| {
         let mut com = CommMatrix::new(n);
         for (s, d, bytes) in entries {

@@ -14,9 +14,17 @@ fn lp_trades_fill_for_pairing() {
     let rs_q = ScheduleQuality::measure(&rs_n(&com, 1), &cube);
     assert_eq!(lp_q.phases, 63);
     assert!(lp_q.pairing_rate > 0.99);
-    assert!(lp_q.mean_fill < 0.1, "LP mostly idles at d=4: {}", lp_q.mean_fill);
+    assert!(
+        lp_q.mean_fill < 0.1,
+        "LP mostly idles at d=4: {}",
+        lp_q.mean_fill
+    );
     assert!(rs_q.phases <= 8);
-    assert!(rs_q.mean_fill > 0.5, "RS_N packs phases: {}", rs_q.mean_fill);
+    assert!(
+        rs_q.mean_fill > 0.5,
+        "RS_N packs phases: {}",
+        rs_q.mean_fill
+    );
 }
 
 #[test]
@@ -75,8 +83,16 @@ fn butterfly_traffic_is_the_schedulers_best_case() {
     let s = rs_nl(&com, &cube, 9);
     validate_schedule(&com, &s).unwrap();
     let q = ScheduleQuality::measure(&s, &cube);
-    assert!(q.phases <= 6 + 4, "butterfly needs ~log2(n) phases: {}", q.phases);
+    assert!(
+        q.phases <= 6 + 4,
+        "butterfly needs ~log2(n) phases: {}",
+        q.phases
+    );
     assert_eq!(q.link_free_phases, q.phases);
-    assert!(q.pairing_rate > 0.8, "butterfly pairs perfectly: {}", q.pairing_rate);
+    assert!(
+        q.pairing_rate > 0.8,
+        "butterfly pairs perfectly: {}",
+        q.pairing_rate
+    );
     assert!((q.mean_hops - 1.0).abs() < 1e-9);
 }

@@ -1,0 +1,189 @@
+//! Vendored, dependency-free stand-in for the slice of the `criterion`
+//! benchmarking API this workspace uses.
+//!
+//! The build environment cannot reach a crates registry, so the real
+//! criterion is unavailable; this shim keeps the three bench targets
+//! compiling and producing useful wall-clock numbers. It measures each
+//! benchmark by running a warm-up batch, then `sample_size` timed batches,
+//! and reports the fastest per-iteration time (the most contention-free
+//! estimate, and the statistic least sensitive to scheduler noise).
+//!
+//! Statistical machinery (outlier classification, regression, HTML reports)
+//! is intentionally absent. If the real criterion ever becomes available,
+//! deleting this crate and pointing `criterion` at crates.io restores it —
+//! the bench sources need no change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Best observed per-iteration time, filled by [`Bencher::iter`].
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the fastest per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow the batch until it runs
+        // for at least ~1 ms so Instant overhead stays negligible.
+        let mut batch = 1u64;
+        let batch = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break batch;
+            }
+            batch *= 4;
+        };
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            best = best.min(per_iter);
+        }
+        self.best_ns = best;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a parameterless function.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// End the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), 10, |b| f(b));
+        self
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        best_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let ns = bencher.best_ns;
+    let (value, unit) = if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns / 1e6, "ms")
+    };
+    println!("{name:<48} time: {value:>10.3} {unit}/iter");
+}
+
+/// Re-exported so bench sources can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` from one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

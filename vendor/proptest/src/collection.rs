@@ -1,0 +1,31 @@
+//! Strategies for collections.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing a `Vec` of `element` values with a length drawn from
+/// `size`.
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Result of [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.random_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

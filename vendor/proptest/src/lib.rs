@@ -1,0 +1,202 @@
+//! Vendored, dependency-free stand-in for the slice of the `proptest` API
+//! this workspace uses: the [`Strategy`] trait over integer ranges, tuples,
+//! [`collection::vec()`], and `prop_map`; the [`proptest!`] test macro; and
+//! the `prop_assert*` assertion macros.
+//!
+//! The build environment cannot reach a crates registry. This shim keeps
+//! the property tests executable as *seeded randomized tests*: each test
+//! runs `cases` generated inputs from a fixed per-test seed, so failures
+//! reproduce exactly. Shrinking (minimal-counterexample search) is not
+//! implemented — a failing case reports the case index, and re-running is
+//! deterministic, which is what the reproduction needs from it.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property within a test case (created by the `prop_assert*`
+/// macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Failure with a rendered message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives the cases of one property test. Used by the [`proptest!`]
+/// expansion; not part of the public proptest API proper.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Runner for the named test: the name is hashed into the base seed so
+    /// every test draws an independent deterministic stream.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            base_seed: h,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Independent generator for case `case`.
+    pub fn rng_for(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.base_seed ^ (u64::from(case) << 32 | u64::from(case)))
+    }
+}
+
+/// Everything a test module needs, in one import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Internal: sample a `usize` in `[0, n)` for combinator implementations.
+pub fn sample_index(rng: &mut StdRng, n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        rng.random_range(0..n)
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` block runs
+/// once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        #[test]
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let runner = $crate::TestRunner::new($config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        runner.cases(),
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
