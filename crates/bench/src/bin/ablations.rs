@@ -1,89 +1,87 @@
 //! Ablation studies for the design choices the paper calls out:
 //!
-//! 1. `CCOM` row randomization on/off (Section 4.2: without the shuffle,
-//!    early phases pile node contention onto small node ids).
-//! 2. RS_NL pairwise-exchange preference on/off (Section 5 / Observation 1).
-//! 3. S1 vs S2 for each phased algorithm (Section 6).
-//! 4. Claim policy: atomic vs hold-and-wait circuit establishment.
-//! 5. Bounded system buffers for AC (Section 3's blocking hazard).
+//! 1. Registry variants: every ablation entry in the scheduler registry
+//!    (alternative `RsOptions` — row randomization off, pairwise-exchange
+//!    preference off, ...) measured against its family's canonical
+//!    configuration on a random and a symmetric workload (Sections 4.2
+//!    and 5 / Observation 1). Registering a new variant adds it here with
+//!    no change to this binary.
+//! 2. S1 vs S2 for each phased scheduler (Section 6).
+//! 3. Claim policy: atomic vs hold-and-wait circuit establishment.
+//! 4. Bounded system buffers for AC (Section 3's blocking hazard).
 //!
 //! Run: `cargo run -p repro-bench --release --bin ablations`
 
 use commrt::{run_schedule, ExperimentRunner, Scheme};
-use commsched::{ac, rs_n_with, rs_nl, rs_nl_with, RsOptions, SchedulerKind};
+use commsched::registry;
 use repro_bench::{paper_cube, sample_count, CubeExt};
 use simnet::MachineParams;
 use workloads::SampleSet;
+
+/// A seeded workload generator, boxed for the probe tables.
+type Gen = Box<dyn Fn(u64) -> commsched::CommMatrix + Sync>;
 
 fn main() {
     let cube = paper_cube();
     let n = cube.num_nodes_();
     let samples = sample_count().min(20);
 
-    println!("=== Ablation 1: RS_N randomization (d=16, 1 KB) ===");
+    println!("=== Ablation 1: registry variants vs their canonical configuration ===");
     {
-        // Section 4.2: without randomization the live entries sit in
-        // ascending destination order and every row starts its scan at the
-        // same place, so early phases collide on small node ids. Both the
-        // row shuffle and the random sweep start are disabled together to
-        // expose the fully deterministic worst case.
+        // Two probe workloads: random d-regular traffic (where the
+        // randomization toggles matter, Section 4.2) and a symmetric halo
+        // (where the pairwise-exchange preference matters, Section 5).
         let runner = ExperimentRunner::ipsc860();
-        let set = SampleSet::new(101, samples);
-        let gen = move |seed| workloads::random_dense(n, 16, 1024, seed);
-        for (label, on) in [("randomized (paper)", true), ("fully deterministic", false)] {
-            let opts = RsOptions {
-                randomize_rows: on,
-                random_start: on,
-                ..RsOptions::default()
-            };
-            let cell = runner
-                .run_cell(
-                    &cube,
-                    &set,
-                    &gen,
-                    &|com, seed| rs_n_with(com, seed, opts),
-                    Scheme::S2,
-                )
-                .expect("cell");
-            println!(
-                "  {label:<20} phases = {:>6.2}   comm = {:>7.2} ms",
-                cell.phases, cell.comm_ms
-            );
+        let probes: [(&str, Gen, u64); 2] = [
+            (
+                "random d=16, 1 KB    ",
+                Box::new(move |seed| workloads::random_dregular(n, 16, 1024, seed)),
+                101,
+            ),
+            (
+                "symmetric halo, 32 KB",
+                Box::new(move |_| workloads::structured::ring_halo(n, 4, 32_768)),
+                202,
+            ),
+        ];
+        for (wl_label, gen, base_seed) in &probes {
+            let set = SampleSet::new(*base_seed, samples);
+            for variant in registry::variants() {
+                let base = variant.family().scheduler();
+                let mut row = format!("  {wl_label}  {:<13}", variant.name());
+                for entry in [base, variant] {
+                    let cell = runner
+                        .run_scheduler_cell(
+                            &cube,
+                            &set,
+                            gen.as_ref(),
+                            entry,
+                            Scheme::for_scheduler(entry),
+                        )
+                        .unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
+                    row.push_str(&format!(
+                        "  {:<6} phases = {:>5.1} pairs = {:>5.1} comm = {:>7.2} ms",
+                        if entry.is_variant() {
+                            "ablate"
+                        } else {
+                            "paper"
+                        },
+                        cell.phases,
+                        cell.exchange_pairs,
+                        cell.comm_ms
+                    ));
+                }
+                println!("{row}");
+            }
+            println!();
         }
-        println!("  (paper: randomization keeps the expected number of collisions bounded.");
-        println!("   in this implementation the cyclic row sweep already spreads collisions,");
-        println!("   so the measured gap is small — the shuffle is kept for fidelity to the");
-        println!("   paper's analysis, which assumes it)\n");
+        println!("  (Section 4.2: randomization keeps expected collisions bounded — the");
+        println!("   cyclic row sweep already spreads them, so the RS_*_DET gap is small.");
+        println!("   Section 5: the pairwise preference is what buys RS_NL its fused");
+        println!("   exchanges on symmetric traffic — RS_NL_NOPAIR loses them)\n");
     }
 
-    println!("=== Ablation 2: pairwise-exchange preference (RS_NL, symmetric halo, 32 KB) ===");
-    {
-        let runner = ExperimentRunner::ipsc860();
-        let set = SampleSet::new(202, samples);
-        let gen = move |_seed| workloads::structured::ring_halo(n, 4, 32_768);
-        for (label, pref) in [("with preference", true), ("without preference", false)] {
-            let opts = RsOptions {
-                pairwise_preference: pref,
-                ..RsOptions::default()
-            };
-            let cell = runner
-                .run_cell(
-                    &cube,
-                    &set,
-                    &gen,
-                    &|com, seed| rs_nl_with(com, &paper_cube(), seed, opts),
-                    Scheme::S1,
-                )
-                .expect("cell");
-            println!(
-                "  {label:<20} exchanges = {:>6.1}   comm = {:>7.2} ms",
-                cell.exchange_pairs, cell.comm_ms
-            );
-        }
-        println!("  (paper: fusing reciprocal pairs halves their cost on the iPSC/860)\n");
-    }
-
-    println!("=== Ablation 3: S1 vs S2 per algorithm ===");
+    println!("=== Ablation 2: S1 vs S2 per phased scheduler ===");
     {
         // Two workloads: random (no reciprocal pairs to fuse) and a
         // symmetric halo (everything fusable). The paper's rule — use S1
@@ -94,8 +92,7 @@ fn main() {
         for (wl_label, gen) in [
             (
                 "random d=16, 32 KB   ",
-                Box::new(move |seed| workloads::random_dregular(n, 16, 32_768, seed))
-                    as Box<dyn Fn(u64) -> commsched::CommMatrix + Sync>,
+                Box::new(move |seed| workloads::random_dregular(n, 16, 32_768, seed)) as Gen,
             ),
             (
                 "symmetric halo, 32 KB",
@@ -103,18 +100,12 @@ fn main() {
             ),
         ] {
             let set = SampleSet::new(303, samples);
-            for kind in [SchedulerKind::Lp, SchedulerKind::RsN, SchedulerKind::RsNl] {
-                let mut row = format!("  {wl_label}  {:<6}", kind.label());
+            for entry in registry::primary().filter(|e| e.node_contention_free()) {
+                let mut row = format!("  {wl_label}  {:<6}", entry.name());
                 for scheme in [Scheme::S1, Scheme::S2] {
                     let cell = runner
-                        .run_cell(
-                            &cube,
-                            &set,
-                            gen.as_ref(),
-                            &|com, seed| repro_bench::schedule_for(kind, com, &paper_cube(), seed),
-                            scheme,
-                        )
-                        .expect("cell");
+                        .run_scheduler_cell(&cube, &set, gen.as_ref(), entry, scheme)
+                        .unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
                     row.push_str(&format!("  {} = {:>7.2} ms", scheme.label(), cell.comm_ms));
                 }
                 println!("{row}");
@@ -123,7 +114,8 @@ fn main() {
         println!("  (paper: S1 wins where pairwise exchange is exploited — LP, RS_NL)\n");
     }
 
-    println!("=== Ablation 4: machine model — ports and claim policy (AC, d=16, 32 KB) ===");
+    let ac = registry::find("AC").expect("registered");
+    println!("=== Ablation 3: machine model — ports and claim policy (AC, d=16, 32 KB) ===");
     {
         let set = SampleSet::new(404, samples);
         let default = MachineParams::ipsc860();
@@ -144,12 +136,12 @@ fn main() {
                 ..ExperimentRunner::ipsc860()
             };
             let cell = runner
-                .run_cell(
+                .run_scheduler_cell(
                     &cube,
                     &set,
                     &move |seed| workloads::random_dregular(n, 16, 32_768, seed),
-                    &|com, _| ac(com),
-                    Scheme::S2,
+                    ac,
+                    Scheme::for_scheduler(ac),
                 )
                 .expect("cell");
             println!("  {label} comm = {:>8.2} ms", cell.comm_ms);
@@ -159,7 +151,7 @@ fn main() {
     }
 
     println!(
-        "=== Ablation 5: AC without pre-posted receives (send-detect-receive, d=8, 16 KB) ==="
+        "=== Ablation 4: AC without pre-posted receives (send-detect-receive, d=8, 16 KB) ==="
     );
     {
         // With pre-posted receives (Figure 1) buffers are never touched; the
@@ -171,7 +163,7 @@ fn main() {
             &cube,
             &MachineParams::ipsc860(),
             &com,
-            &ac(&com),
+            &ac.schedule(&com, &cube, 0),
             Scheme::S2,
         )
         .expect("posted AC runs");
@@ -202,24 +194,31 @@ fn main() {
         println!("  (paper Section 3: buffer copying is costly; overflow can deadlock)\n");
     }
 
-    println!("=== Bonus: RS_NL on a 2-D mesh (topology generality, d=8, 8 KB) ===");
+    println!("=== Bonus: link-free schedulers on a 2-D mesh (topology generality, d=8, 8 KB) ===");
     {
         let mesh = hypercube::Mesh2d::new(8, 8);
         let com = workloads::random_dregular(64, 8, 8192, 77);
-        let schedule = rs_nl(&com, &mesh, 77);
-        let report = run_schedule(
-            &mesh,
-            &MachineParams::ipsc860(),
-            &com,
-            &schedule,
-            Scheme::S1,
-        )
-        .expect("mesh run");
-        println!(
-            "  mesh comm = {:.2} ms over {} phases (link-free: {})",
-            report.makespan_ms(),
-            schedule.num_phases(),
-            schedule.link_contention_free(&mesh)
-        );
+        for entry in registry::all()
+            .iter()
+            .copied()
+            .filter(|e| e.link_contention_free() && e.supports_topology(&mesh))
+        {
+            let schedule = entry.schedule(&com, &mesh, 77);
+            let report = run_schedule(
+                &mesh,
+                &MachineParams::ipsc860(),
+                &com,
+                &schedule,
+                Scheme::for_scheduler(entry),
+            )
+            .expect("mesh run");
+            println!(
+                "  {:<13} mesh comm = {:.2} ms over {} phases (link-free: {})",
+                entry.name(),
+                report.makespan_ms(),
+                schedule.num_phases(),
+                schedule.link_contention_free(&mesh)
+            );
+        }
     }
 }

@@ -9,7 +9,7 @@
 //! Run: `cargo run -p repro-bench --release --bin fig10to11`
 
 use commrt::{write_csv, CellRecord, ExperimentRunner};
-use commsched::SchedulerKind;
+use commsched::registry;
 use repro_bench::{figure_sizes, measure_cell, paper_cube, sample_count, DENSITIES};
 
 fn main() {
@@ -19,10 +19,11 @@ fn main() {
     let sizes = figure_sizes();
 
     let mut records = Vec::new();
-    for (kind, fig) in [(SchedulerKind::RsN, 10u32), (SchedulerKind::RsNl, 11)] {
+    for (name, fig) in [("RS_N", 10u32), ("RS_NL", 11)] {
+        let entry = registry::find(name).expect("registered");
         println!(
             "Figure {fig}: comp/comm fraction for {} (schedule used once)",
-            kind.label()
+            entry.name()
         );
         print!("{:>9} |", "bytes");
         for d in DENSITIES {
@@ -32,12 +33,12 @@ fn main() {
         for &bytes in &sizes {
             print!("{bytes:>9} |");
             for d in DENSITIES {
-                let cell = measure_cell(&runner, &cube, kind, d, bytes, samples)
-                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", kind.label()));
+                let cell = measure_cell(&runner, &cube, entry, d, bytes, samples)
+                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", entry.name()));
                 let frac = cell.comp_ms / cell.comm_ms;
-                records.push(CellRecord::from_cell(
+                records.push(CellRecord::from_entry(
                     &format!("fig{fig}"),
-                    kind.label(),
+                    entry,
                     d,
                     bytes,
                     &cell,

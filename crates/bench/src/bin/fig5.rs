@@ -6,7 +6,7 @@
 //! Run: `cargo run -p repro-bench --release --bin fig5`
 
 use commrt::{write_csv, ExperimentRunner};
-use commsched::SchedulerKind;
+use commsched::registry;
 use repro_bench::{measure_cell, paper_cube, sample_count, DENSITIES};
 
 fn main() {
@@ -26,26 +26,23 @@ fn main() {
 
     let mut records = Vec::new();
     // Cells indexed [density][size] -> per-algorithm (label, comm, comp).
-    let mut grid: Vec<Vec<Vec<(&str, f64, f64)>>> = Vec::new();
+    type Cell = Vec<(&'static str, f64, f64)>;
+    let mut grid: Vec<Vec<Cell>> = Vec::new();
     for d in DENSITIES {
         print!("{d:>4} |");
         let mut row = Vec::new();
         for &bytes in &sizes {
             let mut cellv = Vec::new();
             let mut best: Option<(&str, f64)> = None;
-            for kind in SchedulerKind::all() {
-                let cell = measure_cell(&runner, &cube, kind, d, bytes, samples)
-                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", kind.label()));
-                records.push(commrt::CellRecord::from_cell(
-                    "fig5",
-                    kind.label(),
-                    d,
-                    bytes,
-                    &cell,
+            for entry in registry::primary() {
+                let cell = measure_cell(&runner, &cube, entry, d, bytes, samples)
+                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", entry.name()));
+                records.push(commrt::CellRecord::from_entry(
+                    "fig5", entry, d, bytes, &cell,
                 ));
-                cellv.push((kind.label(), cell.comm_ms, cell.comp_ms));
+                cellv.push((entry.name(), cell.comm_ms, cell.comp_ms));
                 if best.is_none() || cell.comm_ms < best.unwrap().1 {
-                    best = Some((kind.label(), cell.comm_ms));
+                    best = Some((entry.name(), cell.comm_ms));
                 }
             }
             row.push(cellv);
@@ -68,10 +65,10 @@ fn main() {
     }
     println!();
     println!("-----+{}", "-".repeat(sizes.len() * 7));
-    for (di, d) in DENSITIES.iter().enumerate() {
+    for (d, row) in DENSITIES.iter().zip(&grid) {
         print!("{d:>4} |");
-        for si in 0..sizes.len() {
-            let best = grid[di][si]
+        for cell in row {
+            let best = cell
                 .iter()
                 .min_by(|a, b| (a.1 + a.2).total_cmp(&(b.1 + b.2)))
                 .expect("cells present");

@@ -1,11 +1,11 @@
 //! Regenerates **Figures 6-9** of the paper: communication cost vs message
-//! size (16 B .. 128 KB) for the four algorithms, one figure per density
-//! d in {4, 8, 16, 32}.
+//! size (16 B .. 128 KB), one figure per density d in {4, 8, 16, 32}, for
+//! every primary scheduler in the registry.
 //!
 //! Run: `cargo run -p repro-bench --release --bin fig6to9`
 
 use commrt::{write_csv, CellRecord, ExperimentRunner};
-use commsched::SchedulerKind;
+use commsched::registry;
 use repro_bench::{figure_sizes, measure_cell, paper_cube, sample_count};
 
 fn main() {
@@ -18,18 +18,19 @@ fn main() {
     let mut records = Vec::new();
     for (d, fig) in figure_for_d {
         println!("Figure {fig}: communication cost (ms) vs message size, d = {d}");
-        println!(
-            "{:>9} | {:>10} {:>10} {:>10} {:>10}",
-            "bytes", "AC", "LP", "RS_N", "RS_NL"
-        );
+        print!("{:>9} |", "bytes");
+        for entry in registry::primary() {
+            print!(" {:>10}", entry.name());
+        }
+        println!();
         for &bytes in &sizes {
             let mut row = vec![format!("{bytes:>9} |")];
-            for kind in SchedulerKind::all() {
-                let cell = measure_cell(&runner, &cube, kind, d, bytes, samples)
-                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", kind.label()));
-                records.push(CellRecord::from_cell(
+            for entry in registry::primary() {
+                let cell = measure_cell(&runner, &cube, entry, d, bytes, samples)
+                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", entry.name()));
+                records.push(CellRecord::from_entry(
                     &format!("fig{fig}"),
-                    kind.label(),
+                    entry,
                     d,
                     bytes,
                     &cell,

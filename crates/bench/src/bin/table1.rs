@@ -1,13 +1,16 @@
 //! Regenerates **Table 1** of the paper: communication cost (ms), number of
-//! communication phases, and scheduling cost for AC, LP, RS_N and RS_NL on
-//! a 64-node hypercube, for d in {4, 8, 16, 32, 48} and message sizes
-//! {256 B, 1 KB, 128 KB}.
+//! communication phases, and scheduling cost on a 64-node hypercube, for
+//! d in {4, 8, 16, 32, 48} and message sizes {256 B, 1 KB, 128 KB}.
+//!
+//! Columns come from the scheduler registry's primary entries — the
+//! paper's AC/LP/RS_N/RS_NL plus the deterministic GREEDY baseline; a
+//! newly registered scheduler becomes a new column with no change here.
 //!
 //! Run: `cargo run -p repro-bench --release --bin table1`
 //! (set `REPRO_SAMPLES` to override the paper's 50 samples per cell).
 
 use commrt::{write_csv, write_json, ExperimentRunner};
-use commsched::SchedulerKind;
+use commsched::registry;
 use repro_bench::{
     format_density_block, paper_cube, record_cell, sample_count, DENSITIES, TABLE1_SIZES,
 };
@@ -23,9 +26,9 @@ fn main() {
         let mut rows = Vec::new();
         for bytes in TABLE1_SIZES {
             let mut records = Vec::new();
-            for kind in SchedulerKind::all() {
-                let rec = record_cell("table1", &runner, &cube, kind, d, bytes, samples)
-                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", kind.label()));
+            for entry in registry::primary() {
+                let rec = record_cell("table1", &runner, &cube, entry, d, bytes, samples)
+                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", entry.name()));
                 records.push(rec.clone());
                 all_records.push(rec);
             }

@@ -3,11 +3,16 @@
 //! `d ∈ {4, 8, 16, 32, 48}`, uniform message sizes from 16 B to 128 KB, 50
 //! random samples per cell — plus helpers shared by the per-figure
 //! binaries.
+//!
+//! The binaries do not name algorithms: they enumerate
+//! [`commsched::registry`] (the primary entries for the paper tables, the
+//! variants for the ablations), so a scheduler registered there appears in
+//! every artifact automatically.
 
 #![forbid(unsafe_code)]
 
 use commrt::{CellRecord, CellResult, ExperimentRunner, Scheme};
-use commsched::{ac, lp, rs_n, rs_nl, CommMatrix, Schedule, SchedulerKind};
+use commsched::{CommMatrix, Schedule, Scheduler, SchedulerKind};
 use hypercube::Hypercube;
 use workloads::SampleSet;
 
@@ -37,22 +42,19 @@ pub fn sample_count() -> usize {
         .unwrap_or(50)
 }
 
-/// Produce the schedule of `kind` for `com` (seeded where randomized).
+/// Produce the schedule of `kind` for `com` (seeded where randomized) —
+/// compat shim over the registry for enum-keyed call sites.
 pub fn schedule_for(
     kind: SchedulerKind,
     com: &CommMatrix,
     cube: &Hypercube,
     seed: u64,
 ) -> Schedule {
-    match kind {
-        SchedulerKind::Ac => ac(com),
-        SchedulerKind::Lp => lp(com),
-        SchedulerKind::RsN => rs_n(com, seed),
-        SchedulerKind::RsNl => rs_nl(com, cube, seed),
-    }
+    kind.scheduler().schedule(com, cube, seed)
 }
 
-/// Measure one `(algorithm, d, msg_bytes)` cell on the paper's machine.
+/// Measure one `(algorithm, d, msg_bytes)` cell on the paper's machine
+/// under the entry's paper-default scheme.
 ///
 /// # Errors
 ///
@@ -60,24 +62,25 @@ pub fn schedule_for(
 pub fn measure_cell(
     runner: &ExperimentRunner,
     cube: &Hypercube,
-    kind: SchedulerKind,
+    entry: &dyn Scheduler,
     d: usize,
     msg_bytes: u32,
     samples: usize,
 ) -> Result<CellResult, simnet::SimError> {
     let n = cube.num_nodes_();
-    // Base seed mixes the cell coordinates so no two cells share samples.
-    let base = (d as u64) * 1_000_003 + (msg_bytes as u64) * 7 + kind as u64;
+    // Base seed mixes the cell coordinates so no two cells share samples
+    // (`Scheduler::ordinal` pins the historical per-algorithm streams).
+    let base = (d as u64) * 1_000_003 + (msg_bytes as u64) * 7 + entry.ordinal();
     let set = SampleSet::new(base, samples);
     // The paper's assumption 2: "all nodes send and receive an approximately
     // equal number of messages" — the exactly d-regular generator (its RS_N
     // phase counts ~d + log d only hold under that regularity).
-    runner.run_cell(
+    runner.run_scheduler_cell(
         cube,
         &set,
         &move |seed| workloads::random_dregular(n, d, msg_bytes, seed),
-        &|com, seed| schedule_for(kind, com, cube, seed),
-        Scheme::paper_default(kind),
+        entry,
+        Scheme::for_scheduler(entry),
     )
 }
 
@@ -90,18 +93,14 @@ pub fn record_cell(
     experiment: &str,
     runner: &ExperimentRunner,
     cube: &Hypercube,
-    kind: SchedulerKind,
+    entry: &dyn Scheduler,
     d: usize,
     msg_bytes: u32,
     samples: usize,
 ) -> Result<CellRecord, simnet::SimError> {
-    let cell = measure_cell(runner, cube, kind, d, msg_bytes, samples)?;
-    Ok(CellRecord::from_cell(
-        experiment,
-        kind.label(),
-        d,
-        msg_bytes,
-        &cell,
+    let cell = measure_cell(runner, cube, entry, d, msg_bytes, samples)?;
+    Ok(CellRecord::from_entry(
+        experiment, entry, d, msg_bytes, &cell,
     ))
 }
 
@@ -119,58 +118,55 @@ impl CubeExt for Hypercube {
     }
 }
 
-/// Render a Table-1-style block for one density.
+/// Render a Table-1-style block for one density. The column set is taken
+/// from the records themselves (first-row order), so the table grows with
+/// the registry instead of hardcoding algorithm names.
 pub fn format_density_block(d: usize, rows: &[(u32, Vec<CellRecord>)]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(out, "d = {d}");
-    let _ = writeln!(
-        out,
-        "  {:>9} | {:>10} {:>10} {:>10} {:>10}",
-        "msg size", "AC", "LP", "RS_N", "RS_NL"
-    );
-    for (bytes, records) in rows {
-        let find = |label: &str| {
-            records
-                .iter()
-                .find(|r| r.algorithm == label)
-                .map_or(f64::NAN, |r| r.comm_ms)
-        };
-        let _ = writeln!(
-            out,
-            "  {:>8}B | {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            bytes,
-            find("AC"),
-            find("LP"),
-            find("RS_N"),
-            find("RS_NL")
-        );
+    let labels: Vec<&str> = rows
+        .first()
+        .map(|(_, records)| records.iter().map(|r| r.algorithm.as_str()).collect())
+        .unwrap_or_default();
+    let _ = write!(out, "  {:>9} |", "msg size");
+    for label in &labels {
+        let _ = write!(out, " {label:>12}");
     }
+    let _ = writeln!(out);
+    let find = |records: &[CellRecord], label: &str, f: &dyn Fn(&CellRecord) -> f64| {
+        records
+            .iter()
+            .find(|r| r.algorithm == label)
+            .map_or(f64::NAN, f)
+    };
+    for (bytes, records) in rows {
+        let _ = write!(out, "  {:>8}B |", bytes);
+        for label in &labels {
+            let _ = write!(out, " {:>12.2}", find(records, label, &|r| r.comm_ms));
+        }
+        let _ = writeln!(out);
+    }
+    // Footer rows from the last (largest-message) row; schedule-free
+    // algorithms (0 phases, e.g. AC) print "-".
     if let Some((_, records)) = rows.last() {
-        let find = |label: &str, f: &dyn Fn(&CellRecord) -> f64| {
-            records
-                .iter()
-                .find(|r| r.algorithm == label)
-                .map_or(f64::NAN, f)
-        };
-        let _ = writeln!(
-            out,
-            "  {:>9} | {:>10} {:>10.2} {:>10.2} {:>10.2}",
-            "# iters",
-            "-",
-            find("LP", &|r| r.phases),
-            find("RS_N", &|r| r.phases),
-            find("RS_NL", &|r| r.phases)
-        );
-        let _ = writeln!(
-            out,
-            "  {:>9} | {:>10} {:>10.2} {:>10.2} {:>10.2}",
-            "comp",
-            "-",
-            find("LP", &|r| r.comp_ms),
-            find("RS_N", &|r| r.comp_ms),
-            find("RS_NL", &|r| r.comp_ms)
-        );
+        for (title, f) in [
+            (
+                "# iters",
+                &(|r: &CellRecord| r.phases) as &dyn Fn(&CellRecord) -> f64,
+            ),
+            ("comp", &|r: &CellRecord| r.comp_ms),
+        ] {
+            let _ = write!(out, "  {title:>9} |");
+            for label in &labels {
+                if find(records, label, &|r| r.phases) == 0.0 {
+                    let _ = write!(out, " {:>12}", "-");
+                } else {
+                    let _ = write!(out, " {:>12.2}", find(records, label, f));
+                }
+            }
+            let _ = writeln!(out);
+        }
     }
     out
 }
@@ -178,6 +174,7 @@ pub fn format_density_block(d: usize, rows: &[(u32, Vec<CellRecord>)]) -> String
 #[cfg(test)]
 mod tests {
     use super::*;
+    use commsched::registry;
 
     #[test]
     fn figure_sizes_span_16b_to_128kb() {
@@ -189,10 +186,12 @@ mod tests {
 
     #[test]
     fn cell_seeds_differ_across_cells() {
-        // Different (kind, d, bytes) must map to different base seeds.
-        let a = (4u64) * 1_000_003 + 256 * 7 + SchedulerKind::Ac as u64;
-        let b = (8u64) * 1_000_003 + 256 * 7 + SchedulerKind::Ac as u64;
-        let c = (4u64) * 1_000_003 + 1024 * 7 + SchedulerKind::Lp as u64;
+        // Different (entry, d, bytes) must map to different base seeds.
+        let ac = registry::find("AC").unwrap();
+        let lp = registry::find("LP").unwrap();
+        let a = (4u64) * 1_000_003 + 256 * 7 + ac.ordinal();
+        let b = (8u64) * 1_000_003 + 256 * 7 + ac.ordinal();
+        let c = (4u64) * 1_000_003 + 1024 * 7 + lp.ordinal();
         assert_ne!(a, b);
         assert_ne!(a, c);
     }
@@ -201,8 +200,44 @@ mod tests {
     fn small_cell_measures() {
         let cube = paper_cube();
         let runner = ExperimentRunner::ipsc860();
-        let cell = measure_cell(&runner, &cube, SchedulerKind::RsN, 4, 1024, 3).unwrap();
+        let entry = registry::find("RS_N").unwrap();
+        let cell = measure_cell(&runner, &cube, entry, 4, 1024, 3).unwrap();
         assert!(cell.comm_ms > 0.0);
         assert!(cell.phases >= 4.0);
+    }
+
+    #[test]
+    fn greedy_cell_measures_like_any_other_entry() {
+        let cube = paper_cube();
+        let runner = ExperimentRunner::ipsc860();
+        let entry = registry::find("GREEDY").unwrap();
+        let cell = measure_cell(&runner, &cube, entry, 4, 1024, 2).unwrap();
+        assert!(cell.comm_ms > 0.0);
+        assert!(cell.phases >= 4.0);
+        assert!(cell.comp_ms > 0.0);
+    }
+
+    #[test]
+    fn density_block_grows_with_the_registry() {
+        let cube = paper_cube();
+        let runner = ExperimentRunner::ipsc860();
+        let records: Vec<CellRecord> = registry::primary()
+            .map(|e| record_cell("t", &runner, &cube, e, 4, 256, 1).unwrap())
+            .collect();
+        let block = format_density_block(4, &[(256, records)]);
+        for e in registry::primary() {
+            assert!(block.contains(e.name()), "missing column {}", e.name());
+        }
+        assert!(block.contains("# iters"));
+        assert!(block.contains(" - "), "AC must show '-' footer entries");
+    }
+
+    #[test]
+    fn schedule_for_is_a_registry_shim() {
+        let cube = Hypercube::new(4);
+        let com = workloads::random_dregular(16, 3, 512, 1);
+        let via_shim = schedule_for(SchedulerKind::RsNl, &com, &cube, 5);
+        let via_registry = registry::find("RS_NL").unwrap().schedule(&com, &cube, 5);
+        assert_eq!(via_shim.phases(), via_registry.phases());
     }
 }

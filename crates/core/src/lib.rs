@@ -23,6 +23,19 @@
 //! simulated scheduling time on the paper's 40 MHz i860 nodes, which is how
 //! the reproduction regenerates the comp/comm overhead figures (10 and 11).
 //!
+//! # The scheduler registry
+//!
+//! Beyond the four free functions, every algorithm — including the
+//! deterministic [`greedy`] baseline and the [`RsOptions`] ablation
+//! variants — is registered as a [`Scheduler`] trait object in
+//! [`registry`]. Downstream layers (the runtime's experiment driver, the
+//! repro binaries, the benches, the property tests) enumerate
+//! [`registry::all`] instead of matching on an enum, so registering a new
+//! algorithm there is the *only* change needed to surface it in every
+//! table, figure, and test. [`SchedulerKind`] survives as a thin compat
+//! shim: [`SchedulerKind::scheduler`] resolves the enum value to its
+//! registry entry.
+//!
 //! # Example
 //!
 //! ```
@@ -49,6 +62,7 @@ mod matrix;
 pub mod nonuniform;
 mod paths_table;
 mod phase;
+pub mod registry;
 mod schedule;
 pub mod stats;
 mod validate;
@@ -59,6 +73,7 @@ pub use cost::I860CostModel;
 pub use matrix::CommMatrix;
 pub use paths_table::PathsTable;
 pub use phase::PartialPermutation;
+pub use registry::Scheduler;
 pub use schedule::{Schedule, ScheduleKind, SchedulerKind};
 pub use stats::ScheduleQuality;
 pub use validate::{validate_schedule, ValidationError};

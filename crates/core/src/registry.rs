@@ -1,0 +1,446 @@
+//! The pluggable scheduler registry.
+//!
+//! Every scheduling algorithm in this crate — the paper's four, the
+//! deterministic [`greedy`] baseline, and the [`RsOptions`] ablation
+//! variants — is registered here as a [`Scheduler`] trait object. The
+//! runtime, the repro binaries, and the benches enumerate the registry
+//! instead of matching on a closed enum, so adding a scheduler is a
+//! one-file change: implement the trait, add the entry to [`all`], and
+//! every table, figure, and property test picks it up.
+//!
+//! # Example
+//!
+//! ```
+//! use commsched::{registry, validate_schedule, CommMatrix};
+//! use hypercube::Hypercube;
+//!
+//! let cube = Hypercube::new(4);
+//! let mut com = CommMatrix::new(16);
+//! com.set(0, 5, 1024);
+//! for entry in registry::all() {
+//!     let s = entry.schedule(&com, &cube, 7);
+//!     validate_schedule(&com, &s).unwrap();
+//!     if entry.link_contention_free() {
+//!         assert!(s.link_contention_free(&cube));
+//!     }
+//! }
+//! assert!(registry::find("GREEDY").is_some());
+//! ```
+
+use hypercube::Topology;
+
+use crate::algorithms::{ac, greedy, lp, rs_n_with, rs_nl_with, RsOptions};
+use crate::{CommMatrix, Schedule, SchedulerKind};
+
+/// A scheduling algorithm, as seen by the runtime and the repro harness.
+///
+/// Implementations must be deterministic functions of
+/// `(matrix, topology, seed)`; seed-insensitive algorithms (AC, LP,
+/// GREEDY) simply ignore the seed.
+pub trait Scheduler: Sync {
+    /// Unique label, used in tables, CSV/JSON records, and [`find`].
+    fn name(&self) -> &'static str;
+
+    /// The paper section describing the algorithm (variants name the
+    /// section whose design choice they ablate).
+    fn paper_section(&self) -> &'static str;
+
+    /// The algorithm family, for compat consumers keyed on the closed
+    /// [`SchedulerKind`] enum (protocol defaults, record grouping).
+    fn family(&self) -> SchedulerKind;
+
+    /// Whether every produced schedule's phases are guaranteed
+    /// link-contention-free on the scheduling topology.
+    fn link_contention_free(&self) -> bool;
+
+    /// Whether every phase is guaranteed a partial permutation (each node
+    /// sends ≤ 1 and receives ≤ 1 message). False only for AC, which does
+    /// not schedule at all.
+    fn node_contention_free(&self) -> bool;
+
+    /// True for the ablation variants (alternative [`RsOptions`]); false
+    /// for the primary table columns (the paper's four plus GREEDY).
+    fn is_variant(&self) -> bool {
+        false
+    }
+
+    /// Stable per-entry index mixed into experiment base seeds so no two
+    /// entries share sample streams. The paper's four algorithms keep the
+    /// values of the old `SchedulerKind as u64` cast (0–3), which pins the
+    /// historical sample sets of every reproduced table cell.
+    fn ordinal(&self) -> u64;
+
+    /// Whether the algorithm can schedule for `topo` with its registered
+    /// guarantees intact (LP requires an e-cube-routed hypercube: the
+    /// `i ^ k` pairing needs the power-of-two address space and its
+    /// link-freedom argument is e-cube-specific). Enumeration-driven
+    /// consumers skip entries that decline the topology at hand.
+    fn supports_topology(&self, topo: &dyn Topology) -> bool {
+        let _ = topo;
+        true
+    }
+
+    /// Produce the schedule.
+    fn schedule(&self, com: &CommMatrix, topo: &dyn Topology, seed: u64) -> Schedule;
+}
+
+struct Ac;
+
+impl Scheduler for Ac {
+    fn name(&self) -> &'static str {
+        "AC"
+    }
+    fn paper_section(&self) -> &'static str {
+        "3"
+    }
+    fn family(&self) -> SchedulerKind {
+        SchedulerKind::Ac
+    }
+    fn link_contention_free(&self) -> bool {
+        false
+    }
+    fn node_contention_free(&self) -> bool {
+        false
+    }
+    fn ordinal(&self) -> u64 {
+        0
+    }
+    fn schedule(&self, com: &CommMatrix, _topo: &dyn Topology, _seed: u64) -> Schedule {
+        ac(com)
+    }
+}
+
+struct Lp;
+
+impl Scheduler for Lp {
+    fn name(&self) -> &'static str {
+        "LP"
+    }
+    fn paper_section(&self) -> &'static str {
+        "4.1"
+    }
+    fn family(&self) -> SchedulerKind {
+        SchedulerKind::Lp
+    }
+    fn link_contention_free(&self) -> bool {
+        true
+    }
+    fn node_contention_free(&self) -> bool {
+        true
+    }
+    fn ordinal(&self) -> u64 {
+        1
+    }
+    fn supports_topology(&self, topo: &dyn Topology) -> bool {
+        // LP's `i ^ k` pairing needs the full power-of-two address space,
+        // and its link-freedom guarantee is an e-cube argument — the paper
+        // defines LP on the hypercube only, so the entry declines
+        // everything else (a mesh with a power-of-two node count would
+        // run, but with the registry's guarantee silently broken).
+        topo.num_nodes().is_power_of_two() && topo.is_ecube_hypercube()
+    }
+    fn schedule(&self, com: &CommMatrix, _topo: &dyn Topology, _seed: u64) -> Schedule {
+        lp(com)
+    }
+}
+
+/// An RS-family entry: RS_N or RS_NL under explicit [`RsOptions`]. The
+/// canonical `RS_N`/`RS_NL` registrations use the paper's defaults; the
+/// ablation variants toggle one design choice each.
+struct Rs {
+    name: &'static str,
+    section: &'static str,
+    /// [`SchedulerKind::RsN`] (node contention only) or
+    /// [`SchedulerKind::RsNl`] (node + link contention).
+    family: SchedulerKind,
+    opts: RsOptions,
+    variant: bool,
+    ordinal: u64,
+}
+
+impl Scheduler for Rs {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn paper_section(&self) -> &'static str {
+        self.section
+    }
+    fn family(&self) -> SchedulerKind {
+        self.family
+    }
+    fn link_contention_free(&self) -> bool {
+        self.family == SchedulerKind::RsNl
+    }
+    fn node_contention_free(&self) -> bool {
+        true
+    }
+    fn is_variant(&self) -> bool {
+        self.variant
+    }
+    fn ordinal(&self) -> u64 {
+        self.ordinal
+    }
+    fn schedule(&self, com: &CommMatrix, topo: &dyn Topology, seed: u64) -> Schedule {
+        match self.family {
+            SchedulerKind::RsN => rs_n_with(com, seed, self.opts),
+            SchedulerKind::RsNl => rs_nl_with(com, topo, seed, self.opts),
+            SchedulerKind::Ac | SchedulerKind::Lp => {
+                unreachable!("Rs entries are registered only for the RS families")
+            }
+        }
+    }
+}
+
+struct Greedy;
+
+impl Scheduler for Greedy {
+    fn name(&self) -> &'static str {
+        "GREEDY"
+    }
+    fn paper_section(&self) -> &'static str {
+        "4.2 (ref. 15)"
+    }
+    fn family(&self) -> SchedulerKind {
+        SchedulerKind::RsN
+    }
+    fn link_contention_free(&self) -> bool {
+        false
+    }
+    fn node_contention_free(&self) -> bool {
+        true
+    }
+    fn ordinal(&self) -> u64 {
+        4
+    }
+    fn schedule(&self, com: &CommMatrix, _topo: &dyn Topology, _seed: u64) -> Schedule {
+        greedy(com)
+    }
+}
+
+static AC_ENTRY: Ac = Ac;
+static LP_ENTRY: Lp = Lp;
+static RS_N_ENTRY: Rs = Rs {
+    name: "RS_N",
+    section: "4.2",
+    family: SchedulerKind::RsN,
+    opts: RsOptions {
+        randomize_rows: true,
+        random_start: true,
+        pairwise_preference: true,
+    },
+    variant: false,
+    ordinal: 2,
+};
+static RS_NL_ENTRY: Rs = Rs {
+    name: "RS_NL",
+    section: "5",
+    family: SchedulerKind::RsNl,
+    opts: RsOptions {
+        randomize_rows: true,
+        random_start: true,
+        pairwise_preference: true,
+    },
+    variant: false,
+    ordinal: 3,
+};
+static GREEDY_ENTRY: Greedy = Greedy;
+static RS_N_DET: Rs = Rs {
+    name: "RS_N_DET",
+    section: "4.2 (no randomization)",
+    family: SchedulerKind::RsN,
+    opts: RsOptions {
+        randomize_rows: false,
+        random_start: false,
+        pairwise_preference: true,
+    },
+    variant: true,
+    ordinal: 5,
+};
+static RS_NL_NOPAIR: Rs = Rs {
+    name: "RS_NL_NOPAIR",
+    section: "5 (no pairwise preference)",
+    family: SchedulerKind::RsNl,
+    opts: RsOptions {
+        randomize_rows: true,
+        random_start: true,
+        pairwise_preference: false,
+    },
+    variant: true,
+    ordinal: 6,
+};
+static RS_NL_DET: Rs = Rs {
+    name: "RS_NL_DET",
+    section: "5 (no randomization)",
+    family: SchedulerKind::RsNl,
+    opts: RsOptions {
+        randomize_rows: false,
+        random_start: false,
+        pairwise_preference: true,
+    },
+    variant: true,
+    ordinal: 7,
+};
+
+/// Primary entries first (the paper's column order, then GREEDY), ablation
+/// variants after.
+static REGISTRY: &[&dyn Scheduler] = &[
+    &AC_ENTRY,
+    &LP_ENTRY,
+    &RS_N_ENTRY,
+    &RS_NL_ENTRY,
+    &GREEDY_ENTRY,
+    &RS_N_DET,
+    &RS_NL_NOPAIR,
+    &RS_NL_DET,
+];
+
+/// Every registered scheduler: primary entries in paper column order, then
+/// the ablation variants.
+pub fn all() -> &'static [&'static dyn Scheduler] {
+    REGISTRY
+}
+
+/// The primary table columns: the paper's four algorithms plus GREEDY.
+pub fn primary() -> impl Iterator<Item = &'static dyn Scheduler> {
+    REGISTRY.iter().copied().filter(|e| !e.is_variant())
+}
+
+/// The ablation variants (alternative [`RsOptions`] configurations).
+pub fn variants() -> impl Iterator<Item = &'static dyn Scheduler> {
+    REGISTRY.iter().copied().filter(|e| e.is_variant())
+}
+
+/// Look an entry up by its unique [`Scheduler::name`].
+pub fn find(name: &str) -> Option<&'static dyn Scheduler> {
+    REGISTRY.iter().copied().find(|e| e.name() == name)
+}
+
+impl SchedulerKind {
+    /// The registry entry this enum value is a shim for — the canonical
+    /// paper configuration of the family. Enum-keyed call sites stay
+    /// source-compatible while all scheduling goes through the registry.
+    pub fn scheduler(self) -> &'static dyn Scheduler {
+        find(self.label()).expect("the four paper algorithms are always registered")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_schedule;
+    use hypercube::{Hypercube, Mesh2d};
+
+    fn sample_com(n: usize) -> CommMatrix {
+        let mut com = CommMatrix::new(n);
+        for i in 0..n {
+            com.set(i, (i + 1) % n, 256);
+            com.set(i, (i + 5) % n, 512);
+        }
+        com
+    }
+
+    #[test]
+    fn names_are_unique_and_findable() {
+        let mut names: Vec<&str> = all().iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped, "duplicate registry names");
+        for e in all() {
+            assert!(std::ptr::eq(find(e.name()).unwrap(), *e));
+        }
+        assert!(find("NO_SUCH").is_none());
+    }
+
+    #[test]
+    fn ordinals_are_unique_and_pin_the_paper_four() {
+        let mut ords: Vec<u64> = all().iter().map(|e| e.ordinal()).collect();
+        ords.sort_unstable();
+        let mut deduped = ords.clone();
+        deduped.dedup();
+        assert_eq!(ords, deduped, "duplicate ordinals");
+        // The historical `SchedulerKind as u64` values must stay pinned so
+        // reproduced cells keep their sample streams.
+        for kind in SchedulerKind::all() {
+            assert_eq!(kind.scheduler().ordinal(), kind as u64, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn primary_has_five_columns_including_greedy() {
+        let names: Vec<&str> = primary().map(|e| e.name()).collect();
+        assert_eq!(names, ["AC", "LP", "RS_N", "RS_NL", "GREEDY"]);
+        assert!(variants().count() >= 2);
+    }
+
+    #[test]
+    fn kind_shim_matches_direct_functions() {
+        let com = sample_com(16);
+        let cube = Hypercube::new(4);
+        assert_eq!(
+            SchedulerKind::RsNl
+                .scheduler()
+                .schedule(&com, &cube, 9)
+                .phases(),
+            crate::rs_nl(&com, &cube, 9).phases()
+        );
+        assert_eq!(
+            SchedulerKind::Lp
+                .scheduler()
+                .schedule(&com, &cube, 0)
+                .phases(),
+            crate::lp(&com).phases()
+        );
+    }
+
+    #[test]
+    fn every_entry_schedules_validly_on_the_cube() {
+        let com = sample_com(16);
+        let cube = Hypercube::new(4);
+        for entry in all() {
+            assert!(entry.supports_topology(&cube), "{}", entry.name());
+            let s = entry.schedule(&com, &cube, 3);
+            validate_schedule(&com, &s).unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
+            if entry.link_contention_free() {
+                assert!(s.link_contention_free(&cube), "{}", entry.name());
+            }
+            if entry.node_contention_free() {
+                for pm in s.phases() {
+                    assert!(pm.is_partial_permutation(), "{}", entry.name());
+                }
+            }
+            assert_eq!(s.algorithm(), entry.family(), "{}", entry.name());
+        }
+    }
+
+    #[test]
+    fn lp_declines_non_hypercube_topologies() {
+        let mesh = Mesh2d::new(3, 4);
+        assert!(!find("LP").unwrap().supports_topology(&mesh));
+        // Even with a power-of-two node count a mesh is declined: LP's
+        // link-freedom argument needs e-cube routing, not just `i ^ k`.
+        assert!(!find("LP").unwrap().supports_topology(&Mesh2d::new(4, 8)));
+        assert!(find("LP").unwrap().supports_topology(&Hypercube::new(5)));
+        assert!(find("RS_NL").unwrap().supports_topology(&mesh));
+        let com = sample_com(12);
+        let s = find("RS_NL").unwrap().schedule(&com, &mesh, 1);
+        assert!(s.link_contention_free(&mesh));
+    }
+
+    #[test]
+    fn variants_actually_differ_from_their_base() {
+        let com = sample_com(64);
+        let cube = Hypercube::new(6);
+        for v in variants() {
+            let base = v.family().scheduler();
+            let a = v.schedule(&com, &cube, 11);
+            let b = base.schedule(&com, &cube, 11);
+            assert!(
+                a.phases() != b.phases() || a.ops() != b.ops(),
+                "{} is indistinguishable from {}",
+                v.name(),
+                base.name()
+            );
+        }
+    }
+}

@@ -2,7 +2,14 @@ use hypercube::Topology;
 
 use crate::PartialPermutation;
 
-/// Which algorithm produced a schedule.
+/// Which algorithm *family* produced a schedule.
+///
+/// This closed enum predates the [`crate::registry`]; it survives as a
+/// thin compat shim. Variant entries of the registry (GREEDY, the
+/// [`crate::RsOptions`] ablations) report the family they belong to, and
+/// [`SchedulerKind::scheduler`] resolves an enum value back to its
+/// canonical registry entry. New algorithms should be added to the
+/// registry, not here.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// Asynchronous communication (Section 3): no schedule.

@@ -108,6 +108,10 @@ impl Topology for Hypercube {
         self.for_each_hop(src, dst, |_, _, link| out.push(link));
     }
 
+    fn is_ecube_hypercube(&self) -> bool {
+        true
+    }
+
     fn diameter(&self) -> usize {
         self.dims as usize
     }

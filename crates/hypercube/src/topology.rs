@@ -38,6 +38,16 @@ pub trait Topology: Send + Sync {
         out.extend_from_slice(self.route(src, dst).links());
     }
 
+    /// Whether this topology is a hypercube under e-cube routing.
+    ///
+    /// Some scheduling guarantees are e-cube-specific — LP's XOR phases
+    /// are link-contention-free *only* under e-cube routing on a cube —
+    /// so schedulers that rely on that structure probe it here instead of
+    /// guessing from the node count. Defaults to `false`.
+    fn is_ecube_hypercube(&self) -> bool {
+        false
+    }
+
     /// Network diameter: the maximum hop distance over all node pairs.
     fn diameter(&self) -> usize;
 

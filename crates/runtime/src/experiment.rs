@@ -1,4 +1,4 @@
-use commsched::{CommMatrix, I860CostModel, Schedule};
+use commsched::{CommMatrix, I860CostModel, Schedule, Scheduler};
 use hypercube::Topology;
 use simnet::{MachineParams, SimError};
 use std::sync::Mutex;
@@ -115,6 +115,34 @@ impl ExperimentRunner {
         })
     }
 
+    /// [`ExperimentRunner::run_cell`] for a registry entry: the schedule
+    /// closure is the entry's [`Scheduler::schedule`] over `topo`, and the
+    /// communication scheme is the entry's paper default
+    /// ([`crate::Scheme::for_scheduler`]).
+    ///
+    /// This is how the repro binaries enumerate the whole registry without
+    /// naming any algorithm.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] of any sample (by sample index).
+    pub fn run_scheduler_cell(
+        &self,
+        topo: &dyn Topology,
+        set: &SampleSet,
+        gen: &(dyn Fn(u64) -> CommMatrix + Sync),
+        entry: &dyn Scheduler,
+        scheme: crate::Scheme,
+    ) -> Result<CellResult, SimError> {
+        self.run_cell(
+            topo,
+            set,
+            gen,
+            &|com, seed| entry.schedule(com, topo, seed),
+            scheme,
+        )
+    }
+
     fn run_sample<T: Topology + ?Sized>(
         &self,
         topo: &T,
@@ -169,6 +197,58 @@ mod tests {
         assert!(cell.comm_ms_min <= cell.comm_ms && cell.comm_ms <= cell.comm_ms_max);
         assert!(cell.phases >= 3.0);
         assert!(cell.comp_ms > 0.0);
+    }
+
+    #[test]
+    fn scheduler_cell_matches_closure_cell() {
+        // The registry-driven entry point must measure exactly what the
+        // closure-driven one measures for the same algorithm and seeds.
+        let cube = Hypercube::new(4);
+        let runner = ExperimentRunner::ipsc860();
+        let set = SampleSet::new(5, 4);
+        let gen = |seed| workloads::random_dense(16, 3, 2048, seed);
+        let entry = commsched::registry::find("RS_NL").unwrap();
+        let via_registry = runner
+            .run_scheduler_cell(
+                &cube,
+                &set,
+                &gen,
+                entry,
+                crate::Scheme::for_scheduler(entry),
+            )
+            .unwrap();
+        let via_closure = runner
+            .run_cell(
+                &cube,
+                &set,
+                &gen,
+                &|com, seed| rs_nl(com, &Hypercube::new(4), seed),
+                Scheme::S1,
+            )
+            .unwrap();
+        assert_eq!(via_registry, via_closure);
+    }
+
+    #[test]
+    fn every_registry_entry_runs_end_to_end() {
+        // GREEDY and the ablation variants are first-class runtime citizens,
+        // not just schedule factories.
+        let cube = Hypercube::new(4);
+        let runner = ExperimentRunner::ipsc860();
+        let set = SampleSet::new(9, 2);
+        let gen = |seed| workloads::random_dense(16, 3, 1024, seed);
+        for &entry in commsched::registry::all() {
+            let cell = runner
+                .run_scheduler_cell(
+                    &cube,
+                    &set,
+                    &gen,
+                    entry,
+                    crate::Scheme::for_scheduler(entry),
+                )
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
+            assert!(cell.comm_ms > 0.0, "{}", entry.name());
+        }
     }
 
     #[test]

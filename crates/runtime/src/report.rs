@@ -9,7 +9,8 @@ use crate::CellResult;
 pub struct CellRecord {
     /// Experiment id ("table1", "fig6", ...).
     pub experiment: String,
-    /// Algorithm label ("AC", "LP", "RS_N", "RS_NL").
+    /// Algorithm label — a [`commsched::Scheduler::name`] from the
+    /// registry ("AC", "LP", "RS_N", "RS_NL", "GREEDY", variants...).
     pub algorithm: String,
     /// Density `d`.
     pub d: usize,
@@ -44,6 +45,17 @@ impl CellRecord {
             comp_ms: cell.comp_ms,
             samples: cell.samples,
         }
+    }
+
+    /// [`CellRecord::from_cell`] labelled with a registry entry's name.
+    pub fn from_entry(
+        experiment: &str,
+        entry: &dyn commsched::Scheduler,
+        d: usize,
+        msg_bytes: u32,
+        cell: &CellResult,
+    ) -> Self {
+        CellRecord::from_cell(experiment, entry.name(), d, msg_bytes, cell)
     }
 }
 

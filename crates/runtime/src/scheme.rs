@@ -1,4 +1,4 @@
-use commsched::SchedulerKind;
+use commsched::{Scheduler, SchedulerKind};
 
 /// The two communication schemes evaluated in Section 6 of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -28,6 +28,12 @@ impl Scheme {
         }
     }
 
+    /// [`Scheme::paper_default`] for a registry entry: variants inherit
+    /// the scheme of their family (exchange-fusing families run under S1).
+    pub fn for_scheduler(entry: &dyn Scheduler) -> Scheme {
+        Scheme::paper_default(entry.family())
+    }
+
     /// Short label for reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -53,5 +59,19 @@ mod tests {
     fn labels() {
         assert_eq!(Scheme::S1.label(), "S1");
         assert_eq!(Scheme::S2.label(), "S2");
+    }
+
+    #[test]
+    fn registry_entries_inherit_their_family_scheme() {
+        for &entry in commsched::registry::all() {
+            assert_eq!(
+                Scheme::for_scheduler(entry),
+                Scheme::paper_default(entry.family()),
+                "{}",
+                entry.name()
+            );
+        }
+        let greedy = commsched::registry::find("GREEDY").unwrap();
+        assert_eq!(Scheme::for_scheduler(greedy), Scheme::S2);
     }
 }

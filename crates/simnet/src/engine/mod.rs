@@ -1,0 +1,19 @@
+//! The discrete-event engine's internals, split by concern:
+//!
+//! * [`queue`] — the simulation clock: a deterministic, tie-stable event
+//!   queue (indexed 4-ary min-heap).
+//! * [`node`] — per-node protocol state: program progress, blocking
+//!   conditions, receive-side message states, buffer accounting.
+//! * [`router`] — circuit reservation: transfers and the occupancy tables
+//!   of the shared resources (engines, receive ports, directed links),
+//!   with FIFO wait queues for the hold-and-wait policy.
+//! * [`claim`] — the transfer lifecycle: creation, the atomic and
+//!   hold-and-wait claim policies, delivery, and completion.
+//!
+//! The driver that ties them together — the event loop and per-node
+//! program execution, plus deadlock detection — is `crate::sim`.
+
+pub(crate) mod claim;
+pub(crate) mod node;
+pub(crate) mod queue;
+pub(crate) mod router;

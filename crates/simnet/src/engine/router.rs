@@ -1,0 +1,318 @@
+//! Circuit reservation: transfers, and the shared network resources
+//! (communication engines, receive ports, directed links) they claim.
+//!
+//! The router is policy-mechanism split: it owns the resource occupancy
+//! tables and their FIFO wait queues, while the driver (`crate::sim`)
+//! decides *when* to attempt claims (atomic all-or-nothing vs hold-and-wait
+//! incremental — [`crate::ClaimPolicy`]).
+
+use std::collections::VecDeque;
+
+use hypercube::LinkId;
+
+use crate::engine::queue::TransferId;
+use crate::program::Tag;
+use crate::PortModel;
+
+/// What kind of movement a transfer is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TKind {
+    Data { exchange_part: bool },
+    Fused,
+    Copy,
+}
+
+/// Lifecycle of a transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TState {
+    Pending,
+    Claiming,
+    WaitDelivery,
+    Active,
+    Done,
+}
+
+/// One unit of data movement: a message circuit, a fused exchange (both
+/// directions of a reciprocal pair), or a local buffer copy.
+pub(crate) struct Transfer {
+    pub kind: TKind,
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u32,
+    /// Fused exchanges only: bytes of the reverse (`dst -> src`)
+    /// direction, delivered to `src` on completion. 0 otherwise.
+    pub rev_bytes: u32,
+    pub tag: Tag,
+    /// Claim set: the route for data, both routes for a fused exchange,
+    /// empty for copies.
+    pub links: Vec<LinkId>,
+    pub duration: u64,
+    pub request_ns: u64,
+    pub start_ns: u64,
+    pub state: TState,
+    /// Hold-and-wait claim progress: number of resources already held
+    /// (0 = nothing, 1 = send port, 1+k = first k links, ...).
+    pub claim_idx: usize,
+    /// In-order issue position at the sender (None = exempt: exchange
+    /// parts, copies, and 0-byte control signals bypass the data queue).
+    pub issue_seq: Option<u64>,
+}
+
+/// Occupancy of the machine's shared communication resources, with one
+/// FIFO wait queue per resource (used by the hold-and-wait policy).
+pub(crate) struct Router {
+    ports: PortModel,
+    /// Unified engine, or the send port in split mode. `None` = free.
+    engines: Vec<Option<TransferId>>,
+    recv_ports: Vec<Option<TransferId>>,
+    links: Vec<Option<TransferId>>,
+    engine_q: Vec<VecDeque<TransferId>>,
+    recv_q: Vec<VecDeque<TransferId>>,
+    link_q: Vec<VecDeque<TransferId>>,
+    pub link_busy_ns: Vec<u64>,
+}
+
+impl Router {
+    pub(crate) fn new(n: usize, link_count: usize, ports: PortModel) -> Self {
+        Router {
+            ports,
+            engines: vec![None; n],
+            recv_ports: vec![None; n],
+            links: vec![None; link_count],
+            engine_q: vec![VecDeque::new(); n],
+            recv_q: vec![VecDeque::new(); n],
+            link_q: vec![VecDeque::new(); link_count],
+            link_busy_ns: vec![0; link_count],
+        }
+    }
+
+    /// The resource that admits an incoming message at `node`: the unified
+    /// engine, or the dedicated receive port in split mode.
+    pub(crate) fn port_free_for_recv(&self, node: usize) -> bool {
+        match self.ports {
+            PortModel::Unified => self.engines[node].is_none(),
+            PortModel::Split => self.recv_ports[node].is_none(),
+        }
+    }
+
+    /// Atomic policy: can `t` claim *all* of its resources right now?
+    /// `issue_ok` is the sender-side head-of-line condition (the driver
+    /// tracks issue cursors in per-node state).
+    pub(crate) fn can_claim_atomic(&self, t: &Transfer, issue_ok: bool) -> bool {
+        let src = t.src as usize;
+        let dst = t.dst as usize;
+        match t.kind {
+            TKind::Copy => self.port_free_for_recv(dst),
+            TKind::Data { .. } => {
+                issue_ok
+                    && self.engines[src].is_none()
+                    && self.port_free_for_recv(dst)
+                    && t.links.iter().all(|l| self.links[l.index()].is_none())
+            }
+            TKind::Fused => {
+                // dst here is the partner; fused exchanges exist only in the
+                // unified port model.
+                self.engines[src].is_none()
+                    && self.engines[dst].is_none()
+                    && t.links.iter().all(|l| self.links[l.index()].is_none())
+            }
+        }
+    }
+
+    /// Atomic policy: claim every resource of `t` (the caller verified
+    /// [`Router::can_claim_atomic`]).
+    pub(crate) fn claim_atomic(&mut self, id: TransferId, t: &Transfer) {
+        let src = t.src as usize;
+        let dst = t.dst as usize;
+        match t.kind {
+            TKind::Copy => match self.ports {
+                PortModel::Unified => self.engines[dst] = Some(id),
+                PortModel::Split => self.recv_ports[dst] = Some(id),
+            },
+            TKind::Data { .. } => {
+                self.engines[src] = Some(id);
+                match self.ports {
+                    PortModel::Unified => self.engines[dst] = Some(id),
+                    PortModel::Split => self.recv_ports[dst] = Some(id),
+                }
+                for l in &t.links {
+                    self.links[l.index()] = Some(id);
+                }
+            }
+            TKind::Fused => {
+                self.engines[src] = Some(id);
+                self.engines[dst] = Some(id);
+                for l in &t.links {
+                    self.links[l.index()] = Some(id);
+                }
+            }
+        }
+    }
+
+    /// Hold-and-wait: take `node`'s engine or join its queue. True = held.
+    pub(crate) fn hw_claim_engine(&mut self, node: usize, id: TransferId) -> bool {
+        match self.engines[node] {
+            Some(holder) if holder != id => {
+                self.engine_q[node].push_back(id);
+                false
+            }
+            Some(_) => true,
+            None => {
+                self.engines[node] = Some(id);
+                true
+            }
+        }
+    }
+
+    /// Hold-and-wait: take `node`'s receive port or join its queue.
+    pub(crate) fn hw_claim_recv_port(&mut self, node: usize, id: TransferId) -> bool {
+        match self.recv_ports[node] {
+            Some(holder) if holder != id => {
+                self.recv_q[node].push_back(id);
+                false
+            }
+            Some(_) => true,
+            None => {
+                self.recv_ports[node] = Some(id);
+                true
+            }
+        }
+    }
+
+    /// Hold-and-wait: take one link of the circuit or join its queue.
+    pub(crate) fn hw_claim_link(&mut self, link: LinkId, id: TransferId) -> bool {
+        match self.links[link.index()] {
+            Some(holder) if holder != id => {
+                self.link_q[link.index()].push_back(id);
+                false
+            }
+            _ => {
+                self.links[link.index()] = Some(id);
+                true
+            }
+        }
+    }
+
+    /// Free `node`'s engine; returns the next queued transfer, which now
+    /// holds the engine and must be re-advanced by the driver.
+    pub(crate) fn release_engine(&mut self, node: usize, id: TransferId) -> Option<TransferId> {
+        debug_assert_eq!(self.engines[node], Some(id));
+        self.engines[node] = None;
+        let next = self.engine_q[node].pop_front();
+        if let Some(next) = next {
+            self.engines[node] = Some(next);
+        }
+        next
+    }
+
+    /// Free `node`'s receive port; returns the next queued transfer.
+    pub(crate) fn release_recv_port(&mut self, node: usize, id: TransferId) -> Option<TransferId> {
+        debug_assert_eq!(self.recv_ports[node], Some(id));
+        self.recv_ports[node] = None;
+        let next = self.recv_q[node].pop_front();
+        if let Some(next) = next {
+            self.recv_ports[node] = Some(next);
+        }
+        next
+    }
+
+    /// Free every link of a circuit, accounting `duration` of busy time on
+    /// each; `wake` is called for each queued transfer that now holds its
+    /// link (the driver re-advances them).
+    pub(crate) fn release_links(
+        &mut self,
+        id: TransferId,
+        links: &[LinkId],
+        duration: u64,
+        mut wake: impl FnMut(TransferId),
+    ) {
+        for l in links {
+            self.link_busy_ns[l.index()] += duration;
+            debug_assert_eq!(self.links[l.index()], Some(id));
+            self.links[l.index()] = None;
+            if let Some(next) = self.link_q[l.index()].pop_front() {
+                self.links[l.index()] = Some(next);
+                wake(next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(src: u32, dst: u32, links: Vec<LinkId>) -> Transfer {
+        Transfer {
+            kind: TKind::Data {
+                exchange_part: false,
+            },
+            src,
+            dst,
+            bytes: 64,
+            rev_bytes: 0,
+            tag: Tag(0),
+            links,
+            duration: 10,
+            request_ns: 0,
+            start_ns: 0,
+            state: TState::Pending,
+            claim_idx: 0,
+            issue_seq: None,
+        }
+    }
+
+    #[test]
+    fn atomic_claim_is_all_or_nothing() {
+        let mut r = Router::new(4, 8, PortModel::Unified);
+        let t0 = data(0, 1, vec![LinkId(3)]);
+        assert!(r.can_claim_atomic(&t0, true));
+        assert!(!r.can_claim_atomic(&t0, false), "head-of-line gate");
+        r.claim_atomic(7, &t0);
+        // Same link, disjoint endpoints: blocked on the channel.
+        let t1 = data(2, 3, vec![LinkId(3)]);
+        assert!(!r.can_claim_atomic(&t1, true));
+        // Disjoint link and endpoints: admitted concurrently.
+        let t2 = data(2, 3, vec![LinkId(5)]);
+        assert!(r.can_claim_atomic(&t2, true));
+    }
+
+    #[test]
+    fn unified_ports_serialize_send_and_recv() {
+        let mut r = Router::new(2, 2, PortModel::Unified);
+        r.claim_atomic(1, &data(0, 1, vec![]));
+        // Node 1's engine is busy receiving: it can neither send nor recv.
+        assert!(!r.can_claim_atomic(&data(1, 0, vec![]), true));
+        assert!(!r.port_free_for_recv(1));
+
+        let mut split = Router::new(2, 2, PortModel::Split);
+        split.claim_atomic(1, &data(0, 1, vec![]));
+        // Split ports: node 1 may still send while receiving.
+        assert!(split.can_claim_atomic(&data(1, 0, vec![]), true));
+    }
+
+    #[test]
+    fn hold_and_wait_queues_fifo_and_hands_off_on_release() {
+        let mut r = Router::new(2, 2, PortModel::Split);
+        assert!(r.hw_claim_engine(0, 1));
+        assert!(r.hw_claim_engine(0, 1), "re-claim by the holder is a no-op");
+        assert!(!r.hw_claim_engine(0, 2));
+        assert!(!r.hw_claim_engine(0, 3));
+        assert_eq!(r.release_engine(0, 1), Some(2), "FIFO hand-off");
+        assert_eq!(r.release_engine(0, 2), Some(3));
+        assert_eq!(r.release_engine(0, 3), None);
+    }
+
+    #[test]
+    fn link_release_accounts_busy_time_and_wakes_waiters() {
+        let mut r = Router::new(2, 4, PortModel::Unified);
+        assert!(r.hw_claim_link(LinkId(2), 1));
+        assert!(!r.hw_claim_link(LinkId(2), 5));
+        let mut woken = Vec::new();
+        r.release_links(1, &[LinkId(2)], 100, |id| woken.push(id));
+        assert_eq!(woken, [5]);
+        assert_eq!(r.link_busy_ns[2], 100);
+        // The waiter now holds the link.
+        assert!(r.hw_claim_link(LinkId(2), 5));
+    }
+}

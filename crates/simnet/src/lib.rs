@@ -27,6 +27,24 @@
 //! Execution is fully deterministic: same programs, same parameters, same
 //! report — ties in the event queue break on a monotone sequence number.
 //!
+//! # Engine layout
+//!
+//! The engine is a module tree under `engine/`, tied together by the thin
+//! driver `sim.rs`:
+//!
+//! * `engine/queue.rs` — the simulation clock: a deterministic indexed
+//!   4-ary min-heap event queue (tie-stable, allocation-light on the
+//!   push/pop hot path).
+//! * `engine/node.rs` — per-node protocol state (program progress,
+//!   blocking conditions, receive states, buffer accounting).
+//! * `engine/router.rs` — circuit reservation: transfers and the
+//!   occupancy tables of engines, receive ports, and directed links,
+//!   with FIFO wait queues for the hold-and-wait policy.
+//! * `engine/claim.rs` — the transfer lifecycle: creation, the atomic
+//!   and hold-and-wait claim policies, delivery, and completion.
+//! * `sim.rs` — the event loop, per-node program execution, statistics,
+//!   and deadlock detection.
+//!
 //! # Example
 //!
 //! ```
@@ -48,7 +66,7 @@
 
 #![forbid(unsafe_code)]
 
-mod event;
+mod engine;
 mod params;
 mod program;
 mod sim;

@@ -1,13 +1,18 @@
-//! The discrete-event engine: program execution, circuit claiming,
-//! contention, buffering, and deadlock detection.
+//! The discrete-event driver: executes per-node programs against the
+//! engine modules — the [`crate::engine::queue`] clock, the
+//! [`crate::engine::node`] protocol state, and the
+//! [`crate::engine::router`] circuit reservation — implementing the two
+//! claim policies, message delivery, buffering, and deadlock detection.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
-use hypercube::{LinkId, NodeId, Topology};
+use hypercube::{NodeId, Topology};
 
-use crate::event::{EvKind, EventQueue, TransferId};
+use crate::engine::node::{Block, NodeState, RecvState};
+use crate::engine::queue::{EvKind, EventQueue, TransferId};
+use crate::engine::router::{Router, TState, Transfer};
 use crate::program::{Op, Program, Tag};
-use crate::stats::{NodeStats, SimError, SimReport, SimStats};
+use crate::stats::{SimError, SimReport, SimStats};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::{ClaimPolicy, MachineParams, PortModel};
 
@@ -41,155 +46,39 @@ pub fn simulate_traced<T: Topology + ?Sized>(
     Ok((r, t.expect("trace was requested")))
 }
 
-// ---------------------------------------------------------------------------
-// Internal state
-// ---------------------------------------------------------------------------
-
-/// What a node's program is currently blocked on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Block {
-    None,
-    WaitRecv(u32, Tag),
-    WaitSend(TransferId),
-    WaitAllSends,
-    WaitAllRecvs,
-    Exchange,
+/// One side of a pairwise-exchange rendezvous waiting for its partner.
+pub(crate) struct ExchangeHalf {
+    pub(crate) send_bytes: u32,
+    pub(crate) recv_bytes: u32,
+    pub(crate) node: u32,
 }
 
-/// Receive-side state of one expected message, keyed by `(src, tag)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum RecvState {
-    /// Application buffer posted, data not yet in flight.
-    Posted,
-    /// Data in flight directly into the posted buffer.
-    InFlightDirect,
-    /// Data in flight into the system buffer (no post yet).
-    BufArriving { posted_meanwhile: bool },
-    /// Data parked in the system buffer awaiting a post.
-    Buffered(u32),
-    /// Copy from system buffer to application buffer in progress.
-    Copying,
-    /// Delivered into the application buffer.
-    Delivered,
-}
-
-struct NodeState {
-    pc: usize,
-    block: Block,
-    done: bool,
-    resume_scheduled: bool,
-    outstanding_sends: usize,
-    unfinished_recvs: usize,
-    exchange_parts_left: u8,
-    recvs: HashMap<(u32, u32), RecvState>,
-    buffer_used: u64,
-    delivery_waiters: Vec<TransferId>,
-    /// Issue sequencing of outgoing data transfers (head-of-line at the
-    /// sender): `issue_next` numbers new transfers, `issue_cursor` is the
-    /// oldest not-yet-started one — only it may claim resources.
-    issue_next: u64,
-    issue_cursor: u64,
-    stats: NodeStats,
-}
-
-impl NodeState {
-    fn new() -> Self {
-        NodeState {
-            pc: 0,
-            block: Block::None,
-            done: false,
-            resume_scheduled: false,
-            outstanding_sends: 0,
-            unfinished_recvs: 0,
-            exchange_parts_left: 0,
-            recvs: HashMap::new(),
-            buffer_used: 0,
-            delivery_waiters: Vec::new(),
-            issue_next: 0,
-            issue_cursor: 0,
-            stats: NodeStats::default(),
-        }
-    }
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum TKind {
-    Data { exchange_part: bool },
-    Fused,
-    Copy,
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum TState {
-    Pending,
-    Claiming,
-    WaitDelivery,
-    Active,
-    Done,
-}
-
-struct Transfer {
-    kind: TKind,
-    src: u32,
-    dst: u32,
-    bytes: u32,
-    tag: Tag,
-    /// Claim set: the route for data, both routes for a fused exchange,
-    /// empty for copies.
-    links: Vec<LinkId>,
-    /// Number of links belonging to the forward route (hold-and-wait claims
-    /// only these in order; fused transfers are atomic-only).
-    duration: u64,
-    request_ns: u64,
-    start_ns: u64,
-    state: TState,
-    /// Hold-and-wait claim progress: number of resources already held
-    /// (0 = nothing, 1 = send port, 1+k = first k links, ...).
-    claim_idx: usize,
-    /// In-order issue position at the sender (None = exempt: exchange
-    /// parts, copies, and 0-byte control signals bypass the data queue).
-    issue_seq: Option<u64>,
-}
-
-struct ExchangeHalf {
-    send_bytes: u32,
-    recv_bytes: u32,
-    node: u32,
-}
-
-struct Sim<'a, T: ?Sized> {
-    topo: &'a T,
-    params: &'a MachineParams,
-    programs: Vec<Program>,
-    n: usize,
-    queue: EventQueue,
-    now: u64,
-    nodes: Vec<NodeState>,
-    transfers: Vec<Transfer>,
+pub(crate) struct Sim<'a, T: ?Sized> {
+    pub(crate) topo: &'a T,
+    pub(crate) params: &'a MachineParams,
+    pub(crate) programs: Vec<Program>,
+    pub(crate) n: usize,
+    pub(crate) queue: EventQueue,
+    pub(crate) now: u64,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) transfers: Vec<Transfer>,
     /// Atomic-policy pending transfers, oldest first.
-    pending: Vec<TransferId>,
-    /// Unified engine, or the send port in split mode. `None` = free.
-    engines: Vec<Option<TransferId>>,
-    recv_ports: Vec<Option<TransferId>>,
-    links: Vec<Option<TransferId>>,
-    engine_q: Vec<VecDeque<TransferId>>,
-    recv_q: Vec<VecDeque<TransferId>>,
-    link_q: Vec<VecDeque<TransferId>>,
-    rendezvous: HashMap<(u32, u32, u32), ExchangeHalf>,
-    link_busy_ns: Vec<u64>,
-    stats_transfers: u64,
-    stats_blocked: u64,
-    stats_blocked_ns: u64,
-    stats_blocked_max: u64,
-    stats_copies: u64,
-    events: u64,
-    last_activity_ns: u64,
-    trace: Option<Vec<TraceEvent>>,
-    err: Option<SimError>,
+    pub(crate) pending: Vec<TransferId>,
+    pub(crate) router: Router,
+    pub(crate) rendezvous: HashMap<(u32, u32, u32), ExchangeHalf>,
+    pub(crate) stats_transfers: u64,
+    pub(crate) stats_blocked: u64,
+    pub(crate) stats_blocked_ns: u64,
+    pub(crate) stats_blocked_max: u64,
+    pub(crate) stats_copies: u64,
+    pub(crate) events: u64,
+    pub(crate) last_activity_ns: u64,
+    pub(crate) trace: Option<Vec<TraceEvent>>,
+    pub(crate) err: Option<SimError>,
 }
 
 impl<'a, T: Topology + ?Sized> Sim<'a, T> {
-    fn new(
+    pub(crate) fn new(
         topo: &'a T,
         params: &'a MachineParams,
         programs: Vec<Program>,
@@ -229,7 +118,6 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
                 }
             }
         }
-        let link_count = topo.link_count();
         Ok(Sim {
             topo,
             params,
@@ -240,14 +128,8 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
             nodes: (0..n).map(|_| NodeState::new()).collect(),
             transfers: Vec::new(),
             pending: Vec::new(),
-            engines: vec![None; n],
-            recv_ports: vec![None; n],
-            links: vec![None; link_count],
-            engine_q: vec![VecDeque::new(); n],
-            recv_q: vec![VecDeque::new(); n],
-            link_q: vec![VecDeque::new(); link_count],
+            router: Router::new(n, topo.link_count(), params.ports),
             rendezvous: HashMap::new(),
-            link_busy_ns: vec![0; link_count],
             stats_transfers: 0,
             stats_blocked: 0,
             stats_blocked_ns: 0,
@@ -262,7 +144,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
 
     // -- main loop ---------------------------------------------------------
 
-    fn run(mut self) -> Result<(SimReport, Option<Vec<TraceEvent>>), SimError> {
+    pub(crate) fn run(mut self) -> Result<(SimReport, Option<Vec<TraceEvent>>), SimError> {
         for i in 0..self.n {
             self.schedule_resume(i);
         }
@@ -326,8 +208,8 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
             transfers_blocked: self.stats_blocked,
             blocked_ns_total: self.stats_blocked_ns,
             blocked_ns_max: self.stats_blocked_max,
-            link_busy_ns_total: self.link_busy_ns.iter().sum(),
-            link_busy_ns_max: self.link_busy_ns.iter().copied().max().unwrap_or(0),
+            link_busy_ns_total: self.router.link_busy_ns.iter().sum(),
+            link_busy_ns_max: self.router.link_busy_ns.iter().copied().max().unwrap_or(0),
             copies: self.stats_copies,
             events: self.events,
         };
@@ -340,7 +222,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         ))
     }
 
-    fn describe_block(&self, i: usize, s: &NodeState) -> String {
+    pub(crate) fn describe_block(&self, i: usize, s: &NodeState) -> String {
         match s.block {
             Block::None => format!("runnable at pc={} (scheduler bug?)", s.pc),
             Block::WaitRecv(src, tag) => format!("waiting for message ({src},{tag:?})"),
@@ -359,26 +241,26 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         }
     }
 
-    fn schedule_resume(&mut self, node: usize) {
+    pub(crate) fn schedule_resume(&mut self, node: usize) {
         if !self.nodes[node].resume_scheduled {
             self.nodes[node].resume_scheduled = true;
             self.queue.push(self.now, EvKind::Resume(node));
         }
     }
 
-    fn schedule_resume_at(&mut self, node: usize, at: u64) {
+    pub(crate) fn schedule_resume_at(&mut self, node: usize, at: u64) {
         // Timed resumes (compute/overhead) bypass the dedup flag on purpose:
         // the node is mid-instruction and cannot be woken by anything else.
         self.queue.push(at, EvKind::Resume(node));
     }
 
-    fn error(&mut self, node: usize, msg: String) {
+    pub(crate) fn error(&mut self, node: usize, msg: String) {
         if self.err.is_none() {
             self.err = Some(SimError::ProgramError { node, msg });
         }
     }
 
-    fn trace_push(&mut self, kind: TraceKind, src: u32, dst: u32, tag: Tag, bytes: u32) {
+    pub(crate) fn trace_push(&mut self, kind: TraceKind, src: u32, dst: u32, tag: Tag, bytes: u32) {
         if let Some(tr) = &mut self.trace {
             tr.push(TraceEvent {
                 time_ns: self.now,
@@ -393,7 +275,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
 
     // -- program execution -------------------------------------------------
 
-    fn run_program(&mut self, node: usize) {
+    pub(crate) fn run_program(&mut self, node: usize) {
         loop {
             if self.err.is_some() {
                 return;
@@ -480,7 +362,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         }
     }
 
-    fn do_post_recv(&mut self, node: usize, src: u32, tag: Tag) {
+    pub(crate) fn do_post_recv(&mut self, node: usize, src: u32, tag: Tag) {
         let entry = self.nodes[node].recvs.get(&(src, tag.0)).copied();
         match entry {
             None => {
@@ -519,7 +401,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         }
     }
 
-    fn do_exchange(
+    pub(crate) fn do_exchange(
         &mut self,
         node: usize,
         partner: u32,
@@ -579,1145 +461,5 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
             );
             self.nodes[node].block = Block::Exchange;
         }
-    }
-
-    // -- transfer creation --------------------------------------------------
-
-    fn create_data_transfer(
-        &mut self,
-        src: u32,
-        dst: u32,
-        bytes: u32,
-        tag: Tag,
-        exchange_part: bool,
-    ) -> Option<TransferId> {
-        let path = self.topo.route(NodeId(src), NodeId(dst));
-        let hops = path.hops();
-        let mut duration = match self.params.claim {
-            ClaimPolicy::Atomic => self.params.transfer_ns(bytes, hops),
-            // Hold-and-wait pays per-hop cost during claiming instead.
-            ClaimPolicy::HoldAndWait => self.params.wire_ns(bytes),
-        };
-        if exchange_part && self.params.ports == PortModel::Split {
-            duration += self.params.exchange_sync_ns;
-        }
-        // Initiating a send costs CPU time before the circuit is requested;
-        // exchange parts already paid it during the rendezvous.
-        let initiation = if exchange_part {
-            0
-        } else {
-            self.params.send_overhead_ns
-        };
-        // Long-protocol messages issue in order at each sender (the DCM
-        // drains its send queue head-first, stalling behind a head message
-        // whose circuit cannot open — the head-of-line blocking that good
-        // schedules eliminate). Short-protocol messages and 0-byte control
-        // signals are fire-and-forget through system buffers and bypass the
-        // queue; exchange parts are gated by their rendezvous instead.
-        let issue_seq =
-            (!exchange_part && bytes > self.params.protocol_threshold_bytes).then(|| {
-                let seq = self.nodes[src as usize].issue_next;
-                self.nodes[src as usize].issue_next += 1;
-                seq
-            });
-        let id = self.transfers.len();
-        self.transfers.push(Transfer {
-            kind: TKind::Data { exchange_part },
-            src,
-            dst,
-            bytes,
-            tag,
-            links: path.links().to_vec(),
-            duration,
-            request_ns: self.now + initiation,
-            start_ns: 0,
-            state: TState::Pending,
-            claim_idx: 0,
-            issue_seq,
-        });
-        self.stats_transfers += 1;
-        self.nodes[src as usize].outstanding_sends += 1;
-        self.nodes[src as usize].stats.sends += 1;
-        self.trace_push(TraceKind::Requested, src, dst, tag, bytes);
-        if initiation > 0 {
-            self.queue
-                .push(self.now + initiation, EvKind::XferAdvance(id));
-            return Some(id);
-        }
-        match self.params.claim {
-            ClaimPolicy::Atomic => {
-                self.pending.push(id);
-                self.retry_pending();
-            }
-            ClaimPolicy::HoldAndWait => {
-                self.transfers[id].state = TState::Claiming;
-                self.hw_advance(id);
-            }
-        }
-        Some(id)
-    }
-
-    fn create_fused_exchange(&mut self, a: u32, b: u32, ab_bytes: u32, ba_bytes: u32, tag: Tag) {
-        let fwd = self.topo.route(NodeId(a), NodeId(b));
-        let rev = self.topo.route(NodeId(b), NodeId(a));
-        let duration = self.params.exchange_sync_ns
-            + self
-                .params
-                .transfer_ns(ab_bytes, fwd.hops())
-                .max(self.params.transfer_ns(ba_bytes, rev.hops()));
-        let mut links = fwd.links().to_vec();
-        links.extend_from_slice(rev.links());
-        let id = self.transfers.len();
-        self.transfers.push(Transfer {
-            kind: TKind::Fused,
-            src: a,
-            dst: b,
-            bytes: ab_bytes,
-            tag,
-            links,
-            duration,
-            request_ns: self.now,
-            start_ns: 0,
-            state: TState::Pending,
-            claim_idx: 0,
-            issue_seq: None,
-        });
-        self.stats_transfers += 1;
-        self.nodes[a as usize].stats.sends += 1;
-        self.nodes[b as usize].stats.sends += 1;
-        self.trace_push(TraceKind::Requested, a, b, tag, ab_bytes.max(ba_bytes));
-        self.pending.push(id);
-        self.retry_pending();
-    }
-
-    fn create_copy_transfer(&mut self, node: u32, src: u32, bytes: u32, tag: Tag) {
-        let id = self.transfers.len();
-        self.transfers.push(Transfer {
-            kind: TKind::Copy,
-            src,
-            dst: node,
-            bytes,
-            tag,
-            links: Vec::new(),
-            duration: self.params.copy_ns(bytes),
-            request_ns: self.now,
-            start_ns: 0,
-            state: TState::Pending,
-            claim_idx: 0,
-            issue_seq: None,
-        });
-        match self.params.claim {
-            ClaimPolicy::Atomic => {
-                self.pending.push(id);
-                self.retry_pending();
-            }
-            ClaimPolicy::HoldAndWait => {
-                self.transfers[id].state = TState::Claiming;
-                self.hw_advance(id);
-            }
-        }
-    }
-
-    // -- atomic claim policy -------------------------------------------------
-
-    /// Whether the receive side can accept this message right now, and how.
-    /// `Ok(true)` = direct into a posted buffer, `Ok(false)` = via the system
-    /// buffer. `Err(())` = must wait (buffer full).
-    fn delivery_mode(&mut self, t_idx: TransferId) -> Result<bool, ()> {
-        let (dst, src, tag, bytes) = {
-            let t = &self.transfers[t_idx];
-            (t.dst as usize, t.src, t.tag, t.bytes)
-        };
-        match self.nodes[dst].recvs.get(&(src, tag.0)) {
-            Some(RecvState::Posted) => Ok(true),
-            Some(other) => {
-                let other = *other;
-                self.error(
-                    dst,
-                    format!("second message ({src},{tag:?}) while first is {other:?}"),
-                );
-                Err(())
-            }
-            None => {
-                let used = self.nodes[dst].buffer_used;
-                match self.params.buffer_bytes {
-                    Some(cap) if used + bytes as u64 > cap => Err(()),
-                    _ => Ok(false),
-                }
-            }
-        }
-    }
-
-    fn atomic_can_claim(&self, t: &Transfer) -> bool {
-        let src = t.src as usize;
-        let dst = t.dst as usize;
-        match t.kind {
-            TKind::Copy => self.port_free_for_recv(dst),
-            TKind::Data { .. } => {
-                t.issue_seq
-                    .is_none_or(|s| s == self.nodes[src].issue_cursor)
-                    && self.engines[src].is_none()
-                    && self.port_free_for_recv(dst)
-                    && t.links.iter().all(|l| self.links[l.index()].is_none())
-            }
-            TKind::Fused => {
-                // dst here is the partner; fused exchanges exist only in the
-                // unified port model.
-                self.engines[src].is_none()
-                    && self.engines[dst].is_none()
-                    && t.links.iter().all(|l| self.links[l.index()].is_none())
-            }
-        }
-    }
-
-    fn port_free_for_recv(&self, node: usize) -> bool {
-        match self.params.ports {
-            PortModel::Unified => self.engines[node].is_none(),
-            PortModel::Split => self.recv_ports[node].is_none(),
-        }
-    }
-
-    fn retry_pending(&mut self) {
-        // Oldest-first, first-fit: a transfer starts as soon as every
-        // resource it needs is simultaneously free.
-        let mut i = 0;
-        while i < self.pending.len() {
-            let id = self.pending[i];
-            if !self.atomic_can_claim(&self.transfers[id]) {
-                i += 1;
-                continue;
-            }
-            // Delivery feasibility (posted buffer or system-buffer space).
-            let deliverable = match self.transfers[id].kind {
-                TKind::Data { .. } => self.delivery_mode(id).ok(),
-                _ => Some(true),
-            };
-            if self.err.is_some() {
-                return;
-            }
-            let Some(direct) = deliverable else {
-                i += 1;
-                continue;
-            };
-            self.pending.remove(i);
-            self.activate(id, direct);
-            // Restart the scan: activating may have consumed resources that
-            // earlier-pended transfers were also waiting for, but it cannot
-            // have *freed* anything, so continuing from `i` is also sound;
-            // we restart for strict oldest-first fairness.
-            i = 0;
-        }
-    }
-
-    fn activate(&mut self, id: TransferId, direct: bool) {
-        let (kind, src, dst, bytes, tag, duration) = {
-            let t = &self.transfers[id];
-            (
-                t.kind,
-                t.src as usize,
-                t.dst as usize,
-                t.bytes,
-                t.tag,
-                t.duration,
-            )
-        };
-        // Claim resources.
-        match kind {
-            TKind::Copy => match self.params.ports {
-                PortModel::Unified => self.engines[dst] = Some(id),
-                PortModel::Split => self.recv_ports[dst] = Some(id),
-            },
-            TKind::Data { .. } => {
-                self.engines[src] = Some(id);
-                match self.params.ports {
-                    PortModel::Unified => self.engines[dst] = Some(id),
-                    PortModel::Split => self.recv_ports[dst] = Some(id),
-                }
-                for l in &self.transfers[id].links {
-                    self.links[l.index()] = Some(id);
-                }
-            }
-            TKind::Fused => {
-                self.engines[src] = Some(id);
-                self.engines[dst] = Some(id);
-                for l in &self.transfers[id].links {
-                    self.links[l.index()] = Some(id);
-                }
-            }
-        }
-        // Receive-side bookkeeping.
-        if matches!(kind, TKind::Data { .. }) {
-            let key = (src as u32, tag.0);
-            if direct {
-                self.nodes[dst].recvs.insert(key, RecvState::InFlightDirect);
-            } else {
-                self.nodes[dst].recvs.insert(
-                    key,
-                    RecvState::BufArriving {
-                        posted_meanwhile: false,
-                    },
-                );
-                self.nodes[dst].buffer_used += bytes as u64;
-                let used = self.nodes[dst].buffer_used;
-                let peak = &mut self.nodes[dst].stats.peak_buffer_bytes;
-                *peak = (*peak).max(used);
-            }
-        }
-        let t = &mut self.transfers[id];
-        t.state = TState::Active;
-        t.start_ns = self.now;
-        if let Some(s) = t.issue_seq {
-            debug_assert_eq!(s, self.nodes[src].issue_cursor);
-            self.nodes[src].issue_cursor = s + 1;
-        }
-        if self.now > t.request_ns {
-            let delay = self.now - t.request_ns;
-            self.stats_blocked += 1;
-            self.stats_blocked_ns += delay;
-            self.stats_blocked_max = self.stats_blocked_max.max(delay);
-        }
-        self.queue.push(self.now + duration, EvKind::XferDone(id));
-        self.trace_push(TraceKind::Started, src as u32, dst as u32, tag, bytes);
-    }
-
-    // -- hold-and-wait claim policy ------------------------------------------
-
-    /// Resource at claim step `idx` for a transfer: 0 = send port, then one
-    /// slot per link of the route, then the receive port, then delivery.
-    fn hw_advance(&mut self, id: TransferId) {
-        loop {
-            if self.err.is_some() || self.transfers[id].state != TState::Claiming {
-                return;
-            }
-            let (kind, src, dst, nlinks, idx) = {
-                let t = &self.transfers[id];
-                (
-                    t.kind,
-                    t.src as usize,
-                    t.dst as usize,
-                    t.links.len(),
-                    t.claim_idx,
-                )
-            };
-            if kind == TKind::Copy {
-                // Copies only need the receive port.
-                if idx == 0 {
-                    if let Some(holder) = self.recv_ports[dst] {
-                        if holder != id {
-                            self.recv_q[dst].push_back(id);
-                            return;
-                        }
-                    } else {
-                        self.recv_ports[dst] = Some(id);
-                    }
-                    self.transfers[id].claim_idx = 1;
-                }
-                self.hw_activate(id);
-                return;
-            }
-            if idx == 0 {
-                // Send port.
-                if let Some(holder) = self.engines[src] {
-                    if holder != id {
-                        self.engine_q[src].push_back(id);
-                        return;
-                    }
-                } else {
-                    self.engines[src] = Some(id);
-                }
-                self.transfers[id].claim_idx = 1;
-                continue;
-            }
-            if idx <= nlinks {
-                let link = self.transfers[id].links[idx - 1];
-                match self.links[link.index()] {
-                    Some(holder) if holder != id => {
-                        self.link_q[link.index()].push_back(id);
-                        return;
-                    }
-                    _ => {
-                        self.links[link.index()] = Some(id);
-                        self.transfers[id].claim_idx = idx + 1;
-                        // The circuit probe takes hop_ns to cross this link.
-                        if self.params.hop_ns > 0 {
-                            self.queue
-                                .push(self.now + self.params.hop_ns, EvKind::XferAdvance(id));
-                            return;
-                        }
-                        continue;
-                    }
-                }
-            }
-            if idx == nlinks + 1 {
-                // Receive port.
-                if let Some(holder) = self.recv_ports[dst] {
-                    if holder != id {
-                        self.recv_q[dst].push_back(id);
-                        return;
-                    }
-                } else {
-                    self.recv_ports[dst] = Some(id);
-                }
-                self.transfers[id].claim_idx = idx + 1;
-                continue;
-            }
-            // Delivery condition: the circuit is fully established and holds
-            // everything while waiting (tree saturation / deadlock hazard).
-            match self.delivery_mode(id) {
-                Ok(direct) => {
-                    self.hw_mark_delivery(id, direct);
-                    self.hw_activate(id);
-                }
-                Err(()) => {
-                    if self.err.is_none() {
-                        self.transfers[id].state = TState::WaitDelivery;
-                        self.nodes[dst].delivery_waiters.push(id);
-                    }
-                }
-            }
-            return;
-        }
-    }
-
-    fn hw_mark_delivery(&mut self, id: TransferId, direct: bool) {
-        let (src, dst, bytes, tag) = {
-            let t = &self.transfers[id];
-            (t.src, t.dst as usize, t.bytes, t.tag)
-        };
-        let key = (src, tag.0);
-        if direct {
-            self.nodes[dst].recvs.insert(key, RecvState::InFlightDirect);
-        } else {
-            self.nodes[dst].recvs.insert(
-                key,
-                RecvState::BufArriving {
-                    posted_meanwhile: false,
-                },
-            );
-            self.nodes[dst].buffer_used += bytes as u64;
-            let used = self.nodes[dst].buffer_used;
-            let peak = &mut self.nodes[dst].stats.peak_buffer_bytes;
-            *peak = (*peak).max(used);
-        }
-    }
-
-    fn hw_activate(&mut self, id: TransferId) {
-        let t = &mut self.transfers[id];
-        t.state = TState::Active;
-        t.start_ns = self.now;
-        let duration = t.duration;
-        if self.now > t.request_ns {
-            let delay = self.now - t.request_ns;
-            self.stats_blocked += 1;
-            self.stats_blocked_ns += delay;
-            self.stats_blocked_max = self.stats_blocked_max.max(delay);
-        }
-        let (src, dst, tag, bytes) = (t.src, t.dst, t.tag, t.bytes);
-        self.queue.push(self.now + duration, EvKind::XferDone(id));
-        self.trace_push(TraceKind::Started, src, dst, tag, bytes);
-    }
-
-    fn check_delivery_waiters(&mut self, node: usize) {
-        if self.nodes[node].delivery_waiters.is_empty() {
-            return;
-        }
-        let waiters = std::mem::take(&mut self.nodes[node].delivery_waiters);
-        for id in waiters {
-            if self.transfers[id].state != TState::WaitDelivery {
-                continue;
-            }
-            match self.delivery_mode(id) {
-                Ok(direct) => {
-                    self.transfers[id].state = TState::Claiming;
-                    self.hw_mark_delivery(id, direct);
-                    self.hw_activate(id);
-                }
-                Err(()) => {
-                    if self.err.is_some() {
-                        return;
-                    }
-                    self.nodes[node].delivery_waiters.push(id);
-                }
-            }
-        }
-    }
-
-    // -- completion -----------------------------------------------------------
-
-    fn finish_transfer(&mut self, id: TransferId) {
-        let (kind, src, dst, bytes, tag, duration) = {
-            let t = &self.transfers[id];
-            (
-                t.kind,
-                t.src as usize,
-                t.dst as usize,
-                t.bytes,
-                t.tag,
-                t.duration,
-            )
-        };
-        self.transfers[id].state = TState::Done;
-        self.trace_push(TraceKind::Finished, src as u32, dst as u32, tag, bytes);
-
-        // Release resources and account busy time.
-        match kind {
-            TKind::Copy => {
-                match self.params.ports {
-                    PortModel::Unified => self.release_engine(dst, id),
-                    PortModel::Split => self.release_recv_port(dst, id),
-                }
-                self.nodes[dst].stats.engine_busy_ns += duration;
-            }
-            TKind::Data { .. } => {
-                self.release_engine(src, id);
-                match self.params.ports {
-                    PortModel::Unified => self.release_engine(dst, id),
-                    PortModel::Split => self.release_recv_port(dst, id),
-                }
-                self.release_links(id, duration);
-                self.nodes[src].stats.engine_busy_ns += duration;
-                self.nodes[dst].stats.engine_busy_ns += duration;
-            }
-            TKind::Fused => {
-                self.release_engine(src, id);
-                self.release_engine(dst, id);
-                self.release_links(id, duration);
-                self.nodes[src].stats.engine_busy_ns += duration;
-                self.nodes[dst].stats.engine_busy_ns += duration;
-            }
-        }
-
-        // Deliver / update protocol state.
-        match kind {
-            TKind::Copy => {
-                self.nodes[dst].buffer_used -= bytes as u64;
-                self.stats_copies += 1;
-                self.nodes[dst]
-                    .recvs
-                    .insert((src as u32, tag.0), RecvState::Delivered);
-                self.nodes[dst].unfinished_recvs -= 1;
-                self.trace_push(TraceKind::Copied, src as u32, dst as u32, tag, bytes);
-                self.wake_receiver(dst, src as u32, tag);
-                // Freed buffer space may unblock parked circuits or pending
-                // transfers.
-                self.check_delivery_waiters(dst);
-                if self.params.claim == ClaimPolicy::Atomic {
-                    self.retry_pending();
-                }
-            }
-            TKind::Data { exchange_part } => {
-                let key = (src as u32, tag.0);
-                let state = *self.nodes[dst]
-                    .recvs
-                    .get(&key)
-                    .expect("active transfer must have a recv entry");
-                match state {
-                    RecvState::InFlightDirect => {
-                        self.nodes[dst].recvs.insert(key, RecvState::Delivered);
-                        self.nodes[dst].unfinished_recvs -= 1;
-                        self.nodes[dst].stats.direct_bytes += bytes as u64;
-                        self.nodes[dst].stats.recvs += 1;
-                        self.wake_receiver(dst, src as u32, tag);
-                    }
-                    RecvState::BufArriving { posted_meanwhile } => {
-                        self.nodes[dst].stats.buffered_bytes += bytes as u64;
-                        self.nodes[dst].stats.recvs += 1;
-                        self.trace_push(TraceKind::Buffered, src as u32, dst as u32, tag, bytes);
-                        if posted_meanwhile {
-                            self.nodes[dst].recvs.insert(key, RecvState::Copying);
-                            self.create_copy_transfer(dst as u32, src as u32, bytes, tag);
-                        } else {
-                            self.nodes[dst]
-                                .recvs
-                                .insert(key, RecvState::Buffered(bytes));
-                        }
-                    }
-                    other => {
-                        self.error(dst, format!("delivery into bad state {other:?}"));
-                        return;
-                    }
-                }
-                // Sender-side completion.
-                self.nodes[src].outstanding_sends -= 1;
-                self.wake_sender(src, id);
-                if exchange_part {
-                    self.finish_exchange_part(src);
-                    self.finish_exchange_part(dst);
-                }
-                if self.params.claim == ClaimPolicy::Atomic {
-                    self.retry_pending();
-                }
-            }
-            TKind::Fused => {
-                self.nodes[src].stats.recvs += 1;
-                self.nodes[dst].stats.recvs += 1;
-                self.nodes[src].stats.direct_bytes += self.transfers[id].bytes as u64;
-                self.nodes[dst].stats.direct_bytes += bytes as u64;
-                self.finish_exchange_part(src);
-                self.finish_exchange_part(dst);
-                self.retry_pending();
-            }
-        }
-    }
-
-    fn release_engine(&mut self, node: usize, id: TransferId) {
-        debug_assert_eq!(self.engines[node], Some(id));
-        self.engines[node] = None;
-        if let Some(next) = self.engine_q[node].pop_front() {
-            self.engines[node] = Some(next);
-            self.queue.push(self.now, EvKind::XferAdvance(next));
-        }
-    }
-
-    fn release_recv_port(&mut self, node: usize, id: TransferId) {
-        debug_assert_eq!(self.recv_ports[node], Some(id));
-        self.recv_ports[node] = None;
-        if let Some(next) = self.recv_q[node].pop_front() {
-            self.recv_ports[node] = Some(next);
-            self.queue.push(self.now, EvKind::XferAdvance(next));
-        }
-    }
-
-    fn release_links(&mut self, id: TransferId, duration: u64) {
-        let links = std::mem::take(&mut self.transfers[id].links);
-        for l in &links {
-            self.link_busy_ns[l.index()] += duration;
-            debug_assert_eq!(self.links[l.index()], Some(id));
-            self.links[l.index()] = None;
-            if let Some(next) = self.link_q[l.index()].pop_front() {
-                self.links[l.index()] = Some(next);
-                self.queue.push(self.now, EvKind::XferAdvance(next));
-            }
-        }
-        self.transfers[id].links = links;
-    }
-
-    fn finish_exchange_part(&mut self, node: usize) {
-        let st = &mut self.nodes[node];
-        debug_assert!(st.exchange_parts_left > 0);
-        st.exchange_parts_left -= 1;
-        if st.exchange_parts_left == 0 && st.block == Block::Exchange {
-            st.block = Block::None;
-            self.schedule_resume(node);
-        }
-    }
-
-    fn wake_receiver(&mut self, node: usize, src: u32, tag: Tag) {
-        let st = &mut self.nodes[node];
-        let wake = match st.block {
-            Block::WaitRecv(s, t) => s == src && t == tag,
-            Block::WaitAllRecvs => st.unfinished_recvs == 0,
-            _ => false,
-        };
-        if wake {
-            st.block = Block::None;
-            self.schedule_resume(node);
-        }
-    }
-
-    fn wake_sender(&mut self, node: usize, id: TransferId) {
-        let st = &mut self.nodes[node];
-        let wake = match st.block {
-            Block::WaitSend(w) => w == id,
-            Block::WaitAllSends => st.outstanding_sends == 0,
-            _ => false,
-        };
-        if wake {
-            st.block = Block::None;
-            self.schedule_resume(node);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Tests
-// ---------------------------------------------------------------------------
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::{Program, ProgramBuilder};
-    use hypercube::Hypercube;
-
-    fn params() -> MachineParams {
-        MachineParams::ipsc860()
-    }
-
-    fn quiet(n: usize) -> Vec<Program> {
-        (0..n).map(|_| Program::empty()).collect()
-    }
-
-    fn send_recv_pair(bytes: u32) -> (Program, Program) {
-        let mut s = Program::builder();
-        s.send(NodeId(1), bytes, Tag(0));
-        let mut r = Program::builder();
-        r.post_recv(NodeId(0), Tag(0));
-        r.wait_recv(NodeId(0), Tag(0));
-        (s.build(), r.build())
-    }
-
-    #[test]
-    fn empty_programs_finish_instantly() {
-        let cube = Hypercube::new(2);
-        let report = simulate(&cube, &params(), quiet(4)).unwrap();
-        assert_eq!(report.makespan_ns, 0);
-        assert_eq!(report.stats.transfers, 0);
-    }
-
-    #[test]
-    fn single_message_time_matches_model() {
-        let cube = Hypercube::new(1);
-        let p = params();
-        let (s, r) = send_recv_pair(1024);
-        let report = simulate(&cube, &p, vec![s, r]).unwrap();
-        // Posted receive exists before the send fires? The sender may start
-        // before the receiver posts; either way delivery is direct or
-        // buffered. With default send overheads the receiver posts at t=0.
-        // Makespan must be at least the wire time and not absurdly more.
-        let wire = p.transfer_ns(1024, 1);
-        assert!(report.makespan_ns >= wire);
-        assert!(report.makespan_ns < wire * 3, "{}", report.makespan_ns);
-        assert_eq!(report.stats.transfers, 1);
-    }
-
-    #[test]
-    fn short_message_protocol_is_cheaper() {
-        let cube = Hypercube::new(1);
-        let p = params();
-        let (s1, r1) = send_recv_pair(64);
-        let (s2, r2) = send_recv_pair(4096);
-        let fast = simulate(&cube, &p, vec![s1, r1]).unwrap();
-        let slow = simulate(&cube, &p, vec![s2, r2]).unwrap();
-        assert!(fast.makespan_ns < slow.makespan_ns);
-    }
-
-    #[test]
-    fn unposted_arrival_is_buffered_and_copied() {
-        let cube = Hypercube::new(1);
-        let mut p = params();
-        p.recv_post_ns = 0;
-        p.send_overhead_ns = 0;
-        let mut s = Program::builder();
-        s.send(NodeId(1), 5000, Tag(0));
-        let mut r = Program::builder();
-        // Receiver computes for a long time before posting: data must take
-        // the system-buffer path and pay the copy.
-        r.compute(10_000_000);
-        r.post_recv(NodeId(0), Tag(0));
-        r.wait_recv(NodeId(0), Tag(0));
-        let report = simulate(&cube, &p, vec![s.build(), r.build()]).unwrap();
-        assert_eq!(report.stats.copies, 1);
-        assert_eq!(report.stats.nodes[1].buffered_bytes, 5000);
-        assert_eq!(report.stats.nodes[1].direct_bytes, 0);
-        assert!(report.makespan_ns >= 10_000_000 + p.copy_ns(5000));
-    }
-
-    #[test]
-    fn posted_arrival_is_direct() {
-        let cube = Hypercube::new(1);
-        let mut p = params();
-        p.send_overhead_ns = 200_000; // give the post a head start
-        let (s, r) = send_recv_pair(5000);
-        // Swap: make the sender async so overhead ordering is explicit.
-        let _ = s;
-        let mut s = Program::builder();
-        s.compute(500_000);
-        s.send(NodeId(1), 5000, Tag(0));
-        let report = simulate(&cube, &p, vec![s.build(), r]).unwrap();
-        assert_eq!(report.stats.copies, 0);
-        assert_eq!(report.stats.nodes[1].direct_bytes, 5000);
-    }
-
-    #[test]
-    fn node_contention_serializes_receives() {
-        // Two senders to one receiver: the receiver's engine admits one
-        // transfer at a time, so the makespan is ~2 transfer times.
-        let cube = Hypercube::new(2);
-        let p = params();
-        let bytes = 100_000u32;
-        let mut s1 = Program::builder();
-        s1.send(NodeId(0), bytes, Tag(1));
-        let mut s2 = Program::builder();
-        s2.send(NodeId(0), bytes, Tag(2));
-        let mut r = Program::builder();
-        r.post_recv(NodeId(1), Tag(1));
-        r.post_recv(NodeId(2), Tag(2));
-        r.wait_all_recvs();
-        let progs = vec![r.build(), s1.build(), s2.build(), Program::empty()];
-        let report = simulate(&cube, &p, progs).unwrap();
-        let one = p.wire_ns(bytes);
-        assert!(
-            report.makespan_ns >= 2 * one,
-            "makespan {} vs one {}",
-            report.makespan_ns,
-            one
-        );
-        assert_eq!(report.stats.transfers_blocked, 1);
-    }
-
-    #[test]
-    fn link_contention_serializes_disjoint_node_pairs() {
-        // On a 3-cube, 0->3 routes via 1 (links 0-1, 1-3) and 1->3 uses link
-        // 1-3: they share the directed channel (1,dim1) => serialize, even
-        // though all four endpoints differ... (actually 0->3 and 1->3 share
-        // node 3's engine too; use 0->3 via 1 and 1->5? simpler explicit:)
-        // 0->2 uses link (0,dim1); 4->6 uses (4,dim1): disjoint, parallel.
-        // 0->6 uses (0,dim1),(2,dim2); 2->6 uses (2,dim2): overlap.
-        let cube = Hypercube::new(3);
-        let p = params();
-        let bytes = 100_000u32;
-        let mk = |src: u32, dst: u32, tag: u32| {
-            let mut b = Program::builder();
-            b.send(NodeId(dst), bytes, Tag(tag));
-            (src, b)
-        };
-        // Receiver 6 gets from 0; receiver... wait 0->6 and 2->6 share
-        // destination engine anyway. Pick 0->6 (via 1? no: e-cube 0->6 fixes
-        // bits 1,2: 0->2->6, links (0,d1),(2,d2)) and 2->4 (fixes bits 1,2:
-        // 2->0->4? 2^4=6: bits 1,2. 2->0 (d1), 0->4 (d2): links (2,d1),(0,d2)).
-        // Disjoint from 0->6. Now 0->6 and 2->6 share (2,d2)? 2->6 fixes bit
-        // 2 only: link (2,d2). Yes shared with 0->6's second link.
-        let mut progs: Vec<Program> = (0..8).map(|_| Program::empty()).collect();
-        let (src_a, mut a) = mk(0, 6, 1);
-        let (src_b, mut b) = mk(2, 7, 2); // 2->7 fixes bits 0,2: 2->3 (d0), 3->7 (d2)
-        let _ = (&mut a, &mut b);
-        progs[src_a as usize] = a.build();
-        progs[src_b as usize] = b.build();
-        let mut r6 = Program::builder();
-        r6.post_recv(NodeId(0), Tag(1));
-        r6.wait_all_recvs();
-        progs[6] = r6.build();
-        let mut r7 = Program::builder();
-        r7.post_recv(NodeId(2), Tag(2));
-        r7.wait_all_recvs();
-        progs[7] = r7.build();
-        // 0->6: links (0,d1),(2,d2). 2->7: links (2,d0),(3,d2). Disjoint =>
-        // fully parallel despite both passing "through" node 2's links.
-        let report = simulate(&cube, &p, progs).unwrap();
-        let one = p.transfer_ns(bytes, 2);
-        assert!(
-            report.makespan_ns < one + one / 2,
-            "parallel transfers should overlap: {} vs {}",
-            report.makespan_ns,
-            one
-        );
-        assert_eq!(report.stats.transfers_blocked, 0);
-    }
-
-    #[test]
-    fn shared_link_blocks() {
-        // 0->6 (links (0,d1),(2,d2)) and 2->6 (link (2,d2)) share a channel
-        // AND the destination engine; with distinct receivers sharing just a
-        // link: 0->6 vs 2->4? 2->4: bits 1,2 -> 2->0 (d1), 0->4 (d2). No
-        // overlap with 0->6. Try 1->7 (bits 1,2: 1->3 (d1), 3->7 (d2)) vs
-        // 5->7? 5^7=2: 5->7 (d1) single link (5,d1). no.
-        // Use 0->3 (links (0,d0),(1,d1)) and 1->3 (link (1,d1)): shared
-        // (1,d1), receivers both 3 though. Distinct receivers with a shared
-        // link: 0->2 ((0,d1)) and 0->... same source. 4->7 (4^7=3: (4,d0),
-        // (5,d1)) vs 5->7 ((5,d1)): recv both 7. Hmm: 4->6 (4^6=2: (4,d1))
-        // vs 4->... same src.
-        // 0->5 (bits 0,2: (0,d0),(1,d2)) and 1->3 ((1,d1))? disjoint.
-        // 0->5 and 1->5? (1^5=4: (1,d2)): shares (1,d2) with 0->5, recv both
-        // 5. It is genuinely hard to share a link without sharing an
-        // endpoint on a 3-cube; use a 4-cube: 0->12 (bits 2,3: (0,d2),
-        // (4,d3)) and 4->13 (4^13=9: bits 0,3: (4,d0),(5,d3))? disjoint.
-        // 0->12 and 4->12 ((4,d3)): shared (4,d3), receivers both 12. Ugh.
-        // 0->12: (0,d2),(4,d3). 4->8 (4^8=12: (4,d2),(0,d3)? e-cube: cur=4,
-        // fix d2: 4->0 link (4,d2); fix d3: 0->8 link (0,d3)). Disjoint
-        // again (directed!). Classic conflicting pair: 1->12 (bits 0,2,3:
-        // (1,d0),(0,d2),(4,d3)) and 0->4 ((0,d2))? e-cube 0->4 fixes d2:
-        // link (0,d2). SHARED with 1->12's middle link, distinct endpoints
-        // {1,12} vs {0,4}.
-        let cube = Hypercube::new(4);
-        let p = params();
-        let bytes = 100_000u32;
-        let mut progs: Vec<Program> = (0..16).map(|_| Program::empty()).collect();
-        let mut s1 = Program::builder();
-        s1.send(NodeId(12), bytes, Tag(1));
-        progs[1] = s1.build();
-        let mut s0 = Program::builder();
-        s0.send(NodeId(4), bytes, Tag(2));
-        progs[0] = s0.build();
-        let mut r12 = Program::builder();
-        r12.post_recv(NodeId(1), Tag(1));
-        r12.wait_all_recvs();
-        progs[12] = r12.build();
-        let mut r4 = Program::builder();
-        r4.post_recv(NodeId(0), Tag(2));
-        r4.wait_all_recvs();
-        progs[4] = r4.build();
-        let report = simulate(&cube, &p, progs).unwrap();
-        assert_eq!(
-            report.stats.transfers_blocked, 1,
-            "one of the two circuits must wait for the shared channel"
-        );
-    }
-
-    #[test]
-    fn exchange_is_concurrent_bidirectional() {
-        let cube = Hypercube::new(1);
-        let p = params();
-        let bytes = 100_000u32;
-        let mut a = Program::builder();
-        a.exchange(NodeId(1), bytes, bytes, Tag(0));
-        let mut b = Program::builder();
-        b.exchange(NodeId(0), bytes, bytes, Tag(0));
-        let report = simulate(&cube, &p, vec![a.build(), b.build()]).unwrap();
-        let one_way = p.wire_ns(bytes);
-        // Fused exchange: sync + max of the directions, NOT the sum.
-        assert!(report.makespan_ns < one_way + one_way / 2 + p.exchange_sync_ns);
-        assert!(report.makespan_ns >= one_way);
-    }
-
-    #[test]
-    fn exchange_vs_two_sends() {
-        // The iPSC/860 feature LP exploits: an exchange costs about half of
-        // two serialized opposite sends.
-        let cube = Hypercube::new(1);
-        let p = params();
-        let bytes = 120_000u32;
-        let mut a = Program::builder();
-        a.exchange(NodeId(1), bytes, bytes, Tag(0));
-        let mut b = Program::builder();
-        b.exchange(NodeId(0), bytes, bytes, Tag(0));
-        let fused = simulate(&cube, &p, vec![a.build(), b.build()]).unwrap();
-
-        let mut a2 = Program::builder();
-        a2.post_recv(NodeId(1), Tag(1));
-        a2.send(NodeId(1), bytes, Tag(0));
-        a2.wait_all_recvs();
-        let mut b2 = Program::builder();
-        b2.post_recv(NodeId(0), Tag(0));
-        b2.send(NodeId(0), bytes, Tag(1));
-        b2.wait_all_recvs();
-        let unsynced = simulate(&cube, &p, vec![a2.build(), b2.build()]).unwrap();
-        assert!(
-            (unsynced.makespan_ns as f64) > 1.6 * fused.makespan_ns as f64,
-            "unsynced {} vs fused {}",
-            unsynced.makespan_ns,
-            fused.makespan_ns
-        );
-    }
-
-    #[test]
-    fn exchange_rendezvous_waits_for_late_partner() {
-        let cube = Hypercube::new(1);
-        let p = params();
-        let mut a = Program::builder();
-        a.exchange(NodeId(1), 64, 64, Tag(0));
-        let mut b = Program::builder();
-        b.compute(1_000_000);
-        b.exchange(NodeId(0), 64, 64, Tag(0));
-        let report = simulate(&cube, &p, vec![a.build(), b.build()]).unwrap();
-        assert!(report.makespan_ns >= 1_000_000);
-    }
-
-    #[test]
-    fn exchange_size_mismatch_is_an_error() {
-        let cube = Hypercube::new(1);
-        let mut a = Program::builder();
-        a.exchange(NodeId(1), 64, 32, Tag(0));
-        let mut b = Program::builder();
-        b.exchange(NodeId(0), 64, 32, Tag(0)); // should be (32, 64)
-        let err = simulate(&cube, &params(), vec![a.build(), b.build()]).unwrap_err();
-        assert!(matches!(err, SimError::ProgramError { .. }), "{err}");
-    }
-
-    #[test]
-    fn self_send_rejected() {
-        let cube = Hypercube::new(1);
-        let mut a = Program::builder();
-        a.send(NodeId(0), 64, Tag(0));
-        let err = simulate(&cube, &params(), vec![a.build(), Program::empty()]).unwrap_err();
-        assert!(matches!(err, SimError::ProgramError { .. }));
-    }
-
-    #[test]
-    fn out_of_range_target_rejected() {
-        let cube = Hypercube::new(1);
-        let mut a = Program::builder();
-        a.send(NodeId(5), 64, Tag(0));
-        let err = simulate(&cube, &params(), vec![a.build(), Program::empty()]).unwrap_err();
-        assert!(matches!(err, SimError::ProgramError { .. }));
-    }
-
-    #[test]
-    fn wait_without_post_rejected() {
-        let cube = Hypercube::new(1);
-        let mut a = Program::builder();
-        a.wait_recv(NodeId(1), Tag(0));
-        let err = simulate(&cube, &params(), vec![a.build(), Program::empty()]).unwrap_err();
-        assert!(matches!(err, SimError::ProgramError { .. }));
-    }
-
-    #[test]
-    fn missing_sender_deadlocks_with_diagnosis() {
-        let cube = Hypercube::new(1);
-        let mut a = Program::builder();
-        a.post_recv(NodeId(1), Tag(0));
-        a.wait_recv(NodeId(1), Tag(0));
-        let err = simulate(&cube, &params(), vec![a.build(), Program::empty()]).unwrap_err();
-        match err {
-            SimError::Deadlock { stuck } => {
-                assert_eq!(stuck.len(), 1);
-                assert_eq!(stuck[0].0, 0);
-                assert!(stuck[0].1.contains("waiting for message"));
-            }
-            other => panic!("expected deadlock, got {other}"),
-        }
-    }
-
-    #[test]
-    fn bounded_buffers_block_until_receiver_drains() {
-        let cube = Hypercube::new(1);
-        let mut p = params();
-        p.buffer_bytes = Some(4096);
-        p.recv_post_ns = 0;
-        p.send_overhead_ns = 0;
-        // Sender pushes two 4 KB messages; receiver posts late. The second
-        // send must wait until the first is copied out of the buffer.
-        let mut s = Program::builder();
-        s.send_async(NodeId(1), 4096, Tag(0));
-        s.send_async(NodeId(1), 4096, Tag(1));
-        s.wait_all_sends();
-        let mut r = Program::builder();
-        r.compute(2_000_000);
-        r.post_recv(NodeId(0), Tag(0));
-        r.post_recv(NodeId(0), Tag(1));
-        r.wait_all_recvs();
-        let report = simulate(&cube, &p, vec![s.build(), r.build()]).unwrap();
-        // The first message fills the buffer and is copied out after the
-        // late post; the second is blocked until that copy frees space, by
-        // which time its buffer is posted, so it is delivered directly.
-        assert_eq!(report.stats.copies, 1);
-        assert_eq!(report.stats.nodes[1].buffered_bytes, 4096);
-        assert_eq!(report.stats.nodes[1].direct_bytes, 4096);
-        assert!(report.stats.transfers_blocked >= 1);
-    }
-
-    #[test]
-    fn buffer_overflow_without_drain_deadlocks() {
-        let cube = Hypercube::new(1);
-        let mut p = params();
-        p.buffer_bytes = Some(1024);
-        p.recv_post_ns = 0;
-        p.send_overhead_ns = 0;
-        // The receiver never posts; the sender's message cannot be delivered
-        // directly nor buffered (too big): Section 3's hazard.
-        let mut s = Program::builder();
-        s.send(NodeId(1), 4096, Tag(0));
-        let err = simulate(&cube, &p, vec![s.build(), Program::empty()]).unwrap_err();
-        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
-    }
-
-    #[test]
-    fn determinism() {
-        let cube = Hypercube::new(3);
-        let p = params();
-        let mk = || {
-            let mut progs: Vec<Program> = Vec::new();
-            for i in 0..8u32 {
-                let mut b = ProgramBuilder::default();
-                let dst = NodeId((i + 1) % 8);
-                let src = NodeId((i + 7) % 8);
-                b.post_recv(src, Tag(9));
-                b.send(dst, 10_000, Tag(9));
-                b.wait_all_recvs();
-                progs.push(b.build());
-            }
-            progs
-        };
-        let r1 = simulate(&cube, &p, mk()).unwrap();
-        let r2 = simulate(&cube, &p, mk()).unwrap();
-        assert_eq!(r1.makespan_ns, r2.makespan_ns);
-        assert_eq!(r1.stats.events, r2.stats.events);
-        assert_eq!(r1.stats.blocked_ns_total, r2.stats.blocked_ns_total);
-    }
-
-    #[test]
-    fn hold_and_wait_policy_runs_and_pays_hops() {
-        let cube = Hypercube::new(3);
-        let p_atomic = params();
-        let p_hw = MachineParams::ipsc860_hold_and_wait();
-        let mk = || {
-            let mut s = Program::builder();
-            s.send(NodeId(7), 50_000, Tag(0));
-            let mut r = Program::builder();
-            r.post_recv(NodeId(0), Tag(0));
-            r.wait_all_recvs();
-            let mut progs: Vec<Program> = (0..8).map(|_| Program::empty()).collect();
-            progs[0] = s.build();
-            progs[7] = r.build();
-            progs
-        };
-        let a = simulate(&cube, &p_atomic, mk()).unwrap();
-        let h = simulate(&cube, &p_hw, mk()).unwrap();
-        // Same message, same route; both models charge 3 hops worth of setup
-        // (atomic folds hops-1 into duration; H&W pays hop_ns per link).
-        assert!(h.makespan_ns >= a.makespan_ns);
-        assert!(h.makespan_ns <= a.makespan_ns + 3 * p_hw.hop_ns);
-    }
-
-    #[test]
-    fn hold_and_wait_tree_saturation_hurts_more() {
-        // Hot-spot: seven senders to one receiver, each holding its circuit
-        // while waiting. Hold-and-wait must be at least as slow as atomic.
-        let cube = Hypercube::new(3);
-        let mk = || {
-            let bytes = 60_000u32;
-            let mut progs: Vec<Program> = (0..8).map(|_| Program::empty()).collect();
-            for i in 1..8u32 {
-                let mut s = Program::builder();
-                s.send(NodeId(0), bytes, Tag(i));
-                progs[i as usize] = s.build();
-            }
-            let mut r = Program::builder();
-            for i in 1..8u32 {
-                r.post_recv(NodeId(i), Tag(i));
-            }
-            r.wait_all_recvs();
-            progs[0] = r.build();
-            progs
-        };
-        let a = simulate(&cube, &params(), mk()).unwrap();
-        let h = simulate(&cube, &MachineParams::ipsc860_hold_and_wait(), mk()).unwrap();
-        assert!(h.stats.blocked_ns_total >= a.stats.blocked_ns_total / 2);
-        // All seven must serialize at the receiver in both policies.
-        let one = params().wire_ns(60_000);
-        assert!(a.makespan_ns >= 7 * one);
-    }
-
-    #[test]
-    fn trace_records_lifecycle() {
-        let cube = Hypercube::new(1);
-        let (s, r) = send_recv_pair(256);
-        let (_, trace) = simulate_traced(&cube, &params(), vec![s, r]).unwrap();
-        let kinds: Vec<TraceKind> = trace.iter().map(|e| e.kind).collect();
-        assert!(kinds.contains(&TraceKind::Requested));
-        assert!(kinds.contains(&TraceKind::Started));
-        assert!(kinds.contains(&TraceKind::Finished));
-        assert!(kinds.contains(&TraceKind::NodeDone));
-    }
-
-    #[test]
-    fn wrong_program_count_rejected() {
-        let cube = Hypercube::new(2);
-        let err = simulate(&cube, &params(), quiet(3)).unwrap_err();
-        assert!(matches!(err, SimError::BadParams(_)));
-    }
-
-    #[test]
-    fn makespan_includes_unawaited_sends() {
-        // A sender that exits without waiting still keeps the network busy;
-        // the makespan covers the transfer's completion.
-        let cube = Hypercube::new(1);
-        let mut p = params();
-        p.recv_post_ns = 0;
-        let mut s = Program::builder();
-        s.send_async(NodeId(1), 100_000, Tag(0));
-        let mut r = Program::builder();
-        r.post_recv(NodeId(0), Tag(0));
-        let report = simulate(&cube, &p, vec![s.build(), r.build()]).unwrap();
-        assert!(report.makespan_ns >= p.wire_ns(100_000));
     }
 }

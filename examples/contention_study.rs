@@ -26,20 +26,21 @@ fn main() {
         "{:<6} {:>10} {:>9} {:>12} {:>12} {:>10}",
         "alg", "comm (ms)", "blocked", "blocked (ms)", "buffered (KB)", "link util"
     );
-    for kind in [SchedulerKind::Ac, SchedulerKind::RsN, SchedulerKind::RsNl] {
-        let schedule = match kind {
-            SchedulerKind::Ac => ac(&com),
-            SchedulerKind::RsN => rs_n(&com, 9),
-            SchedulerKind::RsNl => rs_nl(&com, &cube, 9),
-            SchedulerKind::Lp => unreachable!(),
-        };
-        let (report, trace) =
-            run_schedule_traced(&cube, &params, &com, &schedule, Scheme::paper_default(kind))
-                .expect("simulation runs");
+    for name in ["AC", "RS_N", "RS_NL"] {
+        let entry = commsched::registry::find(name).expect("registered");
+        let schedule = entry.schedule(&com, &cube, 9);
+        let (report, trace) = run_schedule_traced(
+            &cube,
+            &params,
+            &com,
+            &schedule,
+            Scheme::for_scheduler(entry),
+        )
+        .expect("simulation runs");
         let buffered: u64 = report.stats.nodes.iter().map(|s| s.buffered_bytes).sum();
         println!(
             "{:<6} {:>10.2} {:>9} {:>12.2} {:>12.1} {:>9.1}%",
-            kind.label(),
+            entry.name(),
             report.makespan_ms(),
             report.stats.transfers_blocked,
             report.stats.blocked_ns_total as f64 / 1e6,

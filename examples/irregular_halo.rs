@@ -1,8 +1,8 @@
 //! The workload class that motivates the paper (PARTI/CHAOS lineage): a
 //! halo exchange over an irregularly partitioned mesh, where communication
-//! structure is only known at runtime. Compares the four schedulers and
-//! shows why RS_NL's pairwise-exchange preference shines on symmetric
-//! patterns.
+//! structure is only known at runtime. Compares every primary scheduler in
+//! the registry and shows why RS_NL's pairwise-exchange preference shines
+//! on symmetric patterns.
 //!
 //! Run: `cargo run --release --example irregular_halo`
 
@@ -27,19 +27,20 @@ fn main() {
         "{:<6} {:>8} {:>10} {:>10}",
         "alg", "phases", "pairs", "comm (ms)"
     );
-    for kind in SchedulerKind::all() {
-        let schedule = match kind {
-            SchedulerKind::Ac => ac(&com),
-            SchedulerKind::Lp => lp(&com),
-            SchedulerKind::RsN => rs_n(&com, 3),
-            SchedulerKind::RsNl => rs_nl(&com, &cube, 3),
-        };
+    for entry in commsched::registry::primary() {
+        let schedule = entry.schedule(&com, &cube, 3);
         validate_schedule(&com, &schedule).expect("valid");
-        let report = run_schedule(&cube, &params, &com, &schedule, Scheme::paper_default(kind))
-            .expect("runs");
+        let report = run_schedule(
+            &cube,
+            &params,
+            &com,
+            &schedule,
+            Scheme::for_scheduler(entry),
+        )
+        .expect("runs");
         println!(
             "{:<6} {:>8} {:>10} {:>10.2}",
-            kind.label(),
+            entry.name(),
             schedule.num_phases(),
             schedule.exchange_pairs(),
             report.makespan_ms()

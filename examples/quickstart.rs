@@ -1,5 +1,6 @@
-//! Quickstart: schedule one unstructured communication pattern four ways
-//! and compare on the simulated 64-node iPSC/860.
+//! Quickstart: schedule one unstructured communication pattern with every
+//! primary scheduler in the registry and compare on the simulated 64-node
+//! iPSC/860.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -26,22 +27,17 @@ fn main() {
         "alg", "phases", "pairs", "comm (ms)", "sched (ms)"
     );
     let cost_model = commsched::I860CostModel::default();
-    for kind in SchedulerKind::all() {
-        let schedule = match kind {
-            SchedulerKind::Ac => ac(&com),
-            SchedulerKind::Lp => lp(&com),
-            SchedulerKind::RsN => rs_n(&com, 1),
-            SchedulerKind::RsNl => rs_nl(&com, &cube, 1),
-        };
+    for entry in commsched::registry::primary() {
+        let schedule = entry.schedule(&com, &cube, 1);
         // Every schedule is checked before use: complete, disjoint, and
         // free of node contention.
         validate_schedule(&com, &schedule).expect("valid schedule");
-        let scheme = Scheme::paper_default(kind);
+        let scheme = Scheme::for_scheduler(entry);
         let report =
             run_schedule(&cube, &params, &com, &schedule, scheme).expect("simulation runs");
         println!(
             "{:<6} {:>8} {:>8} {:>10.2} {:>10.2}",
-            kind.label(),
+            entry.name(),
             schedule.num_phases(),
             schedule.exchange_pairs(),
             report.makespan_ms(),

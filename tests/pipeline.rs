@@ -6,12 +6,8 @@ use ipsc_sched::prelude::*;
 use simnet::SimError;
 
 fn schedule_of(kind: SchedulerKind, com: &CommMatrix, cube: &Hypercube, seed: u64) -> Schedule {
-    match kind {
-        SchedulerKind::Ac => ac(com),
-        SchedulerKind::Lp => lp(com),
-        SchedulerKind::RsN => rs_n(com, seed),
-        SchedulerKind::RsNl => rs_nl(com, cube, seed),
-    }
+    // The enum is a thin shim: every kind resolves to its registry entry.
+    kind.scheduler().schedule(com, cube, seed)
 }
 
 fn run_all(com: &CommMatrix, cube: &Hypercube) -> Vec<(SchedulerKind, f64)> {
@@ -171,18 +167,25 @@ fn mesh_topology_end_to_end() {
     let mesh = Mesh2d::new(4, 8);
     let params = MachineParams::ipsc860();
     let com = workloads::random_dregular(32, 5, 4096, 8);
-    // LP needs a cube; the other three run on any deterministic topology.
-    for kind in [SchedulerKind::Ac, SchedulerKind::RsN, SchedulerKind::RsNl] {
-        let s = match kind {
-            SchedulerKind::Ac => ac(&com),
-            SchedulerKind::RsN => rs_n(&com, 8),
-            SchedulerKind::RsNl => rs_nl(&com, &mesh, 8),
-            SchedulerKind::Lp => unreachable!(),
-        };
+    // Enumerate the registry; LP declines the mesh itself (its pairing and
+    // link-freedom argument are e-cube-specific), so no name filters here.
+    let mut ran = 0;
+    for entry in commsched::registry::all()
+        .iter()
+        .copied()
+        .filter(|e| e.supports_topology(&mesh))
+    {
+        assert_ne!(entry.family(), SchedulerKind::Lp, "LP must decline meshes");
+        let s = entry.schedule(&com, &mesh, 8);
         validate_schedule(&com, &s).unwrap();
-        let report = run_schedule(&mesh, &params, &com, &s, Scheme::paper_default(kind)).unwrap();
-        assert!(report.makespan_ns > 0);
+        let report = run_schedule(&mesh, &params, &com, &s, Scheme::for_scheduler(entry)).unwrap();
+        assert!(report.makespan_ns > 0, "{}", entry.name());
+        ran += 1;
     }
+    assert!(
+        ran >= 6,
+        "most registry entries must support the mesh: {ran}"
+    );
 }
 
 #[test]

@@ -8,14 +8,23 @@
 //! and reports the fastest per-iteration time (the most contention-free
 //! estimate, and the statistic least sensitive to scheduler noise).
 //!
+//! Beyond the console lines, every benchmark group writes a
+//! machine-readable `BENCH_<group>.json` at the workspace root — one
+//! object per case with `mean_ns`/`min_ns`/`max_ns` over the timed
+//! batches — so bench trajectories can be tracked across commits without
+//! scraping stdout. Loose `Criterion::bench_function` cases (no group)
+//! are flushed to `BENCH_<bench-binary>.json` when the driver drops.
+//!
 //! Statistical machinery (outlier classification, regression, HTML reports)
 //! is intentionally absent. If the real criterion ever becomes available,
 //! deleting this crate and pointing `criterion` at crates.io restores it —
-//! the bench sources need no change.
+//! the bench sources need no change (the JSON sidecar is an extra).
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Identifier of one benchmark within a group: a function name plus an
@@ -41,15 +50,28 @@ impl BenchmarkId {
     }
 }
 
+/// Per-case timing statistics over the timed batches (ns per iteration).
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Full case name (`group/function/parameter`).
+    pub name: String,
+    /// Mean per-iteration time over the timed batches.
+    pub mean_ns: f64,
+    /// Fastest batch (the headline statistic).
+    pub min_ns: f64,
+    /// Slowest batch.
+    pub max_ns: f64,
+}
+
 /// Timing loop handed to each benchmark closure.
 pub struct Bencher {
     sample_size: usize,
-    /// Best observed per-iteration time, filled by [`Bencher::iter`].
-    best_ns: f64,
+    /// Per-batch per-iteration times, filled by [`Bencher::iter`].
+    batch_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Run `f` repeatedly and record the fastest per-iteration time.
+    /// Run `f` repeatedly, recording per-batch per-iteration times.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up and batch-size calibration: grow the batch until it runs
         // for at least ~1 ms so Instant overhead stays negligible.
@@ -65,16 +87,15 @@ impl Bencher {
             }
             batch *= 4;
         };
-        let mut best = f64::INFINITY;
+        self.batch_ns.clear();
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
             for _ in 0..batch {
                 std::hint::black_box(f());
             }
-            let per_iter = t0.elapsed().as_secs_f64() * 1e9 / batch as f64;
-            best = best.min(per_iter);
+            self.batch_ns
+                .push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
         }
-        self.best_ns = best;
     }
 }
 
@@ -83,6 +104,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     criterion: &'a mut Criterion,
     sample_size: usize,
+    cases: Vec<CaseResult>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -103,7 +125,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.id);
-        run_one(&full, self.sample_size, |b| f(b, input));
+        self.cases
+            .push(run_one(&full, self.sample_size, |b| f(b, input)));
         self
     }
 
@@ -113,19 +136,34 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        run_one(&full, self.sample_size, |b| f(b));
+        self.cases.push(run_one(&full, self.sample_size, |b| f(b)));
         self
     }
 
-    /// End the group (prints nothing; exists for API compatibility).
-    pub fn finish(self) {
-        let _ = self.criterion;
+    /// End the group, writing its `BENCH_<group>.json`.
+    pub fn finish(mut self) {
+        write_report(&self.name, &self.cases);
+        self.cases.clear(); // Drop must not write a second time
+        let _ = &self.criterion;
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        // A group dropped without finish() still reports.
+        if !self.cases.is_empty() {
+            write_report(&self.name, &self.cases);
+            self.cases.clear();
+        }
     }
 }
 
 /// The benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    /// Cases run outside any group, flushed on drop.
+    loose: Vec<CaseResult>,
+}
 
 impl Criterion {
     /// Open a named group of benchmarks.
@@ -134,6 +172,7 @@ impl Criterion {
             name: name.into(),
             criterion: self,
             sample_size: 10,
+            cases: Vec::new(),
         }
     }
 
@@ -142,26 +181,150 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.to_string(), 10, |b| f(b));
+        let case = run_one(&name.to_string(), 10, |b| f(b));
+        self.loose.push(case);
         self
     }
 }
 
-fn run_one(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if !self.loose.is_empty() {
+            write_report(&bench_binary_name(), &self.loose);
+        }
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) -> CaseResult {
     let mut bencher = Bencher {
         sample_size,
-        best_ns: f64::NAN,
+        batch_ns: Vec::new(),
     };
     f(&mut bencher);
-    let ns = bencher.best_ns;
-    let (value, unit) = if ns < 1e3 {
-        (ns, "ns")
-    } else if ns < 1e6 {
-        (ns / 1e3, "µs")
+    let (mut min, mut max, mut sum) = (f64::INFINITY, 0.0f64, 0.0);
+    for &ns in &bencher.batch_ns {
+        min = min.min(ns);
+        max = max.max(ns);
+        sum += ns;
+    }
+    let mean = if bencher.batch_ns.is_empty() {
+        f64::NAN
     } else {
-        (ns / 1e6, "ms")
+        sum / bencher.batch_ns.len() as f64
+    };
+    let (value, unit) = if min < 1e3 {
+        (min, "ns")
+    } else if min < 1e6 {
+        (min / 1e3, "µs")
+    } else {
+        (min / 1e6, "ms")
     };
     println!("{name:<48} time: {value:>10.3} {unit}/iter");
+    CaseResult {
+        name: name.to_string(),
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+    }
+}
+
+/// The running bench binary's stem, with cargo's `-<hash>` suffix removed
+/// (e.g. `.../schedulers-0b1f3a9c2d4e5f67` -> `schedulers`).
+fn bench_binary_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .map(PathBuf::from)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((base, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// The workspace root: the nearest ancestor of the bench's manifest dir
+/// (or the cwd) containing `Cargo.lock`. Keeps every `BENCH_*.json` in one
+/// predictable place no matter which package's bench target is running.
+fn output_dir() -> PathBuf {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Paths this process has already written a report to. A path's first
+/// write in a process truncates (a fresh run must not accumulate a stale
+/// file's cases); later writes to the same path *merge* — several
+/// `criterion_group!` runners in one bench binary each own a `Criterion`,
+/// and their loose-case flushes all target `BENCH_<binary>.json`.
+fn written_paths() -> &'static std::sync::Mutex<std::collections::HashSet<PathBuf>> {
+    static WRITTEN: std::sync::OnceLock<std::sync::Mutex<std::collections::HashSet<PathBuf>>> =
+        std::sync::OnceLock::new();
+    WRITTEN.get_or_init(Default::default)
+}
+
+/// Write `BENCH_<group>.json`: a JSON array of per-case objects. Rendered
+/// by hand — the offline workspace has no serde — and kept flat so any
+/// tooling can parse it.
+fn write_report(group: &str, cases: &[CaseResult]) {
+    let path = output_dir().join(format!("BENCH_{}.json", sanitize(group)));
+    let merge = !written_paths()
+        .lock()
+        .expect("no panics hold the lock")
+        .insert(path.clone());
+    let write = || -> std::io::Result<()> {
+        // Merging re-reads our own exact output format: the case lines of
+        // the existing array are kept verbatim ahead of the new ones.
+        let mut lines: Vec<String> = Vec::new();
+        if merge {
+            if let Ok(prev) = std::fs::read_to_string(&path) {
+                lines.extend(
+                    prev.lines()
+                        .map(str::trim)
+                        .filter(|l| l.starts_with('{'))
+                        .map(|l| l.trim_end_matches(',').to_string()),
+                );
+            }
+        }
+        for c in cases {
+            lines.push(format!(
+                "{{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
+                c.name.replace('\\', "\\\\").replace('"', "\\\""),
+                c.mean_ns,
+                c.min_ns,
+                c.max_ns
+            ));
+        }
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(out, "[")?;
+        for (i, line) in lines.iter().enumerate() {
+            let comma = if i + 1 < lines.len() { "," } else { "" };
+            writeln!(out, "  {line}{comma}")?;
+        }
+        writeln!(out, "]")?;
+        out.flush()
+    };
+    match write() {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("BENCH report {} not written: {e}", path.display()),
+    }
 }
 
 /// Re-exported so bench sources can `use criterion::black_box`.
@@ -186,4 +349,70 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_batch_stats() {
+        let case = run_one("t/one", 5, |b| b.iter(|| black_box(2u64.pow(10))));
+        assert_eq!(case.name, "t/one");
+        assert!(case.min_ns > 0.0);
+        assert!(case.min_ns <= case.mean_ns && case.mean_ns <= case.max_ns);
+    }
+
+    #[test]
+    fn group_writes_machine_readable_json() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+        let path = output_dir().join("BENCH_shim_selftest.json");
+        let text = std::fs::read_to_string(&path).expect("report written");
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.contains("\"name\": \"shim_selftest/noop\""));
+        assert!(text.contains("\"name\": \"shim_selftest/sq/7\""));
+        assert!(text.contains("mean_ns"));
+        assert!(text.contains("min_ns"));
+        assert!(text.contains("max_ns"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn repeat_writes_in_one_process_merge_instead_of_truncating() {
+        // Two criterion_group! runners in one binary both flush loose
+        // cases to the same BENCH_<binary>.json; the second write must
+        // keep the first's cases.
+        let case = |name: &str| CaseResult {
+            name: name.to_string(),
+            mean_ns: 2.0,
+            min_ns: 1.0,
+            max_ns: 3.0,
+        };
+        write_report("merge_selftest", &[case("g1/a")]);
+        write_report("merge_selftest", &[case("g2/b")]);
+        let path = output_dir().join("BENCH_merge_selftest.json");
+        let text = std::fs::read_to_string(&path).expect("report written");
+        assert!(text.contains("g1/a"), "first group's cases lost: {text}");
+        assert!(text.contains("g2/b"));
+        assert!(text.trim_end().ends_with(']'));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sanitize_keeps_json_filenames_safe() {
+        assert_eq!(sanitize("rs_nl scaling/d8"), "rs_nl_scaling_d8");
+    }
+
+    #[test]
+    fn binary_name_strips_cargo_hash() {
+        // Indirect: the helper must at least return something non-empty.
+        assert!(!bench_binary_name().is_empty());
+    }
 }
