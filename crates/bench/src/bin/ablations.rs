@@ -10,16 +10,20 @@
 //! 3. Claim policy: atomic vs hold-and-wait circuit establishment.
 //! 4. Bounded system buffers for AC (Section 3's blocking hazard).
 //!
+//! Studies 1-3 are declarative grids with *shared* sample streams: every
+//! scheduler column of a workload point consumes the same sampled
+//! matrices, generated once (the isomorphic-instances discipline). The
+//! reuse speedup is measured and recorded in
+//! `BENCH_grid_matrix_reuse.json`.
+//!
 //! Run: `cargo run -p repro-bench --release --bin ablations`
 
-use commrt::{run_schedule, ExperimentRunner, Scheme};
-use commsched::registry;
-use repro_bench::{paper_cube, sample_count, CubeExt};
+use commrt::grid::{ExecOptions, GridColumn, SchedulerHandle};
+use commrt::{run_schedule, ExperimentGrid, ExperimentRunner, Scheme, WorkloadPoint};
+use commsched::{registry, Scheduler};
+use repro_bench::{paper_cube, sample_count, time_case, CubeExt};
 use simnet::MachineParams;
-use workloads::SampleSet;
-
-/// A seeded workload generator, boxed for the probe tables.
-type Gen = Box<dyn Fn(u64) -> commsched::CommMatrix + Sync>;
+use workloads::Generator;
 
 fn main() {
     let cube = paper_cube();
@@ -27,38 +31,48 @@ fn main() {
     let samples = sample_count().min(20);
 
     println!("=== Ablation 1: registry variants vs their canonical configuration ===");
-    {
+    let variant_grid = {
         // Two probe workloads: random d-regular traffic (where the
         // randomization toggles matter, Section 4.2) and a symmetric halo
         // (where the pairwise-exchange preference matters, Section 5).
-        let runner = ExperimentRunner::ipsc860();
-        let probes: [(&str, Gen, u64); 2] = [
-            (
-                "random d=16, 1 KB    ",
-                Box::new(move |seed| workloads::random_dregular(n, 16, 1024, seed)),
+        // Shared seed policy: every column sees the same matrices.
+        let mut columns: Vec<&'static dyn Scheduler> = Vec::new();
+        for variant in registry::variants() {
+            let base = variant.family().scheduler();
+            if !columns.iter().any(|c| c.name() == base.name()) {
+                columns.push(base);
+            }
+        }
+        columns.extend(registry::variants());
+        ExperimentGrid::new()
+            .topology("hypercube(6)", paper_cube())
+            .schedulers(columns)
+            .point(WorkloadPoint::shared(
+                Generator::dregular(n, 16, 1024),
+                16,
+                1024,
                 101,
-            ),
-            (
-                "symmetric halo, 32 KB",
-                Box::new(move |_| workloads::structured::ring_halo(n, 4, 32_768)),
+            ))
+            .point(WorkloadPoint::shared(
+                Generator::fixed(
+                    "ring_halo(w=4,32K)",
+                    workloads::structured::ring_halo(n, 4, 32_768),
+                ),
+                8,
+                32_768,
                 202,
-            ),
-        ];
-        for (wl_label, gen, base_seed) in &probes {
-            let set = SampleSet::new(*base_seed, samples);
+            ))
+            .samples(samples)
+    };
+    {
+        let result = variant_grid.execute().unwrap_or_else(|e| panic!("{e}"));
+        for (point, wl_label) in [(0, "random d=16, 1 KB    "), (1, "symmetric halo, 32 KB")] {
             for variant in registry::variants() {
                 let base = variant.family().scheduler();
                 let mut row = format!("  {wl_label}  {:<13}", variant.name());
                 for entry in [base, variant] {
-                    let cell = runner
-                        .run_scheduler_cell(
-                            &cube,
-                            &set,
-                            gen.as_ref(),
-                            entry,
-                            Scheme::for_scheduler(entry),
-                        )
-                        .unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
+                    let col = result.find_column(entry.name()).expect("declared column");
+                    let cell = result.at(col, point).expect("measured cell");
                     row.push_str(&format!(
                         "  {:<6} phases = {:>5.1} pairs = {:>5.1} comm = {:>7.2} ms",
                         if entry.is_variant() {
@@ -66,9 +80,9 @@ fn main() {
                         } else {
                             "paper"
                         },
-                        cell.phases,
-                        cell.exchange_pairs,
-                        cell.comm_ms
+                        cell.result.phases,
+                        cell.result.exchange_pairs,
+                        cell.result.comm_ms
                     ));
                 }
                 println!("{row}");
@@ -79,6 +93,12 @@ fn main() {
         println!("   cyclic row sweep already spreads them, so the RS_*_DET gap is small.");
         println!("   Section 5: the pairwise preference is what buys RS_NL its fused");
         println!("   exchanges on symmetric traffic — RS_NL_NOPAIR loses them)\n");
+        eprintln!(
+            "ablation 1 grid: {} matrices generated for {} requests ({} reused across columns)",
+            result.stats().matrices_generated,
+            result.stats().matrix_requests,
+            result.stats().matrices_reused()
+        );
     }
 
     println!("=== Ablation 2: S1 vs S2 per phased scheduler ===");
@@ -87,26 +107,48 @@ fn main() {
         // symmetric halo (everything fusable). The paper's rule — use S1
         // where the algorithm exploits pairwise exchange — is about the
         // second kind; on purely random traffic S2's free-running blast is
-        // competitive.
-        let runner = ExperimentRunner::ipsc860();
-        for (wl_label, gen) in [
-            (
-                "random d=16, 32 KB   ",
-                Box::new(move |seed| workloads::random_dregular(n, 16, 32_768, seed)) as Gen,
-            ),
-            (
-                "symmetric halo, 32 KB",
-                Box::new(move |_| workloads::structured::ring_halo(n, 8, 32_768)),
-            ),
-        ] {
-            let set = SampleSet::new(303, samples);
-            for entry in registry::primary().filter(|e| e.node_contention_free()) {
+        // competitive. Each scheduler is two grid columns, one per scheme,
+        // sharing one sample stream.
+        let phased: Vec<&'static dyn Scheduler> = registry::primary()
+            .filter(|e| e.node_contention_free())
+            .collect();
+        let mut grid = ExperimentGrid::new()
+            .topology("hypercube(6)", paper_cube())
+            .samples(samples);
+        for &entry in &phased {
+            for scheme in [Scheme::S1, Scheme::S2] {
+                grid =
+                    grid.column(GridColumn::new(SchedulerHandle::from(entry)).with_scheme(scheme));
+            }
+        }
+        let result = grid
+            .point(WorkloadPoint::shared(
+                Generator::dregular(n, 16, 32_768),
+                16,
+                32_768,
+                303,
+            ))
+            .point(WorkloadPoint::shared(
+                Generator::fixed(
+                    "ring_halo(w=8,32K)",
+                    workloads::structured::ring_halo(n, 8, 32_768),
+                ),
+                16,
+                32_768,
+                303,
+            ))
+            .execute()
+            .unwrap_or_else(|e| panic!("{e}"));
+        for (point, wl_label) in [(0, "random d=16, 32 KB   "), (1, "symmetric halo, 32 KB")] {
+            for (i, entry) in phased.iter().enumerate() {
                 let mut row = format!("  {wl_label}  {:<6}", entry.name());
-                for scheme in [Scheme::S1, Scheme::S2] {
-                    let cell = runner
-                        .run_scheduler_cell(&cube, &set, gen.as_ref(), entry, scheme)
-                        .unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
-                    row.push_str(&format!("  {} = {:>7.2} ms", scheme.label(), cell.comm_ms));
+                for (j, scheme) in [Scheme::S1, Scheme::S2].into_iter().enumerate() {
+                    let cell = result.at(2 * i + j, point).expect("measured cell");
+                    row.push_str(&format!(
+                        "  {} = {:>7.2} ms",
+                        scheme.label(),
+                        cell.result.comm_ms
+                    ));
                 }
                 println!("{row}");
             }
@@ -117,7 +159,6 @@ fn main() {
     let ac = registry::find("AC").expect("registered");
     println!("=== Ablation 3: machine model — ports and claim policy (AC, d=16, 32 KB) ===");
     {
-        let set = SampleSet::new(404, samples);
         let default = MachineParams::ipsc860();
         let split_atomic = MachineParams {
             ports: simnet::PortModel::Split,
@@ -135,16 +176,21 @@ fn main() {
                 params,
                 ..ExperimentRunner::ipsc860()
             };
-            let cell = runner
-                .run_scheduler_cell(
-                    &cube,
-                    &set,
-                    &move |seed| workloads::random_dregular(n, 16, 32_768, seed),
-                    ac,
-                    Scheme::for_scheduler(ac),
-                )
+            let result = ExperimentGrid::new()
+                .with_runner(runner)
+                .topology("hypercube(6)", paper_cube())
+                .scheduler(ac)
+                .point(WorkloadPoint::shared(
+                    Generator::dregular(n, 16, 32_768),
+                    16,
+                    32_768,
+                    404,
+                ))
+                .samples(samples)
+                .execute()
                 .expect("cell");
-            println!("  {label} comm = {:>8.2} ms", cell.comm_ms);
+            let cell = result.at(0, 0).expect("measured cell");
+            println!("  {label} comm = {:>8.2} ms", cell.result.comm_ms);
         }
         println!("  (split ports let send overlap recv — faster than Observation 1's unified");
         println!("   engine; hold-and-wait then adds back tree-saturation blocking)\n");
@@ -220,5 +266,31 @@ fn main() {
                 schedule.link_contention_free(&mesh)
             );
         }
+    }
+
+    // Measure what matrix reuse buys on the ablation-1 grid (every base
+    // and variant column of a row consumes the same samples) and record
+    // it next to the criterion outputs. Stderr only: stdout above is the
+    // reproduced artifact.
+    let reuse = time_case("ablation1_grid_reuse", 3, || {
+        variant_grid.execute().expect("grid runs");
+    });
+    let no_reuse = time_case("ablation1_grid_no_reuse", 3, || {
+        variant_grid
+            .execute_opts(ExecOptions {
+                no_matrix_reuse: true,
+                ..Default::default()
+            })
+            .expect("grid runs");
+    });
+    let speedup = no_reuse.mean_ns / reuse.mean_ns;
+    eprintln!(
+        "matrix reuse: {:.1} ms vs {:.1} ms without ({speedup:.2}x)",
+        reuse.mean_ns / 1e6,
+        no_reuse.mean_ns / 1e6
+    );
+    match repro_bench::write_bench_json("grid_matrix_reuse", &[reuse, no_reuse]) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("BENCH report not written: {e}"),
     }
 }

@@ -6,25 +6,28 @@
 //! becomes negligible for large messages, which is the paper's argument
 //! that the schedulers are cheap enough for *runtime* scheduling.
 //!
+//! Both figures come from one grid over (RS_N, RS_NL) × densities ×
+//! sizes; rendering transposes it per figure.
+//!
 //! Run: `cargo run -p repro-bench --release --bin fig10to11`
 
-use commrt::{write_csv, CellRecord, ExperimentRunner};
+use commrt::write_csv;
 use commsched::registry;
-use repro_bench::{figure_sizes, measure_cell, paper_cube, sample_count, DENSITIES};
+use repro_bench::{figure_sizes, paper_grid, sample_count, DENSITIES};
 
 fn main() {
-    let cube = paper_cube();
-    let runner = ExperimentRunner::ipsc860();
     let samples = sample_count().min(20);
     let sizes = figure_sizes();
 
+    let entries = ["RS_N", "RS_NL"].map(|name| registry::find(name).expect("registered"));
+    let result = paper_grid(entries, &DENSITIES, &sizes, samples)
+        .execute()
+        .unwrap_or_else(|e| panic!("{e}"));
+
     let mut records = Vec::new();
     for (name, fig) in [("RS_N", 10u32), ("RS_NL", 11)] {
-        let entry = registry::find(name).expect("registered");
-        println!(
-            "Figure {fig}: comp/comm fraction for {} (schedule used once)",
-            entry.name()
-        );
+        let col = result.find_column(name).expect("declared column");
+        println!("Figure {fig}: comp/comm fraction for {name} (schedule used once)");
         print!("{:>9} |", "bytes");
         for d in DENSITIES {
             print!(" {:>8}", format!("d={d}"));
@@ -33,16 +36,10 @@ fn main() {
         for &bytes in &sizes {
             print!("{bytes:>9} |");
             for d in DENSITIES {
-                let cell = measure_cell(&runner, &cube, entry, d, bytes, samples)
-                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", entry.name()));
-                let frac = cell.comp_ms / cell.comm_ms;
-                records.push(CellRecord::from_entry(
-                    &format!("fig{fig}"),
-                    entry,
-                    d,
-                    bytes,
-                    &cell,
-                ));
+                let point = result.point_index(d, bytes).expect("declared point");
+                let cell = result.at(col, point).expect("measured cell");
+                let frac = cell.result.comp_ms / cell.result.comm_ms;
+                records.push(cell.record(&format!("fig{fig}")));
                 print!(" {:>8.3}", frac);
             }
             println!();

@@ -3,20 +3,27 @@
 //! communication cost on the 64-node machine (scheduling cost excluded,
 //! exactly as the paper's figure assumes static or amortized scheduling).
 //!
+//! The whole plane is one grid; both winner maps (comm-only, and
+//! comm + scheduling for the schedule-used-once extension) are read off
+//! the same executed result.
+//!
 //! Run: `cargo run -p repro-bench --release --bin fig5`
 
-use commrt::{write_csv, ExperimentRunner};
+use commrt::write_csv;
 use commsched::registry;
-use repro_bench::{measure_cell, paper_cube, sample_count, DENSITIES};
+use repro_bench::{paper_grid, sample_count, DENSITIES};
 
 fn main() {
-    let cube = paper_cube();
-    let runner = ExperimentRunner::ipsc860();
     let samples = sample_count().min(20); // a 2-D sweep; keep it tractable
     let sizes: Vec<u32> = (6..=16).map(|x| 1u32 << x).collect(); // 64 B .. 64 KB
 
     println!("Figure 5 reproduction: winner per (d, msg size), {samples} samples per cell");
     println!("(columns are log2(msg bytes) = 6..16, as in the paper's x-axis)\n");
+
+    let result = paper_grid(registry::primary(), &DENSITIES, &sizes, samples)
+        .execute()
+        .unwrap_or_else(|e| panic!("{e}"));
+
     print!("{:>4} |", "d");
     for bytes in &sizes {
         print!(" {:>6}", format!("2^{}", bytes.trailing_zeros()));
@@ -24,31 +31,19 @@ fn main() {
     println!();
     println!("-----+{}", "-".repeat(sizes.len() * 7));
 
-    let mut records = Vec::new();
-    // Cells indexed [density][size] -> per-algorithm (label, comm, comp).
-    type Cell = Vec<(&'static str, f64, f64)>;
-    let mut grid: Vec<Vec<Cell>> = Vec::new();
     for d in DENSITIES {
         print!("{d:>4} |");
-        let mut row = Vec::new();
         for &bytes in &sizes {
-            let mut cellv = Vec::new();
-            let mut best: Option<(&str, f64)> = None;
-            for entry in registry::primary() {
-                let cell = measure_cell(&runner, &cube, entry, d, bytes, samples)
-                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", entry.name()));
-                records.push(commrt::CellRecord::from_entry(
-                    "fig5", entry, d, bytes, &cell,
-                ));
-                cellv.push((entry.name(), cell.comm_ms, cell.comp_ms));
-                if best.is_none() || cell.comm_ms < best.unwrap().1 {
-                    best = Some((entry.name(), cell.comm_ms));
-                }
-            }
-            row.push(cellv);
-            print!(" {:>6}", best.unwrap().0);
+            let point = result.point_index(d, bytes).expect("declared point");
+            let best = result
+                .row(point)
+                .fold(None::<(&str, f64)>, |best, cell| match best {
+                    Some((_, ms)) if cell.result.comm_ms >= ms => best,
+                    _ => Some((cell.algorithm.as_str(), cell.result.comm_ms)),
+                })
+                .expect("cells present");
+            print!(" {:>6}", best.0);
         }
-        grid.push(row);
         println!();
     }
 
@@ -65,18 +60,26 @@ fn main() {
     }
     println!();
     println!("-----+{}", "-".repeat(sizes.len() * 7));
-    for (d, row) in DENSITIES.iter().zip(&grid) {
+    for d in DENSITIES {
         print!("{d:>4} |");
-        for cell in row {
-            let best = cell
-                .iter()
-                .min_by(|a, b| (a.1 + a.2).total_cmp(&(b.1 + b.2)))
+        for &bytes in &sizes {
+            let point = result.point_index(d, bytes).expect("declared point");
+            let best = result
+                .row(point)
+                .min_by(|a, b| {
+                    (a.result.comm_ms + a.result.comp_ms)
+                        .total_cmp(&(b.result.comm_ms + b.result.comp_ms))
+                })
                 .expect("cells present");
-            print!(" {:>6}", best.0);
+            print!(" {:>6}", best.algorithm);
         }
         println!();
     }
 
-    write_csv(std::path::Path::new("results/fig5.csv"), &records).expect("write csv");
+    write_csv(
+        std::path::Path::new("results/fig5.csv"),
+        &result.records("fig5"),
+    )
+    .expect("write csv");
     println!("wrote results/fig5.csv");
 }

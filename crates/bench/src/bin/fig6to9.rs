@@ -1,41 +1,37 @@
 //! Regenerates **Figures 6-9** of the paper: communication cost vs message
 //! size (16 B .. 128 KB), one figure per density d in {4, 8, 16, 32}, for
-//! every primary scheduler in the registry.
+//! every primary scheduler in the registry — one declarative grid,
+//! rendered per figure.
 //!
 //! Run: `cargo run -p repro-bench --release --bin fig6to9`
 
-use commrt::{write_csv, CellRecord, ExperimentRunner};
+use commrt::write_csv;
 use commsched::registry;
-use repro_bench::{figure_sizes, measure_cell, paper_cube, sample_count};
+use repro_bench::{figure_sizes, paper_grid, sample_count};
 
 fn main() {
-    let cube = paper_cube();
-    let runner = ExperimentRunner::ipsc860();
     let samples = sample_count().min(25);
     let sizes = figure_sizes();
     let figure_for_d = [(4usize, 6u32), (8, 7), (16, 8), (32, 9)];
+
+    let result = paper_grid(registry::primary(), &[4, 8, 16, 32], &sizes, samples)
+        .execute()
+        .unwrap_or_else(|e| panic!("{e}"));
 
     let mut records = Vec::new();
     for (d, fig) in figure_for_d {
         println!("Figure {fig}: communication cost (ms) vs message size, d = {d}");
         print!("{:>9} |", "bytes");
-        for entry in registry::primary() {
-            print!(" {:>10}", entry.name());
+        for column in result.columns() {
+            print!(" {:>10}", column.label());
         }
         println!();
         for &bytes in &sizes {
+            let point = result.point_index(d, bytes).expect("declared point");
             let mut row = vec![format!("{bytes:>9} |")];
-            for entry in registry::primary() {
-                let cell = measure_cell(&runner, &cube, entry, d, bytes, samples)
-                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", entry.name()));
-                records.push(CellRecord::from_entry(
-                    &format!("fig{fig}"),
-                    entry,
-                    d,
-                    bytes,
-                    &cell,
-                ));
-                row.push(format!("{:>10.2}", cell.comm_ms));
+            for cell in result.row(point) {
+                records.push(cell.record(&format!("fig{fig}")));
+                row.push(format!("{:>10.2}", cell.result.comm_ms));
             }
             println!("{}", row.join(" "));
         }

@@ -5,33 +5,33 @@
 //! Columns come from the scheduler registry's primary entries — the
 //! paper's AC/LP/RS_N/RS_NL plus the deterministic GREEDY baseline; a
 //! newly registered scheduler becomes a new column with no change here.
+//! The whole sweep is one declarative [`repro_bench::paper_grid`]
+//! executed cell- and sample-parallel; this binary only renders the
+//! result.
 //!
 //! Run: `cargo run -p repro-bench --release --bin table1`
-//! (set `REPRO_SAMPLES` to override the paper's 50 samples per cell).
+//! (set `REPRO_SAMPLES` to override the paper's 50 samples per cell, and
+//! `IPSC_THREADS` to pin the worker count).
 
-use commrt::{write_csv, write_json, ExperimentRunner};
+use commrt::{write_csv, write_grid_markdown, write_json};
 use commsched::registry;
-use repro_bench::{
-    format_density_block, paper_cube, record_cell, sample_count, DENSITIES, TABLE1_SIZES,
-};
+use repro_bench::{format_density_block, paper_grid, sample_count, DENSITIES, TABLE1_SIZES};
 
 fn main() {
-    let cube = paper_cube();
-    let runner = ExperimentRunner::ipsc860();
     let samples = sample_count();
     println!("Table 1 reproduction: 64-node iPSC/860 model, {samples} samples per cell\n");
+
+    let result = paper_grid(registry::primary(), &DENSITIES, &TABLE1_SIZES, samples)
+        .execute()
+        .unwrap_or_else(|e| panic!("{e}"));
 
     let mut all_records = Vec::new();
     for d in DENSITIES {
         let mut rows = Vec::new();
         for bytes in TABLE1_SIZES {
-            let mut records = Vec::new();
-            for entry in registry::primary() {
-                let rec = record_cell("table1", &runner, &cube, entry, d, bytes, samples)
-                    .unwrap_or_else(|e| panic!("{} d={d} M={bytes}: {e}", entry.name()));
-                records.push(rec.clone());
-                all_records.push(rec);
-            }
+            let point = result.point_index(d, bytes).expect("declared point");
+            let records: Vec<_> = result.row(point).map(|c| c.record("table1")).collect();
+            all_records.extend(records.iter().cloned());
             rows.push((bytes, records));
         }
         print!("{}", format_density_block(d, &rows));
@@ -41,5 +41,16 @@ fn main() {
     let out_dir = std::path::Path::new("results");
     write_csv(&out_dir.join("table1.csv"), &all_records).expect("write csv");
     write_json(&out_dir.join("table1.json"), &all_records).expect("write json");
+    write_grid_markdown(
+        &out_dir.join("table1.md"),
+        "Table 1: communication cost on the simulated 64-node iPSC/860",
+        &result,
+    )
+    .expect("write markdown");
     println!("wrote results/table1.csv and results/table1.json");
+    eprintln!(
+        "grid: {} cells, {} tasks; also wrote results/table1.md",
+        result.stats().cells,
+        result.stats().tasks
+    );
 }

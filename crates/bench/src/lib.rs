@@ -7,14 +7,19 @@
 //! The binaries do not name algorithms: they enumerate
 //! [`commsched::registry`] (the primary entries for the paper tables, the
 //! variants for the ablations), so a scheduler registered there appears in
-//! every artifact automatically.
+//! every artifact automatically. Since the grid refactor they also do not
+//! loop over cells: each declares its sweep as one
+//! [`commrt::ExperimentGrid`] ([`paper_grid`]), executes it on the
+//! work-stealing pool, and renders tables from the returned
+//! [`commrt::GridResult`].
 
 #![forbid(unsafe_code)]
 
-use commrt::{CellRecord, CellResult, ExperimentRunner, Scheme};
+use commrt::grid::{paper_base_seed, WorkloadPoint};
+use commrt::{CellRecord, CellResult, ExperimentGrid, ExperimentRunner, Scheme};
 use commsched::{CommMatrix, Schedule, Scheduler, SchedulerKind};
 use hypercube::Hypercube;
-use workloads::SampleSet;
+use workloads::{Generator, SampleSet};
 
 /// The paper's machine: a 64-node hypercube.
 pub fn paper_cube() -> Hypercube {
@@ -53,8 +58,45 @@ pub fn schedule_for(
     kind.scheduler().schedule(com, cube, seed)
 }
 
+/// The paper's sweep as a declarative grid: `entries` as scheduler
+/// columns, one pre-grid-compatible [`WorkloadPoint`] per `(d, M)` pair
+/// (densities outermost), `samples` samples per cell, on the 64-node
+/// hypercube. Each binary narrows the axes to its figure and renders from
+/// the executed [`commrt::GridResult`].
+pub fn paper_grid(
+    entries: impl IntoIterator<Item = &'static dyn Scheduler>,
+    densities: &[usize],
+    sizes: &[u32],
+    samples: usize,
+) -> ExperimentGrid {
+    let n = paper_cube().num_nodes_();
+    let mut grid = ExperimentGrid::new()
+        .topology("hypercube(6)", paper_cube())
+        .schedulers(entries)
+        .samples(samples);
+    for &d in densities {
+        for &msg_bytes in sizes {
+            // The paper's assumption 2: "all nodes send and receive an
+            // approximately equal number of messages" — the exactly
+            // d-regular generator (its RS_N phase counts ~d + log d only
+            // hold under that regularity). PerScheduler seeds pin the
+            // historical per-algorithm sample streams.
+            grid = grid.point(WorkloadPoint::per_scheduler(
+                Generator::dregular(n, d, msg_bytes),
+                d,
+                msg_bytes,
+            ));
+        }
+    }
+    grid
+}
+
 /// Measure one `(algorithm, d, msg_bytes)` cell on the paper's machine
 /// under the entry's paper-default scheme.
+///
+/// Kept as the closure-driven reference oracle for the grid path: a
+/// [`paper_grid`] cell must equal this measurement bit-for-bit (tested
+/// below).
 ///
 /// # Errors
 ///
@@ -70,7 +112,7 @@ pub fn measure_cell(
     let n = cube.num_nodes_();
     // Base seed mixes the cell coordinates so no two cells share samples
     // (`Scheduler::ordinal` pins the historical per-algorithm streams).
-    let base = (d as u64) * 1_000_003 + (msg_bytes as u64) * 7 + entry.ordinal();
+    let base = paper_base_seed(d, msg_bytes, entry.ordinal());
     let set = SampleSet::new(base, samples);
     // The paper's assumption 2: "all nodes send and receive an approximately
     // equal number of messages" — the exactly d-regular generator (its RS_N
@@ -116,6 +158,43 @@ impl CubeExt for Hypercube {
         use hypercube::Topology;
         self.num_nodes()
     }
+}
+
+/// Wall-clock-time `f` over `reps` repetitions into a
+/// [`criterion::CaseResult`] (ns), for recording hand-timed measurements
+/// next to the bench outputs.
+pub fn time_case(
+    name: impl Into<String>,
+    reps: usize,
+    mut f: impl FnMut(),
+) -> criterion::CaseResult {
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    criterion::CaseResult {
+        name: name.into(),
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        min_ns: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ns: samples.iter().copied().fold(0.0f64, f64::max),
+    }
+}
+
+/// Write `BENCH_<group>.json` in the one shared measurement format —
+/// delegated to the vendored criterion shim's quiet writer (same path
+/// resolution, sanitization, merge, and JSON shape as the bench targets;
+/// no stdout, because the repro binaries pin theirs byte-for-byte).
+///
+/// # Errors
+///
+/// I/O errors from the filesystem.
+pub fn write_bench_json(
+    group: &str,
+    cases: &[criterion::CaseResult],
+) -> std::io::Result<std::path::PathBuf> {
+    criterion::write_report_quiet(group, cases)
 }
 
 /// Render a Table-1-style block for one density. The column set is taken
@@ -186,14 +265,53 @@ mod tests {
 
     #[test]
     fn cell_seeds_differ_across_cells() {
-        // Different (entry, d, bytes) must map to different base seeds.
+        // Different (entry, d, bytes) must map to different base seeds,
+        // and the canonical formula must stay pinned (historical sample
+        // streams).
         let ac = registry::find("AC").unwrap();
         let lp = registry::find("LP").unwrap();
-        let a = (4u64) * 1_000_003 + 256 * 7 + ac.ordinal();
-        let b = (8u64) * 1_000_003 + 256 * 7 + ac.ordinal();
-        let c = (4u64) * 1_000_003 + 1024 * 7 + lp.ordinal();
+        let a = paper_base_seed(4, 256, ac.ordinal());
+        let b = paper_base_seed(8, 256, ac.ordinal());
+        let c = paper_base_seed(4, 1024, lp.ordinal());
         assert_ne!(a, b);
         assert_ne!(a, c);
+        assert_eq!(a, 4 * 1_000_003 + 256 * 7);
+    }
+
+    #[test]
+    fn paper_grid_cells_match_the_closure_oracle_bit_for_bit() {
+        // The grid rewrite must not move a single bit of any reproduced
+        // table: each grid cell equals the pre-grid measure_cell path.
+        let result = paper_grid(registry::primary(), &[4, 8], &[256, 1024], 2)
+            .execute()
+            .unwrap();
+        let cube = paper_cube();
+        let runner = ExperimentRunner::ipsc860();
+        for entry in registry::primary() {
+            let col = result.find_column(entry.name()).unwrap();
+            for (d, bytes) in [(4, 256), (4, 1024), (8, 256), (8, 1024)] {
+                let pi = result.point_index(d, bytes).unwrap();
+                let oracle = measure_cell(&runner, &cube, entry, d, bytes, 2).unwrap();
+                assert_eq!(
+                    result.at(col, pi).unwrap().result,
+                    oracle,
+                    "{} d={d} M={bytes}",
+                    entry.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bench_json_has_the_shim_shape() {
+        let case = time_case("noop", 2, || {});
+        assert!(case.min_ns <= case.mean_ns && case.mean_ns <= case.max_ns);
+        let path = write_bench_json("libtest_selftest", &[case]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.contains("\"name\": \"noop\""));
+        assert!(text.contains("\"mean_ns\""));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -39,11 +39,12 @@ use crate::{CommMatrix, Schedule, SchedulerKind};
 /// GREEDY) simply ignore the seed.
 pub trait Scheduler: Sync {
     /// Unique label, used in tables, CSV/JSON records, and [`find`].
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
 
     /// The paper section describing the algorithm (variants name the
-    /// section whose design choice they ablate).
-    fn paper_section(&self) -> &'static str;
+    /// section whose design choice they ablate; ad-hoc entries say what
+    /// they are).
+    fn paper_section(&self) -> &str;
 
     /// The algorithm family, for compat consumers keyed on the closed
     /// [`SchedulerKind`] enum (protocol defaults, record grouping).
@@ -87,10 +88,10 @@ pub trait Scheduler: Sync {
 struct Ac;
 
 impl Scheduler for Ac {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "AC"
     }
-    fn paper_section(&self) -> &'static str {
+    fn paper_section(&self) -> &str {
         "3"
     }
     fn family(&self) -> SchedulerKind {
@@ -113,10 +114,10 @@ impl Scheduler for Ac {
 struct Lp;
 
 impl Scheduler for Lp {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "LP"
     }
-    fn paper_section(&self) -> &'static str {
+    fn paper_section(&self) -> &str {
         "4.1"
     }
     fn family(&self) -> SchedulerKind {
@@ -159,10 +160,10 @@ struct Rs {
 }
 
 impl Scheduler for Rs {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         self.name
     }
-    fn paper_section(&self) -> &'static str {
+    fn paper_section(&self) -> &str {
         self.section
     }
     fn family(&self) -> SchedulerKind {
@@ -194,10 +195,10 @@ impl Scheduler for Rs {
 struct Greedy;
 
 impl Scheduler for Greedy {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "GREEDY"
     }
-    fn paper_section(&self) -> &'static str {
+    fn paper_section(&self) -> &str {
         "4.2 (ref. 15)"
     }
     fn family(&self) -> SchedulerKind {
@@ -315,6 +316,126 @@ pub fn find(name: &str) -> Option<&'static dyn Scheduler> {
     REGISTRY.iter().copied().find(|e| e.name() == name)
 }
 
+/// An *explicit* (non-registry) scheduler built from a closure — the
+/// escape hatch for experiment grids that compare configurations which
+/// have no registry entry (a one-off variant, a prototype, a
+/// parameterized sweep point).
+///
+/// Guarantee flags default to the family's canonical entry; override them
+/// when the closure strengthens or weakens them. The ordinal defaults to
+/// a 32-bit hash of the name — distinct names get distinct sample
+/// streams with overwhelming probability while staying far from the
+/// registry's small pinned ordinals, and [`AdHoc::with_ordinal`] pins
+/// one exactly.
+///
+/// ```
+/// use commsched::{registry::AdHoc, rs_n_with, RsOptions, SchedulerKind};
+/// use commsched::Scheduler;
+/// use hypercube::Hypercube;
+///
+/// let largest_first = AdHoc::new("RS_N_LF", SchedulerKind::RsN, |com, _topo, seed| {
+///     rs_n_with(com, seed, RsOptions::default())
+/// });
+/// let com = {
+///     let mut m = commsched::CommMatrix::new(8);
+///     m.set(0, 3, 64);
+///     m
+/// };
+/// let s = largest_first.schedule(&com, &Hypercube::new(3), 1);
+/// assert_eq!(s.algorithm(), SchedulerKind::RsN);
+/// ```
+pub struct AdHoc {
+    name: String,
+    section: String,
+    family: SchedulerKind,
+    link_cf: bool,
+    node_cf: bool,
+    ordinal: u64,
+    #[allow(clippy::type_complexity)]
+    f: Box<dyn Fn(&CommMatrix, &dyn Topology, u64) -> Schedule + Send + Sync>,
+}
+
+impl AdHoc {
+    /// A scheduler named `name` in `family`, scheduling via `f`.
+    pub fn new(
+        name: impl Into<String>,
+        family: SchedulerKind,
+        f: impl Fn(&CommMatrix, &dyn Topology, u64) -> Schedule + Send + Sync + 'static,
+    ) -> Self {
+        let name = name.into();
+        let canonical = family.scheduler();
+        AdHoc {
+            section: format!("ad hoc ({name})"),
+            family,
+            link_cf: canonical.link_contention_free(),
+            node_cf: canonical.node_contention_free(),
+            ordinal: fnv1a(&name),
+            name,
+            f: Box::new(f),
+        }
+    }
+
+    /// Override the guarantee flags (defaulted from the family entry).
+    pub fn with_guarantees(
+        mut self,
+        link_contention_free: bool,
+        node_contention_free: bool,
+    ) -> Self {
+        self.link_cf = link_contention_free;
+        self.node_cf = node_contention_free;
+        self
+    }
+
+    /// Pin the seed-stream ordinal (defaulted to a hash of the name).
+    pub fn with_ordinal(mut self, ordinal: u64) -> Self {
+        self.ordinal = ordinal;
+        self
+    }
+
+    /// Override the descriptive section string.
+    pub fn with_section(mut self, section: impl Into<String>) -> Self {
+        self.section = section.into();
+        self
+    }
+}
+
+impl Scheduler for AdHoc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn paper_section(&self) -> &str {
+        &self.section
+    }
+    fn family(&self) -> SchedulerKind {
+        self.family
+    }
+    fn link_contention_free(&self) -> bool {
+        self.link_cf
+    }
+    fn node_contention_free(&self) -> bool {
+        self.node_cf
+    }
+    fn ordinal(&self) -> u64 {
+        self.ordinal
+    }
+    fn schedule(&self, com: &CommMatrix, topo: &dyn Topology, seed: u64) -> Schedule {
+        (self.f)(com, topo, seed)
+    }
+}
+
+/// FNV-1a over the name bytes, folded to 32 bits: a stable,
+/// dependency-free default ordinal for ad-hoc entries. Kept small so
+/// downstream seed mixes (`base * 1_000_003`-style) stay well inside
+/// `u64` headroom.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    (h >> 32) ^ (h & 0xffff_ffff)
+}
+
 impl SchedulerKind {
     /// The registry entry this enum value is a shim for — the canonical
     /// paper configuration of the family. Enum-keyed call sites stay
@@ -425,6 +546,32 @@ mod tests {
         let com = sample_com(12);
         let s = find("RS_NL").unwrap().schedule(&com, &mesh, 1);
         assert!(s.link_contention_free(&mesh));
+    }
+
+    #[test]
+    fn ad_hoc_entry_defaults_from_its_family() {
+        let entry = AdHoc::new("MY_RS_NL", SchedulerKind::RsNl, |com, topo, seed| {
+            crate::rs_nl(com, topo, seed)
+        });
+        assert_eq!(entry.name(), "MY_RS_NL");
+        assert!(entry.link_contention_free());
+        assert!(entry.node_contention_free());
+        assert_eq!(entry.family(), SchedulerKind::RsNl);
+        // Distinct names get distinct default ordinals; explicit pinning
+        // and guarantee overrides stick.
+        let other = AdHoc::new("OTHER", SchedulerKind::RsNl, |com, topo, seed| {
+            crate::rs_nl(com, topo, seed)
+        });
+        assert_ne!(entry.ordinal(), other.ordinal());
+        let pinned = other.with_ordinal(99).with_guarantees(false, true);
+        assert_eq!(pinned.ordinal(), 99);
+        assert!(!pinned.link_contention_free());
+        // And it schedules like the function it wraps.
+        let com = sample_com(16);
+        let cube = Hypercube::new(4);
+        let s = entry.schedule(&com, &cube, 7);
+        assert_eq!(s.phases(), crate::rs_nl(&com, &cube, 7).phases());
+        validate_schedule(&com, &s).unwrap();
     }
 
     #[test]

@@ -408,6 +408,54 @@ mod tests {
     }
 
     #[test]
+    fn send_detect_ring_with_bounded_buffers_reports_deadlock_not_hang() {
+        // The paper's Section 3 hazard in its purest form: a ring where
+        // every node sends one message larger than the downstream system
+        // buffer. Under send-detect-receive each sender blocks on the full
+        // buffer before reaching its own receives, so the whole ring is
+        // mutually stuck. The simulator must *diagnose* this as a
+        // `SimError::Deadlock` naming the stuck nodes — not spin forever.
+        let cube = Hypercube::new(3);
+        let mut com = CommMatrix::new(8);
+        for i in 0..8 {
+            com.set(i, (i + 1) % 8, 8192);
+        }
+        let params = MachineParams {
+            buffer_bytes: Some(4096), // half a message: nobody can land
+            ..MachineParams::ipsc860()
+        };
+        let err = simnet::simulate(&cube, &params, compile_ac_send_detect(&com)).unwrap_err();
+        match err {
+            SimError::Deadlock { ref stuck } => {
+                assert_eq!(stuck.len(), 8, "the whole ring is stuck: {stuck:?}");
+            }
+            ref other => panic!("expected Deadlock, got {other}"),
+        }
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn send_detect_ring_with_generous_buffers_completes() {
+        // Same ring, but each buffer holds the whole incoming message:
+        // arrivals land in the system buffer, the late receives pay the
+        // copy, and the run completes.
+        let cube = Hypercube::new(3);
+        let mut com = CommMatrix::new(8);
+        for i in 0..8 {
+            com.set(i, (i + 1) % 8, 8192);
+        }
+        let params = MachineParams {
+            buffer_bytes: Some(64 * 1024),
+            ..MachineParams::ipsc860()
+        };
+        let report = simnet::simulate(&cube, &params, compile_ac_send_detect(&com)).unwrap();
+        assert!(report.makespan_ns > 0);
+        assert_eq!(report.stats.copies, 8, "every arrival is buffered once");
+        let delivered: u64 = report.stats.nodes.iter().map(|s| s.recvs).sum();
+        assert_eq!(delivered, 8);
+    }
+
+    #[test]
     fn determinism_end_to_end() {
         let (com, cube) = com_and_cube();
         let params = MachineParams::ipsc860();

@@ -29,6 +29,43 @@ pub struct CellResult {
     pub samples: usize,
 }
 
+impl CellResult {
+    /// Aggregate per-sample outcomes exactly the way the paper aggregates
+    /// (mean over samples, min/max of the per-sample maxima). Every cell
+    /// producer — [`ExperimentRunner::run_cell`] and the grid executor —
+    /// funnels through this one function so their numbers are
+    /// bit-identical. `None` for an empty outcome list.
+    pub(crate) fn aggregate(outcomes: &[SampleOutcome]) -> Option<CellResult> {
+        if outcomes.is_empty() {
+            return None;
+        }
+        let mut comm_sum = 0.0;
+        let mut comm_min = f64::INFINITY;
+        let mut comm_max = 0.0f64;
+        let mut phase_sum = 0.0;
+        let mut comp_sum = 0.0;
+        let mut pair_sum = 0.0;
+        for o in outcomes {
+            comm_sum += o.comm_ms;
+            comm_min = comm_min.min(o.comm_ms);
+            comm_max = comm_max.max(o.comm_ms);
+            phase_sum += o.phases as f64;
+            comp_sum += o.comp_ms;
+            pair_sum += o.exchange_pairs as f64;
+        }
+        let kf = outcomes.len() as f64;
+        Some(CellResult {
+            comm_ms: comm_sum / kf,
+            comm_ms_min: comm_min,
+            comm_ms_max: comm_max,
+            phases: phase_sum / kf,
+            comp_ms: comp_sum / kf,
+            exchange_pairs: pair_sum / kf,
+            samples: outcomes.len(),
+        })
+    }
+}
+
 /// Runs experiment cells sample-parallel across host threads.
 ///
 /// The simulator is deterministic, so unlike the paper we do not repeat
@@ -45,13 +82,28 @@ pub struct ExperimentRunner {
     pub threads: usize,
 }
 
+/// Worker-thread default: the `IPSC_THREADS` environment variable when set
+/// to a positive integer (reproducible thread control on shared CI
+/// machines), otherwise the host's available parallelism.
+///
+/// Thread count never changes *results* — cell outputs are deterministic
+/// by construction — only wall-clock time and scheduling noise.
+pub(crate) fn default_threads() -> usize {
+    std::env::var("IPSC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &usize| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, usize::from))
+}
+
 impl ExperimentRunner {
-    /// Runner with the paper's machine calibration.
+    /// Runner with the paper's machine calibration. Worker threads honour
+    /// the `IPSC_THREADS` environment override.
     pub fn ipsc860() -> Self {
         ExperimentRunner {
             params: MachineParams::ipsc860(),
             cost_model: I860CostModel::default(),
-            threads: std::thread::available_parallelism().map_or(4, usize::from),
+            threads: default_threads(),
         }
     }
 
@@ -60,7 +112,8 @@ impl ExperimentRunner {
     ///
     /// # Errors
     ///
-    /// The first [`SimError`] of any sample (by sample index).
+    /// [`SimError::BadParams`] for an empty sample set, otherwise the
+    /// first [`SimError`] of any sample (by sample index).
     pub fn run_cell<T: Topology + ?Sized>(
         &self,
         topo: &T,
@@ -70,6 +123,11 @@ impl ExperimentRunner {
         scheme: Scheme,
     ) -> Result<CellResult, SimError> {
         let k = set.len();
+        if k == 0 {
+            return Err(SimError::BadParams(
+                "cannot run a cell over an empty sample set".into(),
+            ));
+        }
         let results: Mutex<Vec<Option<Result<SampleOutcome, SimError>>>> =
             Mutex::new(vec![None; k]);
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -87,32 +145,12 @@ impl ExperimentRunner {
                 });
             }
         });
-        let outcomes = results.into_inner().expect("no panics hold the lock");
-        let mut comm_sum = 0.0;
-        let mut comm_min = f64::INFINITY;
-        let mut comm_max = 0.0f64;
-        let mut phase_sum = 0.0;
-        let mut comp_sum = 0.0;
-        let mut pair_sum = 0.0;
-        for o in outcomes {
-            let o = o.expect("worker filled every slot")?;
-            comm_sum += o.comm_ms;
-            comm_min = comm_min.min(o.comm_ms);
-            comm_max = comm_max.max(o.comm_ms);
-            phase_sum += o.phases as f64;
-            comp_sum += o.comp_ms;
-            pair_sum += o.exchange_pairs as f64;
+        let slots = results.into_inner().expect("no panics hold the lock");
+        let mut outcomes = Vec::with_capacity(k);
+        for o in slots {
+            outcomes.push(o.expect("worker filled every slot")?);
         }
-        let kf = k as f64;
-        Ok(CellResult {
-            comm_ms: comm_sum / kf,
-            comm_ms_min: comm_min,
-            comm_ms_max: comm_max,
-            phases: phase_sum / kf,
-            comp_ms: comp_sum / kf,
-            exchange_pairs: pair_sum / kf,
-            samples: k,
-        })
+        Ok(CellResult::aggregate(&outcomes).expect("k > 0 checked above"))
     }
 
     /// [`ExperimentRunner::run_cell`] for a registry entry: the schedule
@@ -153,23 +191,47 @@ impl ExperimentRunner {
     ) -> Result<SampleOutcome, SimError> {
         let com = gen(seed);
         let schedule = sched(&com, seed);
-        let programs = compile(&com, &schedule, scheme);
-        let report = simnet::simulate(topo, &self.params, programs)?;
-        Ok(SampleOutcome {
-            comm_ms: report.makespan_ms(),
-            phases: schedule.num_phases(),
-            comp_ms: self.cost_model.schedule_ms(&schedule),
-            exchange_pairs: schedule.exchange_pairs(),
-        })
+        measure_sample(
+            &self.params,
+            &self.cost_model,
+            topo,
+            &com,
+            &schedule,
+            scheme,
+        )
     }
 }
 
+/// Schedule-to-numbers for one already-generated sample: compile under
+/// `scheme`, simulate on `topo`, and price the schedule under the i860
+/// cost model. Shared by [`ExperimentRunner::run_cell`] and the grid
+/// executor (which generates matrices through its reuse cache instead of
+/// a per-sample closure).
+pub(crate) fn measure_sample<T: Topology + ?Sized>(
+    params: &MachineParams,
+    cost_model: &I860CostModel,
+    topo: &T,
+    com: &CommMatrix,
+    schedule: &Schedule,
+    scheme: Scheme,
+) -> Result<SampleOutcome, SimError> {
+    let programs = compile(com, schedule, scheme);
+    let report = simnet::simulate(topo, params, programs)?;
+    Ok(SampleOutcome {
+        comm_ms: report.makespan_ms(),
+        phases: schedule.num_phases(),
+        comp_ms: cost_model.schedule_ms(schedule),
+        exchange_pairs: schedule.exchange_pairs(),
+    })
+}
+
+/// Per-sample measurement, aggregated by [`CellResult::aggregate`].
 #[derive(Clone, Copy, Debug)]
-struct SampleOutcome {
-    comm_ms: f64,
-    phases: usize,
-    comp_ms: f64,
-    exchange_pairs: usize,
+pub(crate) struct SampleOutcome {
+    pub(crate) comm_ms: f64,
+    pub(crate) phases: usize,
+    pub(crate) comp_ms: f64,
+    pub(crate) exchange_pairs: usize,
 }
 
 #[cfg(test)]
@@ -249,6 +311,30 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
             assert!(cell.comm_ms > 0.0, "{}", entry.name());
         }
+    }
+
+    #[test]
+    fn empty_sample_set_is_an_error_not_a_panic() {
+        // Regression: `self.threads.clamp(1, k)` with `k = 0` violated
+        // `clamp`'s `min <= max` contract and panicked before any sample
+        // ran; an empty set must surface as a proper error instead.
+        let cube = Hypercube::new(4);
+        let runner = ExperimentRunner::ipsc860();
+        let set = SampleSet::new(1, 0);
+        let err = runner
+            .run_cell(
+                &cube,
+                &set,
+                &|seed| workloads::random_dense(16, 3, 1024, seed),
+                &|com, seed| rs_n(com, seed),
+                Scheme::S2,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, simnet::SimError::BadParams(_)),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("empty sample set"), "{err}");
     }
 
     #[test]

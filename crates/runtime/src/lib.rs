@@ -17,6 +17,11 @@
 //!   many independently seeded samples per configuration, cost = maximum
 //!   time over processors, averaged over samples — fanned out over host
 //!   threads.
+//! * [`grid`] declares whole experiment *grids* — scheduler columns ×
+//!   workload points × topologies — and executes every cell on a
+//!   work-stealing pool with sample matrices generated once per
+//!   `(workload, seed)` point and shared across scheduler columns. The
+//!   repro binaries are thin renderers over [`GridResult`]s.
 //!
 //! ```
 //! use commrt::{run_schedule, Scheme};
@@ -37,10 +42,14 @@
 pub mod allgather;
 mod compile;
 mod experiment;
+pub mod grid;
 mod report;
 mod scheme;
 
 pub use compile::{compile, compile_ac_send_detect, run_schedule, run_schedule_traced};
 pub use experiment::{CellResult, ExperimentRunner};
-pub use report::{read_json, write_csv, write_json, CellRecord};
+pub use grid::{ExperimentGrid, GridResult, WorkloadPoint};
+pub use report::{
+    read_json, write_csv, write_grid_json, write_grid_markdown, write_json, CellRecord,
+};
 pub use scheme::Scheme;

@@ -115,6 +115,164 @@ pub fn write_json(path: &Path, records: &[CellRecord]) -> std::io::Result<()> {
     std::fs::write(path, json)
 }
 
+/// Write a [`GridResult`] as pretty JSON: the axes (columns, points,
+/// topologies), the execution stats (including matrix reuse), and every
+/// measured cell with its stable [`crate::grid::CellId`] address.
+///
+/// Like [`write_json`], the shape is rendered by hand (the workspace
+/// builds offline with no serde).
+///
+/// # Errors
+///
+/// I/O errors from the filesystem.
+///
+/// [`GridResult`]: crate::grid::GridResult
+pub fn write_grid_json(
+    path: &Path,
+    experiment: &str,
+    grid: &crate::grid::GridResult,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let stats = grid.stats();
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"experiment\": \"{}\",\n  \"samples\": {},\n",
+        escape_json(experiment),
+        grid.samples()
+    ));
+    json.push_str(&format!(
+        "  \"stats\": {{\"cells\": {}, \"skipped\": {}, \"tasks\": {}, \"matrices_generated\": {}, \"matrix_requests\": {}}},\n",
+        stats.cells, stats.skipped, stats.tasks, stats.matrices_generated, stats.matrix_requests
+    ));
+    json.push_str("  \"columns\": [");
+    for (i, c) in grid.columns().iter().enumerate() {
+        let comma = if i + 1 < grid.columns().len() {
+            ", "
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "{{\"name\": \"{}\", \"scheme\": \"{}\"}}{comma}",
+            escape_json(&c.label()),
+            c.scheme().label()
+        ));
+    }
+    json.push_str("],\n  \"points\": [");
+    for (i, p) in grid.points().iter().enumerate() {
+        let comma = if i + 1 < grid.points().len() {
+            ", "
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "{{\"generator\": \"{}\", \"d\": {}, \"msg_bytes\": {}}}{comma}",
+            escape_json(p.generator().name()),
+            p.d(),
+            p.msg_bytes()
+        ));
+    }
+    json.push_str("],\n  \"topologies\": [");
+    for (i, t) in grid.topologies().iter().enumerate() {
+        let comma = if i + 1 < grid.topologies().len() {
+            ", "
+        } else {
+            ""
+        };
+        json.push_str(&format!("\"{}\"{comma}", escape_json(t)));
+    }
+    json.push_str("],\n  \"cells\": [\n");
+    let cells: Vec<_> = grid.cells().collect();
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"col\": {}, \"point\": {}, \"topo\": {}, \"algorithm\": \"{}\", \"d\": {}, \"msg_bytes\": {}, \"comm_ms\": {}, \"comm_ms_min\": {}, \"comm_ms_max\": {}, \"phases\": {}, \"comp_ms\": {}, \"exchange_pairs\": {}, \"samples\": {}}}{comma}\n",
+            c.id.col,
+            c.id.point,
+            c.id.topo,
+            escape_json(&c.algorithm),
+            c.d,
+            c.msg_bytes,
+            c.result.comm_ms,
+            c.result.comm_ms_min,
+            c.result.comm_ms_max,
+            c.result.phases,
+            c.result.comp_ms,
+            c.result.exchange_pairs,
+            c.result.samples
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, json)
+}
+
+/// Write a [`GridResult`] as a Markdown document: one communication-cost
+/// table per topology (workload points as rows, scheduler columns as
+/// columns), plus a matrix-reuse footer.
+///
+/// # Errors
+///
+/// I/O errors from the filesystem.
+///
+/// [`GridResult`]: crate::grid::GridResult
+pub fn write_grid_markdown(
+    path: &Path,
+    title: &str,
+    grid: &crate::grid::GridResult,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut md = format!("# {title}\n\n");
+    let _ = writeln!(
+        md,
+        "Mean communication cost (ms) over {} sample(s) per cell.\n",
+        grid.samples()
+    );
+    for (ti, topo) in grid.topologies().iter().enumerate() {
+        let _ = writeln!(md, "## {topo}\n");
+        let mut header = String::from("| d | M (bytes) |");
+        let mut rule = String::from("|---|---|");
+        for c in grid.columns() {
+            let _ = write!(header, " {} |", c.label());
+            rule.push_str("---|");
+        }
+        md.push_str(&header);
+        md.push('\n');
+        md.push_str(&rule);
+        md.push('\n');
+        for (pi, p) in grid.points().iter().enumerate() {
+            let _ = write!(md, "| {} | {} |", p.d(), p.msg_bytes());
+            for ci in 0..grid.columns().len() {
+                match grid.cell(crate::grid::CellId {
+                    col: ci,
+                    point: pi,
+                    topo: ti,
+                }) {
+                    Some(cell) => {
+                        let _ = write!(md, " {:.2} |", cell.result.comm_ms);
+                    }
+                    None => md.push_str(" — |"),
+                }
+            }
+            md.push('\n');
+        }
+        md.push('\n');
+    }
+    let stats = grid.stats();
+    let _ = writeln!(
+        md,
+        "_{} cells, {} tasks; {} of {} matrix requests served by reuse._",
+        stats.cells,
+        stats.tasks,
+        stats.matrices_reused(),
+        stats.matrix_requests
+    );
+    std::fs::write(path, md)
+}
+
 /// Read records written by [`write_json`].
 ///
 /// # Errors
@@ -266,6 +424,41 @@ mod tests {
         std::fs::write(&path, "experiment,algorithm\ntable1,AC\n").unwrap();
         let err = read_json(&path).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_writers_emit_axes_cells_and_reuse() {
+        use crate::grid::{ExperimentGrid, WorkloadPoint};
+        use hypercube::Hypercube;
+        use workloads::Generator;
+        let grid = ExperimentGrid::new()
+            .topology("hypercube(4)", Hypercube::new(4))
+            .schedulers(commsched::registry::primary())
+            .point(WorkloadPoint::shared(
+                Generator::dregular(16, 3, 512),
+                3,
+                512,
+                21,
+            ))
+            .samples(2)
+            .execute()
+            .unwrap();
+        let dir = std::env::temp_dir().join("ipsc_sched_test_grid_report");
+        let jpath = dir.join("grid.json");
+        let mpath = dir.join("grid.md");
+        write_grid_json(&jpath, "unit", &grid).unwrap();
+        write_grid_markdown(&mpath, "Unit grid", &grid).unwrap();
+        let json = std::fs::read_to_string(&jpath).unwrap();
+        assert!(json.contains("\"experiment\": \"unit\""));
+        assert!(json.contains("\"matrices_generated\": 2"));
+        assert!(json.contains("\"algorithm\": \"RS_NL\""));
+        assert!(json.contains("dregular(n=16,d=3,M=512)"));
+        let md = std::fs::read_to_string(&mpath).unwrap();
+        assert!(md.starts_with("# Unit grid"));
+        assert!(md.contains("| RS_NL |") || md.contains(" RS_NL |"));
+        assert!(md.contains("hypercube(4)"));
+        assert!(md.contains("matrix requests served by reuse"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

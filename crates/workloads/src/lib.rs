@@ -13,10 +13,12 @@
 #![forbid(unsafe_code)]
 
 pub mod collective;
+mod generator;
 pub mod irregular;
 mod random;
 mod samples;
 pub mod structured;
 
+pub use generator::Generator;
 pub use random::{random_dense, random_dregular, random_nonuniform};
 pub use samples::SampleSet;

@@ -20,11 +20,11 @@ impl SampleSet {
 
     /// A set of `count` samples derived from `base_seed`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `count == 0`.
+    /// An empty set (`count == 0`) is representable — consumers that need
+    /// at least one sample must report that themselves (e.g.
+    /// `ExperimentRunner::run_cell` returns an error) rather than assume
+    /// construction already rejected it.
     pub fn new(base_seed: u64, count: usize) -> Self {
-        assert!(count > 0, "a sample set needs at least one sample");
         SampleSet { base_seed, count }
     }
 
@@ -33,19 +33,24 @@ impl SampleSet {
         self.count
     }
 
-    /// Whether the set is empty (never true by construction).
+    /// Whether the set has no samples.
     pub fn is_empty(&self) -> bool {
-        false
+        self.count == 0
     }
 
     /// The seed of sample `k`.
+    ///
+    /// Wrapping arithmetic: base seeds span the full `u64` range (e.g.
+    /// hashed ad-hoc scheduler ordinals mixed into grid base seeds), and
+    /// a seed only needs to be deterministic and well-spread, not
+    /// order-preserving.
     ///
     /// # Panics
     ///
     /// Panics if `k >= len()`.
     pub fn seed(&self, k: usize) -> u64 {
         assert!(k < self.count, "sample {k} out of {}", self.count);
-        self.base_seed * 1000 + k as u64
+        self.base_seed.wrapping_mul(1000).wrapping_add(k as u64)
     }
 
     /// All seeds of the set.
@@ -93,5 +98,14 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn seed_bounds_checked() {
         SampleSet::new(1, 3).seed(3);
+    }
+
+    #[test]
+    fn empty_sets_are_representable() {
+        let s = SampleSet::new(9, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.seeds().count(), 0);
+        assert!(s.generate(|seed| random_dense(8, 2, 64, seed)).is_empty());
     }
 }

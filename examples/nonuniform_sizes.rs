@@ -1,17 +1,18 @@
 //! Non-uniform message sizes — the extension the paper defers to the
 //! thesis ([15]). With mixed sizes a phase costs as much as its largest
 //! message, so the largest-first RS variant packs big messages together.
-//! This example quantifies the win on bimodal traffic.
+//! This example quantifies the win on bimodal traffic by racing the two
+//! configurations as *explicit* (ad-hoc, non-registry) scheduler columns
+//! of one grid — over several sampled matrices, not a single instance.
 //!
 //! Run: `cargo run --release --example nonuniform_sizes`
 
 use commsched::nonuniform::{phase_max_bytes, rs_n_largest_first};
+use commsched::registry::AdHoc;
+use ipsc_sched::commrt::grid::{GridColumn, SchedulerHandle};
 use ipsc_sched::prelude::*;
 
 fn main() {
-    let cube = Hypercube::new(6);
-    let params = MachineParams::ipsc860();
-
     // Log-uniform sizes from 64 B to 64 KiB: a few elephants among mice.
     let com = workloads::random_nonuniform(64, 12, 64, 65_536, 11);
     println!(
@@ -22,38 +23,57 @@ fn main() {
         com.messages().map(|(_, _, b)| b).max().unwrap() as f64 / 1024.0,
     );
 
+    // Two explicit columns: neither configuration lives in the registry —
+    // the grid takes ad-hoc schedulers wherever it takes registry entries.
+    let result = ExperimentGrid::new()
+        .topology("hypercube(6)", Hypercube::new(6))
+        .column(GridColumn::new(SchedulerHandle::shared(AdHoc::new(
+            "RS_N_FIRST",
+            SchedulerKind::RsN,
+            |com, _topo, seed| rs_n(com, seed),
+        ))))
+        .column(GridColumn::new(SchedulerHandle::shared(AdHoc::new(
+            "RS_N_LARGEST",
+            SchedulerKind::RsN,
+            |com, _topo, seed| rs_n_largest_first(com, seed),
+        ))))
+        .point(WorkloadPoint::shared(
+            Generator::nonuniform(64, 12, 64, 65_536),
+            12,
+            65_536,
+            11,
+        ))
+        .samples(5)
+        .execute()
+        .expect("grid runs");
+
+    println!("\n{:<24} {:>8} {:>12}", "scheduler", "phases", "comm (ms)");
+    let labels = ["RS_N (first feasible)", "RS_N (largest first)"];
+    for (cell, label) in result.row(0).zip(labels) {
+        println!(
+            "{:<24} {:>8.1} {:>12.2}",
+            label, cell.result.phases, cell.result.comm_ms
+        );
+    }
+    let plain_ms = result.at(0, 0).unwrap().result.comm_ms;
+    let packed_ms = result.at(1, 0).unwrap().result.comm_ms;
+    println!(
+        "\nlargest-first saves {:.1}% of communication time (mean over {} samples,",
+        100.0 * (plain_ms - packed_ms) / plain_ms,
+        result.samples()
+    );
+    println!(
+        " both columns measured on the same matrices: {} of {} requests reused)",
+        result.stats().matrices_reused(),
+        result.stats().matrix_requests
+    );
+
+    // Why: show the distribution of per-phase maxima for both schedules on
+    // one concrete instance.
     let plain = rs_n(&com, 11);
     let packed = rs_n_largest_first(&com, 11);
     validate_schedule(&com, &plain).expect("plain valid");
     validate_schedule(&com, &packed).expect("packed valid");
-
-    let run = |s: &Schedule| {
-        run_schedule(&cube, &params, &com, s, Scheme::S2)
-            .expect("simulation runs")
-            .makespan_ms()
-    };
-    let plain_ms = run(&plain);
-    let packed_ms = run(&packed);
-
-    println!("\n{:<24} {:>8} {:>12}", "scheduler", "phases", "comm (ms)");
-    println!(
-        "{:<24} {:>8} {:>12.2}",
-        "RS_N (first feasible)",
-        plain.num_phases(),
-        plain_ms
-    );
-    println!(
-        "{:<24} {:>8} {:>12.2}",
-        "RS_N (largest first)",
-        packed.num_phases(),
-        packed_ms
-    );
-    println!(
-        "\nlargest-first saves {:.1}% of communication time",
-        100.0 * (plain_ms - packed_ms) / plain_ms
-    );
-
-    // Why: show the distribution of per-phase maxima for both schedules.
     let show = |label: &str, s: &Schedule| {
         let mut maxima = phase_max_bytes(s, &com);
         maxima.sort_unstable_by(|a, b| b.cmp(a));

@@ -43,7 +43,9 @@ pub use workloads;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
-    pub use commrt::{run_schedule, ExperimentRunner, Scheme};
+    pub use commrt::{
+        run_schedule, ExperimentGrid, ExperimentRunner, GridResult, Scheme, WorkloadPoint,
+    };
     pub use commsched::{
         ac, greedy, lp, rs_n, rs_nl, validate_schedule, CommMatrix, Schedule, ScheduleQuality,
         SchedulerKind,
@@ -51,4 +53,5 @@ pub mod prelude {
     pub use hypercube::{Hypercube, Mesh2d, NodeId, Topology};
     pub use simnet::{simulate, MachineParams, SimReport};
     pub use workloads;
+    pub use workloads::Generator;
 }

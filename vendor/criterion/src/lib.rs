@@ -284,6 +284,23 @@ fn written_paths() -> &'static std::sync::Mutex<std::collections::HashSet<PathBu
 /// by hand — the offline workspace has no serde — and kept flat so any
 /// tooling can parse it.
 fn write_report(group: &str, cases: &[CaseResult]) {
+    match write_report_quiet(group, cases) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("BENCH report for {group} not written: {e}"),
+    }
+}
+
+/// The `BENCH_<group>.json` writer without the stdout line: same path
+/// resolution, name sanitization, merge behaviour, and JSON shape as the
+/// bench-target flushes — for binaries whose
+/// stdout is a pinned artifact (the repro binaries) but that still want
+/// their hand-timed cases in the one `BENCH_*.json` format. Returns the
+/// path written.
+///
+/// # Errors
+///
+/// I/O errors from the filesystem.
+pub fn write_report_quiet(group: &str, cases: &[CaseResult]) -> std::io::Result<PathBuf> {
     let path = output_dir().join(format!("BENCH_{}.json", sanitize(group)));
     let merge = !written_paths()
         .lock()
@@ -321,10 +338,8 @@ fn write_report(group: &str, cases: &[CaseResult]) {
         writeln!(out, "]")?;
         out.flush()
     };
-    match write() {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("BENCH report {} not written: {e}", path.display()),
-    }
+    write()?;
+    Ok(path)
 }
 
 /// Re-exported so bench sources can `use criterion::black_box`.
