@@ -172,10 +172,8 @@ fn main() {
                 MachineParams::ipsc860_hold_and_wait(),
             ),
         ] {
-            let runner = ExperimentRunner {
-                params,
-                ..ExperimentRunner::ipsc860()
-            };
+            let mut runner = ExperimentRunner::ipsc860();
+            runner.params = params;
             let result = ExperimentGrid::new()
                 .with_runner(runner)
                 .topology("hypercube(6)", paper_cube())

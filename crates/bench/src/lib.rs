@@ -58,11 +58,26 @@ pub fn schedule_for(
     kind.scheduler().schedule(com, cube, seed)
 }
 
+/// The repro binaries' opt-in schedule cache, from the `IPSC_CACHE`
+/// environment variable: unset/empty/`off` = no cache, `mem` = in-memory
+/// only, anything else = a persistent artifact-store directory. Caching
+/// never changes a reported number (tested below and in the grid suite) —
+/// only how often schedules are recompiled.
+pub fn cache_config_from_env() -> Option<commrt::CacheConfig> {
+    match std::env::var("IPSC_CACHE") {
+        Err(_) => None,
+        Ok(v) if v.is_empty() || v == "off" => None,
+        Ok(v) if v == "mem" => Some(commrt::CacheConfig::in_memory()),
+        Ok(dir) => Some(commrt::CacheConfig::persistent(dir)),
+    }
+}
+
 /// The paper's sweep as a declarative grid: `entries` as scheduler
 /// columns, one pre-grid-compatible [`WorkloadPoint`] per `(d, M)` pair
 /// (densities outermost), `samples` samples per cell, on the 64-node
 /// hypercube. Each binary narrows the axes to its figure and renders from
-/// the executed [`commrt::GridResult`].
+/// the executed [`commrt::GridResult`]. Honours the `IPSC_CACHE` schedule
+/// cache opt-in ([`cache_config_from_env`]).
 pub fn paper_grid(
     entries: impl IntoIterator<Item = &'static dyn Scheduler>,
     densities: &[usize],
@@ -74,6 +89,9 @@ pub fn paper_grid(
         .topology("hypercube(6)", paper_cube())
         .schedulers(entries)
         .samples(samples);
+    if let Some(config) = cache_config_from_env() {
+        grid = grid.with_cache(config);
+    }
     for &d in densities {
         for &msg_bytes in sizes {
             // The paper's assumption 2: "all nodes send and receive an
@@ -300,6 +318,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn paper_grid_numbers_survive_the_schedule_cache() {
+        // The repro binaries must be byte-identical with IPSC_CACHE set or
+        // unset; the env var is process-global, so exercise the same code
+        // path (with_cache) directly.
+        let plain = paper_grid(registry::primary(), &[4], &[1024], 2)
+            .execute()
+            .unwrap();
+        let cached = paper_grid(registry::primary(), &[4], &[1024], 2)
+            .with_cache(commrt::CacheConfig::in_memory())
+            .execute()
+            .unwrap();
+        assert_eq!(
+            plain.cells().collect::<Vec<_>>(),
+            cached.cells().collect::<Vec<_>>()
+        );
     }
 
     #[test]

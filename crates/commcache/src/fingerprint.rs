@@ -1,0 +1,302 @@
+//! Canonical 128-bit fingerprints over scheduling requests (the full
+//! layout contract is documented on [`Fingerprint`], the public face of
+//! this private module).
+
+use std::fmt;
+
+use commsched::CommMatrix;
+use hypercube::Topology;
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Streaming FNV-1a over 128 bits. The running state *is* the digest, so
+/// a hash can be resumed from a previously finished value — that is what
+/// makes the instance/request split of the canonical layout exact.
+#[derive(Clone, Copy, Debug)]
+struct Fnv128(u128);
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV128_OFFSET)
+    }
+
+    fn resume(state: u128) -> Self {
+        Fnv128(state)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u32(s.len() as u32);
+        self.write(s.as_bytes());
+    }
+
+    fn finish(self) -> u128 {
+        self.0
+    }
+}
+
+/// The canonical 128-bit key of one scheduling request.
+///
+/// A schedule is a pure function of *(communication matrix, topology,
+/// scheduler, seed)*. The fingerprint is a 128-bit FNV-1a hash over a
+/// **documented, stable byte serialization** of exactly those inputs, so
+/// a key computed today equals the key computed by another process,
+/// another build, or another machine tomorrow — the property the
+/// persistent artifact store needs to survive restarts.
+///
+/// # Canonical byte layout (version [`LAYOUT_VERSION`])
+///
+/// All integers are little-endian. Strings are UTF-8, length-prefixed
+/// with a `u32`.
+///
+/// | field | encoding |
+/// |-------|----------|
+/// | tag | the 4 bytes `b"CCFP"` |
+/// | layout version | `u8` = 1 |
+/// | topology name | `u32` length + bytes ([`Topology::name`]) |
+/// | topology nodes | `u64` ([`Topology::num_nodes`]) |
+/// | topology links | `u64` ([`Topology::link_count`]) |
+/// | matrix nodes | `u64` (`CommMatrix::n`) |
+/// | message count | `u64` |
+/// | messages | per message, row-major: `u32` src, `u32` dst, `u32` bytes |
+/// | scheduler name | `u32` length + bytes ([`commsched::Scheduler::name`]) |
+/// | seed | `u64` |
+///
+/// Everything up to and including the messages is the **instance
+/// section** — hashed alone it yields an [`InstanceKey`]. The scheduler
+/// name and seed form the **request section**; because FNV-1a is a
+/// streaming hash, [`InstanceKey::schedule_key`] continues the hash over
+/// the request section and produces *exactly* the fingerprint of the
+/// full concatenated stream, so the one-shot and two-step derivations
+/// can never disagree. [`canonical_bytes`](crate::canonical_bytes)
+/// materializes the layout for tests and tooling.
+///
+/// The scheduler **name stands in for the scheduler's options**:
+/// registry entries bake their [`commsched::RsOptions`] configuration
+/// into unique names (`RS_NL`, `RS_NL_NOPAIR`, ...). Ad-hoc schedulers
+/// must follow the same discipline — two differently-behaving schedulers
+/// sharing a name would alias in the cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Fingerprint the full request in one shot.
+    pub fn compute(
+        com: &CommMatrix,
+        topo: &dyn Topology,
+        scheduler_name: &str,
+        seed: u64,
+    ) -> Fingerprint {
+        InstanceKey::compute(com, topo).schedule_key(scheduler_name, seed)
+    }
+
+    /// The 32-digit lowercase hex rendering (artifact file names).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse a [`Fingerprint::to_hex`] rendering. `None` for anything that
+    /// is not exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+
+    /// The 16 little-endian bytes (artifact header field).
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Inverse of [`Fingerprint::to_bytes`].
+    pub fn from_bytes(bytes: [u8; 16]) -> Fingerprint {
+        Fingerprint(u128::from_le_bytes(bytes))
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+/// Hash of the instance section only — the *(matrix, topology)* pair.
+///
+/// Grids that schedule one sampled matrix under many schedulers can hash
+/// the instance once and derive each scheduler's [`Fingerprint`] with
+/// [`InstanceKey::schedule_key`], which only hashes the short request
+/// section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InstanceKey(u128);
+
+impl InstanceKey {
+    /// Hash the instance section of the canonical layout.
+    pub fn compute(com: &CommMatrix, topo: &dyn Topology) -> InstanceKey {
+        let mut h = Fnv128::new();
+        h.write(b"CCFP");
+        h.write(&[LAYOUT_VERSION]);
+        h.write_str(&topo.name());
+        h.write_u64(topo.num_nodes() as u64);
+        h.write_u64(topo.link_count() as u64);
+        h.write_u64(com.n() as u64);
+        h.write_u64(com.message_count() as u64);
+        for (src, dst, bytes) in com.messages() {
+            h.write_u32(src.0);
+            h.write_u32(dst.0);
+            h.write_u32(bytes);
+        }
+        InstanceKey(h.finish())
+    }
+
+    /// Continue the hash over the request section, producing the full
+    /// [`Fingerprint`] — identical to [`Fingerprint::compute`] by
+    /// construction (streaming hash over the concatenated layout).
+    pub fn schedule_key(self, scheduler_name: &str, seed: u64) -> Fingerprint {
+        let mut h = Fnv128::resume(self.0);
+        h.write_str(scheduler_name);
+        h.write_u64(seed);
+        Fingerprint(h.finish())
+    }
+}
+
+/// Version byte of the canonical layout. Bump it when the serialization
+/// changes shape — every key (and thus every persisted artifact) is
+/// invalidated at once, which is the correct failure mode.
+pub const LAYOUT_VERSION: u8 = 1;
+
+/// The canonical byte serialization of a full request, materialized. The
+/// hashing path streams and never builds this buffer; it exists so tests
+/// (and tooling) can assert the documented layout byte for byte.
+pub fn canonical_bytes(
+    com: &CommMatrix,
+    topo: &dyn Topology,
+    scheduler_name: &str,
+    seed: u64,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"CCFP");
+    out.push(LAYOUT_VERSION);
+    let name = topo.name();
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&(topo.num_nodes() as u64).to_le_bytes());
+    out.extend_from_slice(&(topo.link_count() as u64).to_le_bytes());
+    out.extend_from_slice(&(com.n() as u64).to_le_bytes());
+    out.extend_from_slice(&(com.message_count() as u64).to_le_bytes());
+    for (src, dst, bytes) in com.messages() {
+        out.extend_from_slice(&src.0.to_le_bytes());
+        out.extend_from_slice(&dst.0.to_le_bytes());
+        out.extend_from_slice(&bytes.to_le_bytes());
+    }
+    out.extend_from_slice(&(scheduler_name.len() as u32).to_le_bytes());
+    out.extend_from_slice(scheduler_name.as_bytes());
+    out.extend_from_slice(&seed.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::{Hypercube, Mesh2d};
+
+    fn sample_com() -> CommMatrix {
+        let mut com = CommMatrix::new(16);
+        com.set(0, 5, 1024);
+        com.set(5, 0, 1024);
+        com.set(3, 7, 64);
+        com
+    }
+
+    #[test]
+    fn streaming_hash_matches_the_materialized_layout() {
+        // Fingerprint::compute must equal FNV-1a-128 over canonical_bytes:
+        // the streaming path and the documented layout are one thing.
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let via_stream = Fingerprint::compute(&com, &cube, "RS_NL", 9);
+        let mut h = Fnv128::new();
+        h.write(&canonical_bytes(&com, &cube, "RS_NL", 9));
+        assert_eq!(via_stream.0, h.finish());
+    }
+
+    #[test]
+    fn two_step_derivation_equals_one_shot() {
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let one_shot = Fingerprint::compute(&com, &cube, "RS_N", 3);
+        let two_step = InstanceKey::compute(&com, &cube).schedule_key("RS_N", 3);
+        assert_eq!(one_shot, two_step);
+    }
+
+    #[test]
+    fn every_input_perturbs_the_key() {
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let base = Fingerprint::compute(&com, &cube, "RS_NL", 9);
+        // Weight perturbation.
+        let mut com2 = com.clone();
+        com2.set(3, 7, 65);
+        assert_ne!(Fingerprint::compute(&com2, &cube, "RS_NL", 9), base);
+        // Pattern perturbation (extra message).
+        let mut com3 = com.clone();
+        com3.set(1, 2, 1);
+        assert_ne!(Fingerprint::compute(&com3, &cube, "RS_NL", 9), base);
+        // Scheduler, seed, topology dimension, topology family.
+        assert_ne!(Fingerprint::compute(&com, &cube, "RS_N", 9), base);
+        assert_ne!(Fingerprint::compute(&com, &cube, "RS_NL", 10), base);
+        assert_ne!(
+            Fingerprint::compute(&com, &Hypercube::new(5), "RS_NL", 9),
+            base
+        );
+        assert_ne!(
+            Fingerprint::compute(&com, &Mesh2d::new(4, 4), "RS_NL", 9),
+            base
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip_and_rendering() {
+        let fp = Fingerprint(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(format!("{fp}"), hex);
+        assert!(Fingerprint::from_hex("xyz").is_none());
+        assert!(Fingerprint::from_hex(&hex[1..]).is_none());
+        assert_eq!(Fingerprint::from_bytes(fp.to_bytes()), fp);
+    }
+
+    #[test]
+    fn empty_matrix_still_keys_deterministically() {
+        let com = CommMatrix::new(8);
+        let cube = Hypercube::new(3);
+        let a = Fingerprint::compute(&com, &cube, "AC", 0);
+        let b = Fingerprint::compute(&com, &cube, "AC", 0);
+        assert_eq!(a, b);
+        assert_ne!(a, Fingerprint::compute(&com, &cube, "LP", 0));
+    }
+}

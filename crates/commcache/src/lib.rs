@@ -1,0 +1,462 @@
+//! Schedule compilation cache — turning schedules into cacheable,
+//! persistable artifacts.
+//!
+//! The paper's whole economic argument is **amortization**: an
+//! unstructured communication pattern is scheduled once and executed
+//! across many iterations of the application, so schedule-construction
+//! cost is paid off over reuse. This crate is that argument as
+//! infrastructure, in four parts:
+//!
+//! * [`Fingerprint`] — a canonical 128-bit key over *(matrix contents,
+//!   topology identity, scheduler name, seed)* with a documented, stable
+//!   byte serialization, so keys survive process restarts.
+//! * [`ShardedCache`] — N mutex-guarded shards keyed by fingerprint, LRU
+//!   eviction under a configurable byte budget, hit/miss/eviction
+//!   counters.
+//! * [`ArtifactStore`] — schedules persisted in a versioned on-disk
+//!   format (magic + version header + checksum) under `results/cache/`,
+//!   with corrupted or foreign-version files surfacing as typed
+//!   [`StoreError`]s, never trusted data.
+//! * [`SchedCache`] — the combined policy: memory first, then
+//!   load-on-miss from the store, then compile and write through.
+//!
+//! Caching changes *cost*, never *results*: schedules are deterministic
+//! functions of the fingerprinted inputs, the artifact round-trip is
+//! exact (tested), and the runtime's grids are verified byte-identical
+//! with the cache on and off.
+//!
+//! ```
+//! use commcache::{CacheConfig, SchedCache};
+//! use commsched::{registry, CommMatrix};
+//! use hypercube::Hypercube;
+//!
+//! let cache = SchedCache::new(CacheConfig::in_memory());
+//! let cube = Hypercube::new(4);
+//! let mut com = CommMatrix::new(16);
+//! com.set(0, 5, 1024);
+//! let entry = registry::find("RS_NL").unwrap();
+//!
+//! let cold = cache.get_or_schedule(entry, &com, &cube, 7); // compiles
+//! let warm = cache.get_or_schedule(entry, &com, &cube, 7); // cache hit
+//! assert_eq!(cold, warm);
+//! let stats = cache.stats();
+//! assert_eq!((stats.mem_hits, stats.misses), (1, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use commsched::{CommMatrix, Schedule, Scheduler};
+use hypercube::Topology;
+
+mod cache;
+mod fingerprint;
+mod store;
+
+pub use cache::{schedule_weight_bytes, ShardedCache};
+pub use fingerprint::{canonical_bytes, Fingerprint, InstanceKey, LAYOUT_VERSION};
+pub use store::{
+    decode_artifact, encode_artifact, ArtifactStore, StoreError, EXTENSION, FORMAT_VERSION, MAGIC,
+};
+
+/// Configuration of a [`SchedCache`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Mutex-guarded shards of the in-memory cache (≥ 1).
+    pub shards: usize,
+    /// Total in-memory byte budget, split evenly across shards and
+    /// enforced by LRU eviction (metered via [`schedule_weight_bytes`]).
+    pub byte_budget: usize,
+    /// Artifact-store directory; `None` disables persistence.
+    pub persist_dir: Option<PathBuf>,
+    /// Write freshly compiled schedules through to the store (only
+    /// meaningful with `persist_dir`; on by default).
+    pub write_through: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            byte_budget: 64 << 20, // 64 MiB
+            persist_dir: None,
+            write_through: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Memory-only cache with the default shard count and budget.
+    pub fn in_memory() -> Self {
+        CacheConfig::default()
+    }
+
+    /// Persistent cache (load-on-miss + write-through) rooted at `dir`.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Self {
+        CacheConfig {
+            persist_dir: Some(dir.into()),
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Persistent cache at the conventional `results/cache/` location.
+    pub fn persistent_default_dir() -> Self {
+        CacheConfig::persistent(ArtifactStore::default_dir())
+    }
+
+    /// Override the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Override the in-memory byte budget.
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = bytes;
+        self
+    }
+
+    /// Keep the store read-only: load-on-miss without write-through.
+    pub fn read_only_store(mut self) -> Self {
+        self.write_through = false;
+        self
+    }
+}
+
+/// A point-in-time snapshot of every cache counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get_or_*` requests served.
+    pub requests: u64,
+    /// Requests answered by the in-memory cache.
+    pub mem_hits: u64,
+    /// Requests answered by the artifact store (then promoted to memory).
+    pub store_hits: u64,
+    /// Requests that compiled a schedule (true misses).
+    pub misses: u64,
+    /// Distinct keys inserted into memory.
+    pub insertions: u64,
+    /// Entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Schedules too heavy for a shard budget, never cached.
+    pub rejected: u64,
+    /// Entries currently resident in memory.
+    pub entries: usize,
+    /// Metered schedule weight currently resident (bytes).
+    pub bytes_in_use: usize,
+    /// Artifacts written through to the store.
+    pub store_writes: u64,
+    /// Store files skipped as foreign format versions (treated as misses).
+    pub store_skips: u64,
+    /// Store reads/writes that failed (corrupt, truncated, I/O); each is
+    /// absorbed as a miss, never an answer.
+    pub store_errors: u64,
+}
+
+impl CacheStats {
+    /// Requests answered without compiling (memory + store hits).
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.store_hits
+    }
+
+    /// Fraction of requests answered without compiling (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The schedule cache: a [`ShardedCache`] in front of an optional
+/// [`ArtifactStore`].
+///
+/// Lookup policy per request: fingerprint the inputs, try memory, then
+/// (if persistent) try the store — a store hit is promoted into memory —
+/// then compile, cache, and (if `write_through`) persist. Store files
+/// that are corrupt or a foreign version are *skipped*: the request falls
+/// through to compilation and the bad artifact is overwritten by the
+/// write-through, which is the self-healing behaviour an on-disk cache
+/// wants.
+///
+/// Concurrency: all methods take `&self`; the cache is shared across
+/// threads (the grid executor does). Two threads missing the same key
+/// simultaneously may both compile it — schedules are deterministic, so
+/// both compute identical values and either insert wins; correctness
+/// never depends on single-flight.
+pub struct SchedCache {
+    mem: ShardedCache,
+    store: Option<ArtifactStore>,
+    write_through: bool,
+    requests: AtomicU64,
+    store_hits: AtomicU64,
+    misses: AtomicU64,
+    store_writes: AtomicU64,
+    store_skips: AtomicU64,
+    store_errors: AtomicU64,
+}
+
+impl SchedCache {
+    /// Build a cache from its configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        SchedCache {
+            mem: ShardedCache::new(config.shards, config.byte_budget),
+            store: config.persist_dir.map(ArtifactStore::new),
+            write_through: config.write_through,
+            requests: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
+            store_skips: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Memory-only cache with default configuration.
+    pub fn in_memory() -> Self {
+        SchedCache::new(CacheConfig::in_memory())
+    }
+
+    /// The artifact store, when persistence is configured.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    /// Schedule `com` on `topo` with `entry` at `seed`, served from cache
+    /// when possible. Equal inputs always return an equal schedule — a
+    /// hit returns exactly what the compile would have produced.
+    pub fn get_or_schedule(
+        &self,
+        entry: &dyn Scheduler,
+        com: &CommMatrix,
+        topo: &dyn Topology,
+        seed: u64,
+    ) -> Arc<Schedule> {
+        let fp = Fingerprint::compute(com, topo, entry.name(), seed);
+        self.get_or_compute(fp, || entry.schedule(com, topo, seed))
+    }
+
+    /// The policy core: serve `key` from memory, then the store, then
+    /// `compile` (caching and write-through on the way out). Exposed for
+    /// callers that derive keys themselves (e.g. via [`InstanceKey`]).
+    pub fn get_or_compute(
+        &self,
+        key: Fingerprint,
+        compile: impl FnOnce() -> Schedule,
+    ) -> Arc<Schedule> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(schedule) = self.mem.get(key) {
+            return schedule;
+        }
+        if let Some(store) = &self.store {
+            match store.load(key) {
+                Ok(Some(schedule)) => {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    let schedule = Arc::new(schedule);
+                    self.mem.insert(key, Arc::clone(&schedule));
+                    return schedule;
+                }
+                Ok(None) => {}
+                Err(StoreError::UnsupportedVersion(_)) => {
+                    self.store_skips.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.store_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let schedule = Arc::new(compile());
+        self.mem.insert(key, Arc::clone(&schedule));
+        if self.write_through {
+            if let Some(store) = &self.store {
+                match store.store(key, &schedule) {
+                    Ok(_) => {
+                        self.store_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.store_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        schedule
+    }
+
+    /// Snapshot every counter.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            mem_hits: self.mem.hits(),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.mem.insertions(),
+            evictions: self.mem.evictions(),
+            rejected: self.mem.rejected(),
+            entries: self.mem.len(),
+            bytes_in_use: self.mem.bytes_in_use(),
+            store_writes: self.store_writes.load(Ordering::Relaxed),
+            store_skips: self.store_skips.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for SchedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedCache")
+            .field("persist_dir", &self.store.as_ref().map(ArtifactStore::dir))
+            .field("write_through", &self.write_through)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched::registry;
+    use hypercube::Hypercube;
+
+    fn sample_com() -> CommMatrix {
+        let mut com = CommMatrix::new(16);
+        com.set(0, 5, 1024);
+        com.set(5, 0, 1024);
+        com.set(2, 9, 256);
+        com
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("commcache_lib_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn hits_return_the_compiled_schedule() {
+        let cache = SchedCache::in_memory();
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let entry = registry::find("RS_NL").unwrap();
+        let cold = cache.get_or_schedule(entry, &com, &cube, 7);
+        let warm = cache.get_or_schedule(entry, &com, &cube, 7);
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert_eq!(*cold, entry.schedule(&com, &cube, 7));
+        let stats = cache.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.mem_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_schedulers_and_seeds_do_not_alias() {
+        let cache = SchedCache::in_memory();
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let rs_n = registry::find("RS_N").unwrap();
+        let rs_nl = registry::find("RS_NL").unwrap();
+        cache.get_or_schedule(rs_n, &com, &cube, 7);
+        cache.get_or_schedule(rs_nl, &com, &cube, 7);
+        cache.get_or_schedule(rs_nl, &com, &cube, 8);
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn persistent_cache_survives_a_new_process_image() {
+        // Two SchedCache instances over one directory model two runs of
+        // one binary: the second's memory is cold, the store is not.
+        let dir = tmp_dir("survive");
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let entry = registry::find("RS_NL").unwrap();
+
+        let first = SchedCache::new(CacheConfig::persistent(&dir));
+        let compiled = first.get_or_schedule(entry, &com, &cube, 3);
+        assert_eq!(first.stats().store_writes, 1);
+
+        let second = SchedCache::new(CacheConfig::persistent(&dir));
+        let loaded = second.get_or_schedule(entry, &com, &cube, 3);
+        assert_eq!(*loaded, *compiled);
+        let stats = second.stats();
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.misses, 0);
+        // The store hit was promoted: a third request is a memory hit.
+        second.get_or_schedule(entry, &com, &cube, 3);
+        assert_eq!(second.stats().mem_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_recompiled_and_healed() {
+        let dir = tmp_dir("heal");
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let entry = registry::find("RS_N").unwrap();
+        let cache = SchedCache::new(CacheConfig::persistent(&dir));
+        let schedule = cache.get_or_schedule(entry, &com, &cube, 1);
+        // Corrupt the payload on disk.
+        let fp = Fingerprint::compute(&com, &cube, entry.name(), 1);
+        let path = cache.store().unwrap().path_for(fp);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 9; // inside the payload, before checksum
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let fresh = SchedCache::new(CacheConfig::persistent(&dir));
+        let recompiled = fresh.get_or_schedule(entry, &com, &cube, 1);
+        assert_eq!(*recompiled, *schedule);
+        let stats = fresh.stats();
+        assert_eq!(stats.store_errors, 1, "corrupt read absorbed");
+        assert_eq!(stats.misses, 1, "fell through to compile");
+        assert_eq!(stats.store_writes, 1, "healed by write-through");
+        // The healed artifact now loads cleanly.
+        let healed = SchedCache::new(CacheConfig::persistent(&dir));
+        healed.get_or_schedule(entry, &com, &cube, 1);
+        assert_eq!(healed.stats().store_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_only_store_never_writes() {
+        let dir = tmp_dir("readonly");
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let entry = registry::find("LP").unwrap();
+        let cache = SchedCache::new(CacheConfig::persistent(&dir).read_only_store());
+        cache.get_or_schedule(entry, &com, &cube, 0);
+        assert_eq!(cache.stats().store_writes, 0);
+        assert!(!dir.exists(), "no directory created without writes");
+    }
+
+    #[test]
+    fn every_registry_entry_roundtrips_through_the_cache() {
+        let dir = tmp_dir("registry");
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let writer = SchedCache::new(CacheConfig::persistent(&dir));
+        let reader = SchedCache::new(CacheConfig::persistent(&dir));
+        for &entry in registry::all() {
+            let direct = entry.schedule(&com, &cube, 11);
+            let cold = writer.get_or_schedule(entry, &com, &cube, 11);
+            let warm = reader.get_or_schedule(entry, &com, &cube, 11);
+            assert_eq!(*cold, direct, "{}", entry.name());
+            assert_eq!(*warm, direct, "{} via store", entry.name());
+        }
+        assert_eq!(reader.stats().store_hits, registry::all().len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn debug_renders_stats_not_internals() {
+        let cache = SchedCache::in_memory();
+        let s = format!("{cache:?}");
+        assert!(s.contains("SchedCache"));
+        assert!(s.contains("requests"));
+    }
+}

@@ -1,0 +1,489 @@
+//! The persistent schedule artifact store.
+//!
+//! Compiled schedules serialize to a versioned on-disk format, one file
+//! per [`Fingerprint`] (`<32-hex>.sched`) under the store directory
+//! (conventionally `results/cache/`). The format is hand-rolled — the
+//! workspace builds offline with no serde — and hardened the way an
+//! artifact cache must be: reads of corrupted, truncated, renamed, or
+//! foreign files return typed [`StoreError`]s instead of panicking, and
+//! files written by an unknown format version are **skipped, not
+//! trusted**.
+//!
+//! # On-disk format (version 1)
+//!
+//! All integers little-endian.
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0 | 8 | magic `b"CCSCHED\0"` |
+//! | 8 | 4 | format version `u32` = 1 |
+//! | 12 | 16 | fingerprint (`u128`, LE) |
+//! | 28 | 8 | payload length `u64` |
+//! | 36 | len | payload (below) |
+//! | 36+len | 8 | FNV-1a-64 checksum of the payload |
+//!
+//! Payload: `u8` schedule kind (0 async, 1 phased), `u8` algorithm family
+//! (0 AC, 1 LP, 2 RS_N, 3 RS_NL), `u64` node count `n`, `u64` scheduling
+//! ops, `u64` compression ops, `u64` phase count, then per phase `n`
+//! destination words (`u32`; `0xffff_ffff` encodes "silent").
+//!
+//! Writes go through a same-directory temp file plus rename, so a crashed
+//! writer leaves no half-written `.sched` file behind.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use commsched::{PartialPermutation, Schedule, ScheduleKind, SchedulerKind};
+use hypercube::NodeId;
+
+use crate::Fingerprint;
+
+/// Leading magic of every artifact file.
+pub const MAGIC: [u8; 8] = *b"CCSCHED\0";
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Artifact file extension (without the dot).
+pub const EXTENSION: &str = "sched";
+
+/// Destination word encoding "this node is silent in the phase".
+const SILENT: u32 = u32::MAX;
+
+/// Size of the fixed header before the payload.
+const HEADER_LEN: usize = 8 + 4 + 16 + 8;
+
+/// Why an artifact could not be written or trusted.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not an artifact at all.
+    BadMagic,
+    /// The file is a different format version. Callers treat this as a
+    /// cache miss (skip, recompute, overwrite) — never as data.
+    UnsupportedVersion(u32),
+    /// The file ends before its own declared length.
+    Truncated,
+    /// Structurally invalid content (bad checksum, codes, or indices).
+    Corrupt(String),
+    /// The artifact's embedded fingerprint does not match the requested
+    /// key (e.g. a renamed file).
+    FingerprintMismatch {
+        /// Key the caller asked for.
+        requested: Fingerprint,
+        /// Key the file claims.
+        found: Fingerprint,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not a schedule artifact (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact format version {v}")
+            }
+            StoreError::Truncated => write!(f, "truncated schedule artifact"),
+            StoreError::Corrupt(what) => write!(f, "corrupt schedule artifact: {what}"),
+            StoreError::FingerprintMismatch { requested, found } => write!(
+                f,
+                "artifact fingerprint mismatch: requested {requested}, file claims {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over the payload — corruption detection, not security.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn kind_code(kind: ScheduleKind) -> u8 {
+    match kind {
+        ScheduleKind::Async => 0,
+        ScheduleKind::Phased => 1,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<ScheduleKind> {
+    match code {
+        0 => Some(ScheduleKind::Async),
+        1 => Some(ScheduleKind::Phased),
+        _ => None,
+    }
+}
+
+fn family_code(kind: SchedulerKind) -> u8 {
+    match kind {
+        SchedulerKind::Ac => 0,
+        SchedulerKind::Lp => 1,
+        SchedulerKind::RsN => 2,
+        SchedulerKind::RsNl => 3,
+    }
+}
+
+fn family_from_code(code: u8) -> Option<SchedulerKind> {
+    match code {
+        0 => Some(SchedulerKind::Ac),
+        1 => Some(SchedulerKind::Lp),
+        2 => Some(SchedulerKind::RsN),
+        3 => Some(SchedulerKind::RsNl),
+        _ => None,
+    }
+}
+
+/// Serialize one schedule into a complete artifact (header + payload +
+/// checksum) keyed by `fp`.
+pub fn encode_artifact(fp: Fingerprint, schedule: &Schedule) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(34 + schedule.phases().len() * schedule.n() * 4);
+    payload.push(kind_code(schedule.kind()));
+    payload.push(family_code(schedule.algorithm()));
+    payload.extend_from_slice(&(schedule.n() as u64).to_le_bytes());
+    payload.extend_from_slice(&schedule.ops().to_le_bytes());
+    payload.extend_from_slice(&schedule.compress_ops().to_le_bytes());
+    payload.extend_from_slice(&(schedule.phases().len() as u64).to_le_bytes());
+    for phase in schedule.phases() {
+        for i in 0..schedule.n() {
+            let word = phase.dest(i).map_or(SILENT, |d| d.0);
+            payload.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&fp.to_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out
+}
+
+/// Little-endian field cursor over an artifact payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.at.checked_add(n).ok_or(StoreError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(StoreError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Parse a complete artifact back into its fingerprint and schedule.
+///
+/// # Errors
+///
+/// Every malformation maps to a typed [`StoreError`]; this function never
+/// panics on untrusted bytes.
+pub fn decode_artifact(bytes: &[u8]) -> Result<(Fingerprint, Schedule), StoreError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut header = Cursor {
+        bytes,
+        at: MAGIC.len(),
+    };
+    let version = header.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let fp = Fingerprint::from_bytes(header.take(16)?.try_into().expect("16 bytes"));
+    let payload_len = header.u64()? as usize;
+    let payload = header.take(payload_len)?;
+    let checksum = u64::from_le_bytes(header.take(8)?.try_into().expect("8 bytes"));
+    if fnv1a64(payload) != checksum {
+        return Err(StoreError::Corrupt("payload checksum mismatch".into()));
+    }
+
+    let mut p = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let kind = p.u8()?;
+    let kind =
+        kind_from_code(kind).ok_or_else(|| StoreError::Corrupt(format!("schedule kind {kind}")))?;
+    let family = p.u8()?;
+    let family = family_from_code(family)
+        .ok_or_else(|| StoreError::Corrupt(format!("algorithm family {family}")))?;
+    let n = p.u64()? as usize;
+    if n == 0 || n > u32::MAX as usize {
+        return Err(StoreError::Corrupt(format!("node count {n}")));
+    }
+    let ops = p.u64()?;
+    let compress_ops = p.u64()?;
+    let phase_count = p.u64()? as usize;
+    // A phase is n words; bound the claimed count by the payload actually
+    // present before allocating anything proportional to it.
+    let remaining = payload.len() - p.at;
+    if phase_count > remaining / (n * 4).max(1) {
+        return Err(StoreError::Truncated);
+    }
+    let mut phases = Vec::with_capacity(phase_count);
+    for _ in 0..phase_count {
+        let mut dests = Vec::with_capacity(n);
+        for _ in 0..n {
+            let word = p.u32()?;
+            if word == SILENT {
+                dests.push(None);
+            } else if (word as usize) < n {
+                dests.push(Some(NodeId(word)));
+            } else {
+                return Err(StoreError::Corrupt(format!(
+                    "destination {word} out of {n} nodes"
+                )));
+            }
+        }
+        phases.push(PartialPermutation::from_dests(dests));
+    }
+    if p.at != payload.len() {
+        return Err(StoreError::Corrupt("trailing payload bytes".into()));
+    }
+    Ok((
+        fp,
+        Schedule::from_parts(kind, family, n, phases, ops, compress_ops),
+    ))
+}
+
+/// A directory of schedule artifacts, one file per fingerprint.
+#[derive(Clone, Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir`. The directory is created lazily on the
+    /// first write, so constructing a store never touches the filesystem.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore { dir: dir.into() }
+    }
+
+    /// The conventional store location, `results/cache/`.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results").join("cache")
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact path of `fp` (whether or not it exists).
+    pub fn path_for(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}.{EXTENSION}", fp.to_hex()))
+    }
+
+    /// Persist `schedule` under `fp`, atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn store(&self, fp: Fingerprint, schedule: &Schedule) -> Result<PathBuf, StoreError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Process id + process-wide counter: concurrent writers of one key
+        // — other processes *or* sibling threads (the cache documents that
+        // two threads may race the same miss) — never share a temp file,
+        // so the rename is genuinely atomic per writer.
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(fp);
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            fp.to_hex(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, encode_artifact(fp, schedule))?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(path)
+    }
+
+    /// Load the artifact of `fp`. `Ok(None)` when no artifact exists;
+    /// typed errors when one exists but cannot be trusted.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnsupportedVersion`] for foreign format versions
+    /// (callers treat as a miss), [`StoreError::FingerprintMismatch`] when
+    /// the file's embedded key disagrees with `fp`, and the
+    /// corruption/truncation/IO variants otherwise.
+    pub fn load(&self, fp: Fingerprint) -> Result<Option<Schedule>, StoreError> {
+        let bytes = match std::fs::read(self.path_for(fp)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let (found, schedule) = decode_artifact(&bytes)?;
+        if found != fp {
+            return Err(StoreError::FingerprintMismatch {
+                requested: fp,
+                found,
+            });
+        }
+        Ok(Some(schedule))
+    }
+
+    /// Enumerate the fingerprints with an artifact file present, sorted.
+    /// Files whose names are not `<32-hex>.sched` are ignored (they are
+    /// not artifacts); decoding is up to the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on directory-read failure. A missing directory
+    /// is an empty store, not an error.
+    pub fn entries(&self) -> Result<Vec<Fingerprint>, StoreError> {
+        let read = match std::fs::read_dir(&self.dir) {
+            Ok(read) => read,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut fps = Vec::new();
+        for entry in read {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
+                continue;
+            }
+            if let Some(fp) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(Fingerprint::from_hex)
+            {
+                fps.push(fp);
+            }
+        }
+        fps.sort_unstable();
+        Ok(fps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched::{rs_nl, CommMatrix};
+    use hypercube::Hypercube;
+
+    fn sample_schedule() -> Schedule {
+        let mut com = CommMatrix::new(8);
+        com.set(0, 3, 512);
+        com.set(3, 0, 512);
+        com.set(1, 6, 64);
+        rs_nl(&com, &Hypercube::new(3), 5)
+    }
+
+    fn tmp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("commcache_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        ArtifactStore::new(dir)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample_schedule();
+        let fp = Fingerprint(0xdead_beef);
+        let bytes = encode_artifact(fp, &s);
+        let (got_fp, got) = decode_artifact(&bytes).unwrap();
+        assert_eq!(got_fp, fp);
+        assert_eq!(got, s);
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_missing_is_none() {
+        let store = tmp_store("roundtrip");
+        let s = sample_schedule();
+        let fp = Fingerprint(42);
+        assert!(store.load(fp).unwrap().is_none());
+        let path = store.store(fp, &s).unwrap();
+        assert!(path.ends_with(format!("{}.sched", fp.to_hex())));
+        assert_eq!(store.load(fp).unwrap().unwrap(), s);
+        assert_eq!(store.entries().unwrap(), vec![fp]);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn renamed_artifacts_are_rejected() {
+        let store = tmp_store("renamed");
+        let s = sample_schedule();
+        store.store(Fingerprint(1), &s).unwrap();
+        std::fs::rename(
+            store.path_for(Fingerprint(1)),
+            store.path_for(Fingerprint(2)),
+        )
+        .unwrap();
+        match store.load(Fingerprint(2)) {
+            Err(StoreError::FingerprintMismatch { requested, found }) => {
+                assert_eq!(requested, Fingerprint(2));
+                assert_eq!(found, Fingerprint(1));
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn entries_ignores_foreign_files() {
+        let store = tmp_store("foreign");
+        store.store(Fingerprint(9), &sample_schedule()).unwrap();
+        std::fs::write(store.dir().join("README.txt"), b"not an artifact").unwrap();
+        std::fs::write(store.dir().join("short.sched"), b"bad name").unwrap();
+        assert_eq!(store.entries().unwrap(), vec![Fingerprint(9)]);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_store() {
+        let store = tmp_store("missing");
+        assert!(store.entries().unwrap().is_empty());
+        assert!(store.load(Fingerprint(3)).unwrap().is_none());
+    }
+}

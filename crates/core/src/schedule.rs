@@ -56,7 +56,11 @@ pub enum ScheduleKind {
 
 /// A communication schedule: the decomposition of a [`crate::CommMatrix`]
 /// into ordered communication phases, plus cost accounting.
-#[derive(Clone, Debug)]
+///
+/// Schedules compare by value (`PartialEq`): two schedules are equal when
+/// every phase, count, and cost field matches — the property the
+/// `commcache` artifact store's round-trip tests rely on.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schedule {
     kind: ScheduleKind,
     algorithm: SchedulerKind,
@@ -86,6 +90,35 @@ impl Schedule {
             ops_schedule,
             ops_compress,
         }
+    }
+
+    /// Reassemble a schedule from its constituent parts — the decode path
+    /// of external serializers (the `commcache` artifact store). The
+    /// schedulers themselves never use this: they build schedules through
+    /// the crate-internal constructor, so a hand-assembled schedule is
+    /// *not* presumed valid — run [`crate::validate_schedule`] against its
+    /// matrix if validity matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any phase spans a different node count than `n`.
+    pub fn from_parts(
+        kind: ScheduleKind,
+        algorithm: SchedulerKind,
+        n: usize,
+        phases: Vec<PartialPermutation>,
+        ops_schedule: u64,
+        ops_compress: u64,
+    ) -> Self {
+        for (i, p) in phases.iter().enumerate() {
+            assert_eq!(
+                p.n(),
+                n,
+                "phase {i} spans {} nodes, schedule has {n}",
+                p.n()
+            );
+        }
+        Schedule::new(kind, algorithm, n, phases, ops_schedule, ops_compress)
     }
 
     /// Async or phased.
@@ -157,6 +190,44 @@ mod tests {
     fn labels() {
         assert_eq!(SchedulerKind::RsNl.label(), "RS_NL");
         assert_eq!(SchedulerKind::all().len(), 4);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_an_equal_schedule() {
+        let phases = vec![phase(4, &[(0, 1), (1, 0)]), phase(4, &[(2, 3)])];
+        let original = Schedule::new(ScheduleKind::Phased, SchedulerKind::RsNl, 4, phases, 42, 7);
+        let rebuilt = Schedule::from_parts(
+            original.kind(),
+            original.algorithm(),
+            original.n(),
+            original.phases().to_vec(),
+            original.ops(),
+            original.compress_ops(),
+        );
+        assert_eq!(original, rebuilt);
+        // Any differing field breaks equality.
+        let other = Schedule::from_parts(
+            original.kind(),
+            original.algorithm(),
+            original.n(),
+            original.phases().to_vec(),
+            original.ops() + 1,
+            original.compress_ops(),
+        );
+        assert_ne!(original, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans")]
+    fn from_parts_rejects_mismatched_phase_widths() {
+        Schedule::from_parts(
+            ScheduleKind::Phased,
+            SchedulerKind::RsN,
+            4,
+            vec![phase(8, &[(0, 1)])],
+            0,
+            0,
+        );
     }
 
     #[test]

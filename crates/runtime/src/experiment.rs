@@ -1,7 +1,8 @@
+use commcache::{CacheConfig, SchedCache};
 use commsched::{CommMatrix, I860CostModel, Schedule, Scheduler};
 use hypercube::Topology;
 use simnet::{MachineParams, SimError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use workloads::SampleSet;
 
 use crate::{compile, Scheme};
@@ -80,6 +81,9 @@ pub struct ExperimentRunner {
     pub cost_model: I860CostModel,
     /// Worker threads (defaults to available parallelism).
     pub threads: usize,
+    /// Opt-in schedule cache ([`ExperimentRunner::with_cache`]); `None`
+    /// compiles every schedule from scratch. Clones share the cache.
+    schedule_cache: Option<Arc<SchedCache>>,
 }
 
 /// Worker-thread default: the `IPSC_THREADS` environment variable when set
@@ -104,7 +108,37 @@ impl ExperimentRunner {
             params: MachineParams::ipsc860(),
             cost_model: I860CostModel::default(),
             threads: default_threads(),
+            schedule_cache: None,
         }
+    }
+
+    /// Attach a schedule cache built from `config`. Registry-driven paths
+    /// ([`ExperimentRunner::run_scheduler_cell`], the grid executor) then
+    /// serve repeated *(matrix, topology, scheduler, seed)* requests from
+    /// the cache instead of recompiling. Caching changes scheduling
+    /// *cost*, never *results* — schedules are deterministic functions of
+    /// the fingerprinted inputs (tested in the grid suite).
+    pub fn with_cache(self, config: CacheConfig) -> Self {
+        self.with_shared_cache(Arc::new(SchedCache::new(config)))
+    }
+
+    /// Attach an existing (possibly shared) schedule cache — e.g. one
+    /// cache warmed by `schedctl` and reused across several runners.
+    pub fn with_shared_cache(mut self, cache: Arc<SchedCache>) -> Self {
+        self.schedule_cache = Some(cache);
+        self
+    }
+
+    /// Detach the schedule cache.
+    pub fn without_cache(mut self) -> Self {
+        self.schedule_cache = None;
+        self
+    }
+
+    /// The attached schedule cache, if any (its
+    /// [`commcache::SchedCache::stats`] snapshot reports hit rates).
+    pub fn schedule_cache(&self) -> Option<&SchedCache> {
+        self.schedule_cache.as_deref()
     }
 
     /// Measure one cell: generate each sample with `gen(seed)`, schedule it
@@ -120,6 +154,26 @@ impl ExperimentRunner {
         set: &SampleSet,
         gen: &(dyn Fn(u64) -> CommMatrix + Sync),
         sched: &(dyn Fn(&CommMatrix, u64) -> Schedule + Sync),
+        scheme: Scheme,
+    ) -> Result<CellResult, SimError> {
+        self.run_cell_arc(
+            topo,
+            set,
+            gen,
+            &|com, seed| Arc::new(sched(com, seed)),
+            scheme,
+        )
+    }
+
+    /// [`ExperimentRunner::run_cell`] with an `Arc`-returning schedule
+    /// closure — the internal spine, so cache-served schedules are shared
+    /// by pointer instead of deep-cloned per sample.
+    fn run_cell_arc<T: Topology + ?Sized>(
+        &self,
+        topo: &T,
+        set: &SampleSet,
+        gen: &(dyn Fn(u64) -> CommMatrix + Sync),
+        sched: &(dyn Fn(&CommMatrix, u64) -> Arc<Schedule> + Sync),
         scheme: Scheme,
     ) -> Result<CellResult, SimError> {
         let k = set.len();
@@ -172,13 +226,22 @@ impl ExperimentRunner {
         entry: &dyn Scheduler,
         scheme: crate::Scheme,
     ) -> Result<CellResult, SimError> {
-        self.run_cell(
-            topo,
-            set,
-            gen,
-            &|com, seed| entry.schedule(com, topo, seed),
-            scheme,
-        )
+        match &self.schedule_cache {
+            Some(cache) => self.run_cell_arc(
+                topo,
+                set,
+                gen,
+                &|com, seed| cache.get_or_schedule(entry, com, topo, seed),
+                scheme,
+            ),
+            None => self.run_cell_arc(
+                topo,
+                set,
+                gen,
+                &|com, seed| Arc::new(entry.schedule(com, topo, seed)),
+                scheme,
+            ),
+        }
     }
 
     fn run_sample<T: Topology + ?Sized>(
@@ -186,7 +249,7 @@ impl ExperimentRunner {
         topo: &T,
         seed: u64,
         gen: &dyn Fn(u64) -> CommMatrix,
-        sched: &dyn Fn(&CommMatrix, u64) -> Schedule,
+        sched: &dyn Fn(&CommMatrix, u64) -> Arc<Schedule>,
         scheme: Scheme,
     ) -> Result<SampleOutcome, SimError> {
         let com = gen(seed);
@@ -311,6 +374,69 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
             assert!(cell.comm_ms > 0.0, "{}", entry.name());
         }
+    }
+
+    #[test]
+    fn cached_scheduler_cells_match_uncached_bit_for_bit() {
+        // Caching must change cost only: every registry entry's cell is
+        // identical with and without the schedule cache, and re-running
+        // the cached cell hits instead of recompiling.
+        let cube = Hypercube::new(4);
+        let plain = ExperimentRunner::ipsc860();
+        let cached = ExperimentRunner::ipsc860().with_cache(commcache::CacheConfig::in_memory());
+        let set = SampleSet::new(13, 3);
+        let gen = |seed| workloads::random_dregular(16, 3, 1024, seed);
+        for &entry in commsched::registry::all() {
+            let scheme = crate::Scheme::for_scheduler(entry);
+            let a = plain
+                .run_scheduler_cell(&cube, &set, &gen, entry, scheme)
+                .unwrap();
+            let b = cached
+                .run_scheduler_cell(&cube, &set, &gen, entry, scheme)
+                .unwrap();
+            assert_eq!(a, b, "{}", entry.name());
+        }
+        let stats = cached.schedule_cache().unwrap().stats();
+        let entries = commsched::registry::all().len() as u64;
+        assert_eq!(
+            stats.misses,
+            entries * 3,
+            "each (entry, sample) compiled once"
+        );
+        // A second pass over the same cells is pure hits.
+        for &entry in commsched::registry::all() {
+            cached
+                .run_scheduler_cell(
+                    &cube,
+                    &set,
+                    &gen,
+                    entry,
+                    crate::Scheme::for_scheduler(entry),
+                )
+                .unwrap();
+        }
+        let stats = cached.schedule_cache().unwrap().stats();
+        assert_eq!(stats.misses, entries * 3, "no recompilation");
+        assert_eq!(stats.mem_hits, entries * 3);
+    }
+
+    #[test]
+    fn runner_clones_share_the_cache() {
+        let runner = ExperimentRunner::ipsc860().with_cache(commcache::CacheConfig::in_memory());
+        let clone = runner.clone();
+        let cube = Hypercube::new(4);
+        let com = workloads::random_dregular(16, 3, 512, 5);
+        let entry = commsched::registry::find("RS_N").unwrap();
+        runner
+            .schedule_cache()
+            .unwrap()
+            .get_or_schedule(entry, &com, &cube, 5);
+        clone
+            .schedule_cache()
+            .unwrap()
+            .get_or_schedule(entry, &com, &cube, 5);
+        assert_eq!(clone.schedule_cache().unwrap().stats().mem_hits, 1);
+        assert!(runner.without_cache().schedule_cache().is_none());
     }
 
     #[test]

@@ -432,6 +432,24 @@ impl ExperimentGrid {
         self
     }
 
+    /// Attach a schedule cache to the grid's runner
+    /// ([`ExperimentRunner::with_cache`]): cells that request the same
+    /// *(matrix, topology, scheduler, seed)* — scheme-ablation columns of
+    /// a shared-seed point, or re-executions against a persistent store —
+    /// hit the cache instead of rescheduling. The [`GridResult`] is
+    /// byte-identical with the cache on or off (tested); only scheduling
+    /// cost changes.
+    pub fn with_cache(mut self, config: commcache::CacheConfig) -> Self {
+        self.runner = self.runner.with_cache(config);
+        self
+    }
+
+    /// The grid's runner — e.g. to read
+    /// [`ExperimentRunner::schedule_cache`] stats after an execution.
+    pub fn runner(&self) -> &ExperimentRunner {
+        &self.runner
+    }
+
     /// Samples aggregated per cell.
     pub fn samples(mut self, samples: usize) -> Self {
         self.samples = samples;
@@ -581,10 +599,15 @@ impl ExperimentGrid {
                 } else {
                     cache.bypass(|| spec.point.generator.generate(seed))
                 };
-                let schedule = spec
-                    .column
-                    .scheduler()
-                    .schedule(&com, spec.topology.as_ref(), seed);
+                let entry = spec.column.scheduler();
+                let topo = spec.topology.as_ref();
+                // With a cache attached, duplicate (matrix, topology,
+                // scheduler, seed) requests — scheme-ablation columns,
+                // persistent-store re-runs — reuse the compiled schedule.
+                let schedule = match self.runner.schedule_cache() {
+                    Some(cache) => cache.get_or_schedule(entry, &com, topo, seed),
+                    None => Arc::new(entry.schedule(&com, topo, seed)),
+                };
                 measure_sample(
                     &self.runner.params,
                     &self.runner.cost_model,
@@ -943,6 +966,63 @@ mod tests {
         assert_eq!(result.stats().cells, 9);
         // Row iteration over topo 0 still sees all five columns.
         assert_eq!(result.row(0).count(), 5);
+    }
+
+    #[test]
+    fn schedule_cache_cannot_change_any_cell() {
+        // The commcache acceptance bar: identical GridResult with the
+        // cache off, on (memory), and on (persistent, cold then warm).
+        let dir = std::env::temp_dir().join(format!("grid_cache_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let base = small_grid(2).execute().unwrap();
+        let cached = small_grid(2)
+            .with_cache(commcache::CacheConfig::in_memory())
+            .execute()
+            .unwrap();
+        assert_eq!(
+            base.cells().collect::<Vec<_>>(),
+            cached.cells().collect::<Vec<_>>()
+        );
+        for _ in 0..2 {
+            let persistent = small_grid(2)
+                .with_cache(commcache::CacheConfig::persistent(&dir))
+                .execute()
+                .unwrap();
+            assert_eq!(
+                base.cells().collect::<Vec<_>>(),
+                persistent.cells().collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scheme_ablation_columns_share_compiled_schedules() {
+        // Two columns = one scheduler under S1 and S2, shared seeds: the
+        // second column's schedules are pure cache hits (the schedule
+        // depends on the scheduler, not the scheme).
+        let entry = registry::find("RS_NL").unwrap();
+        let grid = ExperimentGrid::new()
+            .topology("hypercube(4)", Hypercube::new(4))
+            .column(GridColumn::new(SchedulerHandle::from(entry)).with_scheme(Scheme::S1))
+            .column(GridColumn::new(SchedulerHandle::from(entry)).with_scheme(Scheme::S2))
+            .point(WorkloadPoint::shared(
+                Generator::dregular(16, 3, 1024),
+                3,
+                1024,
+                7,
+            ))
+            .samples(3)
+            .with_cache(commcache::CacheConfig::in_memory());
+        let result = grid.execute().unwrap();
+        let stats = grid.runner().schedule_cache().unwrap().stats();
+        assert_eq!(stats.misses, 3, "3 samples compiled once each");
+        assert_eq!(stats.hits(), 3, "second column reused all of them");
+        // And the two columns really measured different schemes.
+        assert_ne!(
+            result.at(0, 0).unwrap().result.comm_ms,
+            result.at(1, 0).unwrap().result.comm_ms
+        );
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   many independently seeded samples per configuration, cost = maximum
 //!   time over processors, averaged over samples — fanned out over host
 //!   threads.
+//! * [`ExperimentRunner::with_cache`] opts the registry-driven paths into
+//!   the [`commcache`] schedule cache: repeated *(matrix, topology,
+//!   scheduler, seed)* requests are served from a sharded in-memory LRU
+//!   (optionally backed by the persistent artifact store) instead of
+//!   rescheduling. Caching changes cost, never results — grids are
+//!   byte-identical with the cache on and off.
 //! * [`grid`] declares whole experiment *grids* — scheduler columns ×
 //!   workload points × topologies — and executes every cell on a
 //!   work-stealing pool with sample matrices generated once per
@@ -46,6 +52,7 @@ pub mod grid;
 mod report;
 mod scheme;
 
+pub use commcache::{CacheConfig, CacheStats, SchedCache};
 pub use compile::{compile, compile_ac_send_detect, run_schedule, run_schedule_traced};
 pub use experiment::{CellResult, ExperimentRunner};
 pub use grid::{ExperimentGrid, GridResult, WorkloadPoint};

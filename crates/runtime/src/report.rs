@@ -4,8 +4,10 @@ use std::path::Path;
 use crate::CellResult;
 
 /// One row of an experiment output table — serializable for EXPERIMENTS.md
-/// and downstream plotting.
-#[derive(Clone, Debug)]
+/// and downstream plotting. Compares by value (exact float equality —
+/// records are deterministic, so "byte-identical" is the meaningful
+/// comparison).
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellRecord {
     /// Experiment id ("table1", "fig6", ...).
     pub experiment: String,

@@ -12,6 +12,9 @@
 //!   circuit-switched network (the hardware substitute).
 //! * [`commsched`] — the paper's contribution: decomposing a communication
 //!   matrix into contention-free partial permutations (AC, LP, RS_N, RS_NL).
+//! * [`commcache`] — schedule compilation cache: canonical fingerprints, a
+//!   sharded in-memory LRU, and a persistent on-disk artifact store (the
+//!   paper's amortization argument as infrastructure).
 //! * [`workloads`] — generators for the paper's random test sets and richer
 //!   irregular patterns.
 //! * [`commrt`] — the runtime layer: compiles schedules + protocols (S1/S2)
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub use commcache;
 pub use commrt;
 pub use commsched;
 pub use hypercube;
@@ -43,6 +47,7 @@ pub use workloads;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
+    pub use commcache::{ArtifactStore, CacheConfig, CacheStats, Fingerprint, SchedCache};
     pub use commrt::{
         run_schedule, ExperimentGrid, ExperimentRunner, GridResult, Scheme, WorkloadPoint,
     };

@@ -91,6 +91,44 @@ fn shared_rows_reuse_matrices_across_all_columns() {
 }
 
 #[test]
+fn schedule_cache_changes_cost_never_results() {
+    // The commcache acceptance bar, end to end through the facade: the
+    // paper sweep's GridResult records are byte-identical with the cache
+    // disabled, enabled in memory, and enabled with a persistent artifact
+    // store — across a cold run (writes) and a warm run (store hits).
+    let dir = std::env::temp_dir().join(format!(
+        "ipsc_sched_grid_cache_pipeline_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let reference = paper_grid(registry::primary(), &[4, 8], &[256, 4096], 2)
+        .execute()
+        .unwrap();
+    let in_memory = paper_grid(registry::primary(), &[4, 8], &[256, 4096], 2)
+        .with_cache(commrt::CacheConfig::in_memory())
+        .execute()
+        .unwrap();
+    assert_eq!(reference.records("cache"), in_memory.records("cache"));
+    let mut warm_stats = None;
+    for run in 0..2 {
+        let grid = paper_grid(registry::primary(), &[4, 8], &[256, 4096], 2)
+            .with_cache(commrt::CacheConfig::persistent(&dir));
+        let persistent = grid.execute().unwrap();
+        assert_eq!(
+            reference.records("cache"),
+            persistent.records("cache"),
+            "persistent run {run}"
+        );
+        warm_stats = grid.runner().schedule_cache().map(|c| c.stats());
+    }
+    // The warm run compiled nothing: every schedule came from the store.
+    let stats = warm_stats.unwrap();
+    assert_eq!(stats.misses, 0, "warm run recompiled: {stats:?}");
+    assert_eq!(stats.store_hits, stats.requests);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn grid_reports_render_every_cell() {
     let result = paper_grid(registry::primary(), &[4], &[1024], 2)
         .execute()
