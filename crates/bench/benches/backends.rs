@@ -1,0 +1,146 @@
+//! Backend throughput: cells per second under the discrete-event engine
+//! vs the analytic model, on the paper's 64-node machine (d=6 cube) with
+//! dense traffic — the sweep-scaling argument for pluggable backends, as
+//! numbers.
+//!
+//! One *cell* is the grid work unit in the steady state of a big sweep:
+//! sample matrices already generated (the grid's matrix-reuse cache) and
+//! schedules already compiled (the `commcache` schedule cache, which PR'd
+//! scheduling down to a lookup — simulation is the remaining
+//! wall-clock), priced per sample under the backend
+//! ([`commrt::ExperimentRunner::run_scheduler_cell`] with a warm shared
+//! cache). Cases land in `BENCH_backend_throughput.json` as
+//! `des/<entry>` and `analytic/<entry>` (ns per cell) plus `grid/des`
+//! and `grid/analytic` (ns for the whole 5-column grid), with a
+//! cells/sec speedup table on stdout. The analytic backend must clear
+//! 10x on the dense grid as a whole (and 3x on every individual entry —
+//! LP's event run is atypically cheap because XOR phases fuse almost
+//! every pair, halving its transfer count); the bench asserts both, so a
+//! model regression that erases the point of the backend fails loudly
+//! here.
+
+use std::sync::Arc;
+
+use commcache::{CacheConfig, SchedCache};
+use commrt::grid::WorkloadPoint;
+use commrt::{BackendKind, ExperimentGrid, ExperimentRunner, Scheme};
+use commsched::registry;
+use repro_bench::{paper_cube, time_case, write_bench_json, CubeExt};
+use workloads::{Generator, SampleSet};
+
+fn main() {
+    let cube = paper_cube();
+    let n = cube.num_nodes_();
+    // Dense d=6 grid point: d = 16 messages per node, 4 KiB payloads.
+    let (d, bytes) = (16, 4096);
+    let samples_per_cell = 2;
+    let reps = repro_bench::sample_count_or(5);
+
+    let set = SampleSet::new(11, samples_per_cell);
+    // Steady-state sweep economics: matrices generated once (the grid's
+    // reuse cache) ...
+    let matrices: Vec<_> = set
+        .seeds()
+        .map(|seed| (seed, workloads::random_dregular(n, d, bytes, seed)))
+        .collect();
+    let gen = {
+        let matrices = matrices.clone();
+        move |seed: u64| {
+            matrices
+                .iter()
+                .find(|(s, _)| *s == seed)
+                .expect("seed from the same sample set")
+                .1
+                .clone()
+        }
+    };
+    // ... and schedules compiled once (warm shared commcache).
+    let cache = Arc::new(SchedCache::new(CacheConfig::in_memory()));
+    for &entry in registry::primary().collect::<Vec<_>>().iter() {
+        for (seed, com) in &matrices {
+            cache.get_or_schedule(entry, com, &cube, *seed);
+        }
+    }
+
+    let mut cases = Vec::new();
+    let mut table = Vec::new();
+    for &entry in registry::primary().collect::<Vec<_>>().iter() {
+        let mut per_backend = Vec::new();
+        for kind in BackendKind::all() {
+            let runner = ExperimentRunner::ipsc860()
+                .with_backend(kind)
+                .with_shared_cache(Arc::clone(&cache));
+            let case = time_case(format!("{}/{}", kind.label(), entry.name()), reps, || {
+                runner
+                    .run_scheduler_cell(&cube, &set, &gen, entry, Scheme::for_scheduler(entry))
+                    .unwrap_or_else(|e| panic!("{} under {kind}: {e}", entry.name()));
+            });
+            per_backend.push(case.mean_ns);
+            cases.push(case);
+        }
+        let (des_ns, ana_ns) = (per_backend[0], per_backend[1]);
+        table.push((entry.name(), des_ns, ana_ns));
+    }
+
+    // The headline number: the whole dense 5-column grid, cells/sec.
+    let mut grid_ns = Vec::new();
+    for kind in BackendKind::all() {
+        let grid = ExperimentGrid::new()
+            .topology("hypercube(6)", paper_cube())
+            .schedulers(registry::primary())
+            .point(WorkloadPoint::shared(
+                Generator::dregular(n, d, bytes),
+                d,
+                bytes,
+                11,
+            ))
+            .samples(samples_per_cell)
+            .with_backend(kind);
+        let case = time_case(format!("grid/{}", kind.label()), reps, || {
+            grid.execute()
+                .unwrap_or_else(|e| panic!("grid under {kind}: {e}"));
+        });
+        grid_ns.push(case.mean_ns);
+        cases.push(case);
+    }
+
+    println!(
+        "backend throughput: 64-node cube, dregular(d={d}, M={bytes}), \
+         {samples_per_cell} samples/cell, {reps} reps"
+    );
+    println!(
+        "{:>8} | {:>14} | {:>14} | {:>9}",
+        "entry", "des cells/s", "analytic c/s", "speedup"
+    );
+    for (name, des_ns, ana_ns) in &table {
+        let speedup = des_ns / ana_ns;
+        println!(
+            "{:>8} | {:>14.2} | {:>14.2} | {:>8.1}x",
+            name,
+            1e9 / des_ns,
+            1e9 / ana_ns,
+            speedup
+        );
+        assert!(
+            speedup >= 3.0,
+            "{name}: analytic backend only {speedup:.1}x faster than DES — \
+             the model has lost its reason to exist"
+        );
+    }
+    let cols = table.len() as f64;
+    let grid_speedup = grid_ns[0] / grid_ns[1];
+    println!(
+        "{:>8} | {:>14.2} | {:>14.2} | {:>8.1}x",
+        "grid",
+        cols * 1e9 / grid_ns[0],
+        cols * 1e9 / grid_ns[1],
+        grid_speedup
+    );
+    assert!(
+        grid_speedup >= 10.0,
+        "dense-grid speedup {grid_speedup:.1}x below the 10x acceptance bar"
+    );
+
+    let path = write_bench_json("backend_throughput", &cases).expect("write bench json");
+    println!("wrote {}", path.display());
+}

@@ -45,6 +45,7 @@ fn main() {
         }
         columns.extend(registry::variants());
         ExperimentGrid::new()
+            .with_backend(repro_bench::backend_from_env())
             .topology("hypercube(6)", paper_cube())
             .schedulers(columns)
             .point(WorkloadPoint::shared(
@@ -113,6 +114,7 @@ fn main() {
             .filter(|e| e.node_contention_free())
             .collect();
         let mut grid = ExperimentGrid::new()
+            .with_backend(repro_bench::backend_from_env())
             .topology("hypercube(6)", paper_cube())
             .samples(samples);
         for &entry in &phased {
@@ -176,6 +178,7 @@ fn main() {
             runner.params = params;
             let result = ExperimentGrid::new()
                 .with_runner(runner)
+                .with_backend(repro_bench::backend_from_env())
                 .topology("hypercube(6)", paper_cube())
                 .scheduler(ac)
                 .point(WorkloadPoint::shared(

@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod simcheck;
+
 use commrt::grid::{paper_base_seed, WorkloadPoint};
 use commrt::{CellRecord, CellResult, ExperimentGrid, ExperimentRunner, Scheme};
 use commsched::{CommMatrix, Schedule, Scheduler, SchedulerKind};
@@ -40,11 +42,19 @@ pub fn figure_sizes() -> Vec<u32> {
 /// Sample count: the paper uses 50; the harness accepts an override via the
 /// `REPRO_SAMPLES` environment variable to trade precision for speed.
 pub fn sample_count() -> usize {
+    sample_count_or(50)
+}
+
+/// [`sample_count`] with a caller-chosen default — the one parse of the
+/// `REPRO_SAMPLES` contract (positive integers only; anything else falls
+/// back), shared by the repro binaries, the `simcheck` harness, the
+/// benches, and the conformance suite.
+pub fn sample_count_or(default: usize) -> usize {
     std::env::var("REPRO_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&v| v > 0)
-        .unwrap_or(50)
+        .unwrap_or(default)
 }
 
 /// Produce the schedule of `kind` for `com` (seeded where randomized) —
@@ -72,12 +82,27 @@ pub fn cache_config_from_env() -> Option<commrt::CacheConfig> {
     }
 }
 
+/// The repro binaries' simulation-backend selection, from the
+/// `IPSC_BACKEND` environment variable: unset/empty/`des` = the exact
+/// discrete-event engine, `analytic` = the occupancy model (estimates
+/// within the conformance suite's documented tolerances, orders of
+/// magnitude faster — `BENCH_backend_throughput.json`).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo'd backend must not silently
+/// fall back to a different substrate mid-experiment.
+pub fn backend_from_env() -> commrt::BackendKind {
+    commrt::BackendKind::from_env().unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// The paper's sweep as a declarative grid: `entries` as scheduler
 /// columns, one pre-grid-compatible [`WorkloadPoint`] per `(d, M)` pair
 /// (densities outermost), `samples` samples per cell, on the 64-node
 /// hypercube. Each binary narrows the axes to its figure and renders from
 /// the executed [`commrt::GridResult`]. Honours the `IPSC_CACHE` schedule
-/// cache opt-in ([`cache_config_from_env`]).
+/// cache opt-in ([`cache_config_from_env`]) and the `IPSC_BACKEND`
+/// simulation-backend selection ([`backend_from_env`]).
 pub fn paper_grid(
     entries: impl IntoIterator<Item = &'static dyn Scheduler>,
     densities: &[usize],
@@ -88,7 +113,8 @@ pub fn paper_grid(
     let mut grid = ExperimentGrid::new()
         .topology("hypercube(6)", paper_cube())
         .schedulers(entries)
-        .samples(samples);
+        .samples(samples)
+        .with_backend(backend_from_env());
     if let Some(config) = cache_config_from_env() {
         grid = grid.with_cache(config);
     }

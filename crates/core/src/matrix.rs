@@ -110,6 +110,31 @@ impl CommMatrix {
             .unwrap_or(0)
     }
 
+    /// The matrix under a node relabeling: `COM'(perm[i], perm[j]) =
+    /// COM(i, j)`. With `perm` a topology automorphism the relabeled
+    /// instance is isomorphic — same degrees, sizes, and (on the
+    /// hypercube, for XOR translations) hop counts — which is what the
+    /// metamorphic registry properties rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabeled(&self, perm: &[NodeId]) -> CommMatrix {
+        assert_eq!(perm.len(), self.n, "relabeling spans a different size");
+        let mut seen = vec![false; self.n];
+        for p in perm {
+            assert!(
+                !std::mem::replace(&mut seen[p.index()], true),
+                "relabeling is not a permutation"
+            );
+        }
+        let mut out = CommMatrix::new(self.n);
+        for (src, dst, bytes) in self.messages() {
+            out.set(perm[src.index()].index(), perm[dst.index()].index(), bytes);
+        }
+        out
+    }
+
     /// Whether all messages share one size (the paper's experiments assume
     /// uniform sizes; [`crate::nonuniform`] lifts this).
     pub fn is_uniform(&self) -> bool {

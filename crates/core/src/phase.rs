@@ -101,6 +101,31 @@ impl PartialPermutation {
             .count()
     }
 
+    /// The phase under a node relabeling: message `i -> j` becomes
+    /// `perm[i] -> perm[j]`. With `perm` a topology automorphism (e.g. an
+    /// XOR translation of the hypercube) this preserves hop counts,
+    /// link-disjointness, and exchange structure — the metamorphic
+    /// invariant `tests/registry_properties.rs` exercises.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabeled(&self, perm: &[NodeId]) -> PartialPermutation {
+        assert_eq!(perm.len(), self.n(), "relabeling spans a different size");
+        let mut seen = vec![false; self.n()];
+        for p in perm {
+            assert!(
+                !std::mem::replace(&mut seen[p.index()], true),
+                "relabeling is not a permutation"
+            );
+        }
+        let mut dests = vec![None; self.n()];
+        for (src, dst) in self.pairs() {
+            dests[perm[src.index()].index()] = Some(perm[dst.index()]);
+        }
+        PartialPermutation { dests }
+    }
+
     /// Whether all circuits of this phase are pairwise link-disjoint on
     /// `topo` — the *link contention freedom* RS_NL and LP guarantee.
     pub fn is_link_free<T: Topology + ?Sized>(&self, topo: &T) -> bool {

@@ -166,6 +166,27 @@ impl Schedule {
         self.phases.iter().map(|p| p.exchange_pairs()).sum()
     }
 
+    /// The schedule under a node relabeling
+    /// ([`PartialPermutation::relabeled`] applied phase-wise; kind,
+    /// family, and op counts carry over). Relabeling by a topology
+    /// automorphism maps a valid schedule of `com` to a valid schedule of
+    /// the relabeled matrix with identical structure — phase counts,
+    /// message counts, exchange pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabeled(&self, perm: &[hypercube::NodeId]) -> Schedule {
+        Schedule::new(
+            self.kind,
+            self.algorithm,
+            self.n,
+            self.phases.iter().map(|p| p.relabeled(perm)).collect(),
+            self.ops_schedule,
+            self.ops_compress,
+        )
+    }
+
     /// Whether every phase is link-contention-free on `topo` (the RS_NL /
     /// LP guarantee; generally false for RS_N).
     pub fn link_contention_free<T: Topology + ?Sized>(&self, topo: &T) -> bool {

@@ -5,6 +5,7 @@ use simnet::{MachineParams, SimError};
 use std::sync::{Arc, Mutex};
 use workloads::SampleSet;
 
+use crate::backend::{AnalyticBackend, BackendKind};
 use crate::{compile, Scheme};
 
 /// Aggregated measurements of one experiment cell (one algorithm at one
@@ -79,6 +80,10 @@ pub struct ExperimentRunner {
     pub params: MachineParams,
     /// Cost model converting scheduler op counts to i860 milliseconds.
     pub cost_model: I860CostModel,
+    /// Simulation backend pricing every sample: the exact discrete-event
+    /// engine (default) or the fast analytic model
+    /// ([`crate::backend::BackendKind`]).
+    pub backend: BackendKind,
     /// Worker threads (defaults to available parallelism).
     pub threads: usize,
     /// Opt-in schedule cache ([`ExperimentRunner::with_cache`]); `None`
@@ -107,9 +112,19 @@ impl ExperimentRunner {
         ExperimentRunner {
             params: MachineParams::ipsc860(),
             cost_model: I860CostModel::default(),
+            backend: BackendKind::Des,
             threads: default_threads(),
             schedule_cache: None,
         }
+    }
+
+    /// Select the simulation backend for every subsequent measurement.
+    /// [`BackendKind::Des`] is exact; [`BackendKind::Analytic`] trades
+    /// documented tolerance (see `tests/backend_conformance.rs`) for
+    /// orders of magnitude more cells per second.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Attach a schedule cache built from `config`. Registry-driven paths
@@ -257,6 +272,7 @@ impl ExperimentRunner {
         measure_sample(
             &self.params,
             &self.cost_model,
+            self.backend,
             topo,
             &com,
             &schedule,
@@ -265,23 +281,35 @@ impl ExperimentRunner {
     }
 }
 
-/// Schedule-to-numbers for one already-generated sample: compile under
-/// `scheme`, simulate on `topo`, and price the schedule under the i860
-/// cost model. Shared by [`ExperimentRunner::run_cell`] and the grid
-/// executor (which generates matrices through its reuse cache instead of
-/// a per-sample closure).
+/// Schedule-to-numbers for one already-generated sample: price the
+/// schedule under the selected backend and the i860 cost model. Shared by
+/// [`ExperimentRunner::run_cell`] and the grid executor (which generates
+/// matrices through its reuse cache instead of a per-sample closure).
+///
+/// [`BackendKind::Des`] keeps the historical fast path — compile under
+/// `scheme` and run the untraced event engine — so default measurements
+/// are bit-identical to every release before backends existed.
+/// [`BackendKind::Analytic`] skips program compilation entirely.
 pub(crate) fn measure_sample<T: Topology + ?Sized>(
     params: &MachineParams,
     cost_model: &I860CostModel,
+    backend: BackendKind,
     topo: &T,
     com: &CommMatrix,
     schedule: &Schedule,
     scheme: Scheme,
 ) -> Result<SampleOutcome, SimError> {
-    let programs = compile(com, schedule, scheme);
-    let report = simnet::simulate(topo, params, programs)?;
+    let comm_ms = match backend {
+        BackendKind::Des => {
+            let programs = compile(com, schedule, scheme);
+            simnet::simulate(topo, params, programs)?.makespan_ms()
+        }
+        BackendKind::Analytic => AnalyticBackend
+            .estimate_on(params, topo, com, schedule, scheme)?
+            .makespan_ms(),
+    };
     Ok(SampleOutcome {
-        comm_ms: report.makespan_ms(),
+        comm_ms,
         phases: schedule.num_phases(),
         comp_ms: cost_model.schedule_ms(schedule),
         exchange_pairs: schedule.exchange_pairs(),

@@ -45,6 +45,7 @@ use hypercube::Topology;
 use simnet::SimError;
 use workloads::{Generator, SampleSet};
 
+use crate::backend::BackendKind;
 use crate::experiment::{measure_sample, SampleOutcome};
 use crate::{CellRecord, CellResult, ExperimentRunner, Scheme};
 
@@ -103,26 +104,42 @@ impl fmt::Debug for SchedulerHandle {
 }
 
 /// One column of the grid: a scheduler plus the communication scheme its
-/// cells compile under (defaults to the entry's paper scheme).
+/// cells compile under (defaults to the entry's paper scheme) and,
+/// optionally, a per-column simulation-backend override — the *backend
+/// column axis* that lets one grid compare the event engine against the
+/// analytic model side by side.
 #[derive(Clone, Debug)]
 pub struct GridColumn {
     scheduler: SchedulerHandle,
     scheme: Scheme,
+    backend: Option<BackendKind>,
 }
 
 impl GridColumn {
     /// A column under the scheduler's paper-default scheme
-    /// ([`Scheme::for_scheduler`]).
+    /// ([`Scheme::for_scheduler`]) and the grid runner's backend.
     pub fn new(scheduler: impl Into<SchedulerHandle>) -> Self {
         let scheduler = scheduler.into();
         let scheme = Scheme::for_scheduler(scheduler.entry());
-        GridColumn { scheduler, scheme }
+        GridColumn {
+            scheduler,
+            scheme,
+            backend: None,
+        }
     }
 
     /// Override the scheme (e.g. the S1-vs-S2 ablation runs the same
     /// scheduler as two columns).
     pub fn with_scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
+        self
+    }
+
+    /// Pin this column to a simulation backend, overriding the grid
+    /// runner's default. Two columns of one scheduler under different
+    /// backends make a differential grid (the `simcheck` harness's shape).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -136,15 +153,32 @@ impl GridColumn {
         self.scheme
     }
 
+    /// This column's backend override (`None` = the runner's default).
+    pub fn backend(&self) -> Option<BackendKind> {
+        self.backend
+    }
+
+    /// The backend this column resolves to under a runner defaulting to
+    /// `default`.
+    pub fn backend_for(&self, default: BackendKind) -> BackendKind {
+        self.backend.unwrap_or(default)
+    }
+
     /// Column label: the scheduler name, qualified with the scheme when
-    /// it differs from the scheduler's paper default.
+    /// it differs from the scheduler's paper default and with the backend
+    /// when the column pins one (`RS_NL[S2]@analytic`).
     pub fn label(&self) -> String {
         let name = self.scheduler.entry().name();
-        if self.scheme == Scheme::for_scheduler(self.scheduler.entry()) {
+        let mut label = if self.scheme == Scheme::for_scheduler(self.scheduler.entry()) {
             name.to_string()
         } else {
             format!("{name}[{}]", self.scheme.label())
+        };
+        if let Some(backend) = self.backend {
+            label.push('@');
+            label.push_str(backend.label());
         }
+        label
     }
 }
 
@@ -405,6 +439,11 @@ pub struct ExperimentGrid {
     points: Vec<WorkloadPoint>,
     topologies: Vec<(String, Arc<dyn Topology>)>,
     samples: usize,
+    /// Grid-level backend override; falls back to the runner's. Stored on
+    /// the grid (not written into the runner) so builder-call order
+    /// cannot matter: `with_runner` after `with_backend` does not reset
+    /// the choice.
+    backend: Option<BackendKind>,
 }
 
 impl Default for ExperimentGrid {
@@ -423,6 +462,7 @@ impl ExperimentGrid {
             points: Vec::new(),
             topologies: Vec::new(),
             samples: 1,
+            backend: None,
         }
     }
 
@@ -448,6 +488,23 @@ impl ExperimentGrid {
     /// [`ExperimentRunner::schedule_cache`] stats after an execution.
     pub fn runner(&self) -> &ExperimentRunner {
         &self.runner
+    }
+
+    /// Set the default simulation backend for every column that does not
+    /// pin its own ([`GridColumn::with_backend`]). The repro binaries
+    /// wire this to the `IPSC_BACKEND` environment variable. Takes
+    /// precedence over the runner's backend and survives a later
+    /// [`ExperimentGrid::with_runner`] — builder-call order never changes
+    /// which substrate prices the cells.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The backend grid cells default to: the grid-level override when
+    /// set, otherwise the runner's.
+    pub fn default_backend(&self) -> BackendKind {
+        self.backend.unwrap_or(self.runner.backend)
     }
 
     /// Samples aggregated per cell.
@@ -611,6 +668,7 @@ impl ExperimentGrid {
                 measure_sample(
                     &self.runner.params,
                     &self.runner.cost_model,
+                    spec.column.backend_for(self.default_backend()),
                     spec.topology.as_ref(),
                     &com,
                     &schedule,
@@ -1100,6 +1158,29 @@ mod tests {
             .execute()
             .unwrap();
         assert!(huge.at(0, 0).unwrap().result.comm_ms > 0.0);
+    }
+
+    #[test]
+    fn grid_backend_choice_survives_a_later_runner_swap() {
+        // Regression: with_backend used to write into the runner, so a
+        // subsequent with_runner silently reset the grid to DES.
+        let grid = small_grid(1)
+            .with_backend(crate::BackendKind::Analytic)
+            .with_runner(ExperimentRunner::ipsc860());
+        assert_eq!(grid.default_backend(), crate::BackendKind::Analytic);
+        // A runner that carries its own backend is honoured when the grid
+        // sets none.
+        let grid = small_grid(1)
+            .with_runner(ExperimentRunner::ipsc860().with_backend(crate::BackendKind::Analytic));
+        assert_eq!(grid.default_backend(), crate::BackendKind::Analytic);
+        // And the per-column override still wins over both.
+        let entry = registry::find("RS_N").unwrap();
+        let col = GridColumn::new(SchedulerHandle::from(entry))
+            .with_backend(crate::BackendKind::Analytic);
+        assert_eq!(
+            col.backend_for(crate::BackendKind::Des),
+            crate::BackendKind::Analytic
+        );
     }
 
     #[test]

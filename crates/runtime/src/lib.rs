@@ -28,6 +28,14 @@
 //!   work-stealing pool with sample matrices generated once per
 //!   `(workload, seed)` point and shared across scheduler columns. The
 //!   repro binaries are thin renderers over [`GridResult`]s.
+//! * [`backend`] makes the simulation substrate pluggable: a
+//!   [`SimBackend`] trait with the exact event engine ([`DesBackend`])
+//!   and a fast contention-aware occupancy model ([`AnalyticBackend`]),
+//!   selectable per runner ([`ExperimentRunner::with_backend`]), per grid
+//!   column ([`grid::GridColumn::with_backend`]), and via the
+//!   `IPSC_BACKEND` environment variable in the repro binaries. The two
+//!   are validated against each other by a differential conformance
+//!   suite.
 //!
 //! ```
 //! use commrt::{run_schedule, Scheme};
@@ -46,12 +54,16 @@
 #![forbid(unsafe_code)]
 
 pub mod allgather;
+pub mod backend;
 mod compile;
 mod experiment;
 pub mod grid;
 mod report;
 mod scheme;
 
+pub use backend::{
+    AnalyticBackend, BackendKind, BackendReport, ContentionStats, DesBackend, SimBackend,
+};
 pub use commcache::{CacheConfig, CacheStats, SchedCache};
 pub use compile::{compile, compile_ac_send_detect, run_schedule, run_schedule_traced};
 pub use experiment::{CellResult, ExperimentRunner};

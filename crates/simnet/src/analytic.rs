@@ -1,0 +1,398 @@
+//! Contention-aware analytic load model — the event-free half of the
+//! simulation layer.
+//!
+//! The discrete-event engine ([`crate::simulate`]) is exact but pays for
+//! every circuit claim with heap events; large experiment grids are
+//! simulation-bound. This module provides the machine-level arithmetic a
+//! LogP/LogGP-style *analytic* backend builds on: callers describe one
+//! pool of concurrent transfers as [`TransferSpec`]s (priced via
+//! [`crate::MachineParams`]) and the [`LoadModel`] accumulates the
+//! occupancy each transfer places on the machine's shared resources —
+//! node communication engines (or split send/receive ports) and directed
+//! links — exactly the resources the event engine's router arbitrates.
+//!
+//! The estimate for a pool is
+//!
+//! ```text
+//! makespan = max( max_t (lead_t + busy_t),              // critical transfer
+//!                 max_r (min_lead_r + occupancy_r) )    // saturated resource
+//! ```
+//!
+//! where `busy_t` is the time transfer `t` holds its circuit, `lead_t` is
+//! software latency before `t` can request the circuit, and `occupancy_r`
+//! sums `busy_t` over every transfer claiming resource `r`. Transfers
+//! sharing a resource serialize in the event engine; summing their busy
+//! times models that serialization without replaying it. For a pool in
+//! which no two transfers share a resource the two maxima coincide with
+//! the event engine's exact answer — the conformance suite pins that
+//! (`tests/backend_conformance.rs` at the workspace root).
+//!
+//! The model is hot-path code (one pool per schedule phase across whole
+//! experiment grids), so occupancy is tracked with dirty-index lists:
+//! [`LoadModel::reset`] and every scan touch only the resources the
+//! current pool actually claimed, not the whole machine.
+//!
+//! What the model deliberately ignores (tolerance, not bug): idle gaps a
+//! resource spends waiting on another resource's hand-off, claim-policy
+//! differences ([`crate::ClaimPolicy`] is modeled as atomic), and
+//! system-buffer traffic (arrivals are assumed posted).
+
+use hypercube::{LinkId, NodeId, Topology};
+
+use crate::PortModel;
+
+/// One transfer in an analytic pool: endpoints, circuit-occupancy time,
+/// and the software lead before the circuit is requested.
+///
+/// Pricing is the caller's job — [`crate::MachineParams::transfer_ns`]
+/// for a plain message, the fused-exchange maximum for a pairwise
+/// exchange — so the model stays protocol-agnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferSpec {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Time the transfer holds its circuit (ns).
+    pub busy_ns: u64,
+    /// Software latency before the circuit is requested (ns): send
+    /// initiation, receive posting, handshake rounds.
+    pub lead_ns: u64,
+    /// Fused pairwise exchange: claims both endpoints' engines and the
+    /// circuits of *both* directions for `busy_ns` (the event engine's
+    /// `TKind::Fused`).
+    pub fused: bool,
+}
+
+/// One class of identical resources (engines, receive ports, links) with
+/// dirty-index bookkeeping: only entries touched since the last reset are
+/// ever scanned or cleared.
+#[derive(Clone, Debug)]
+struct ResourceClass {
+    busy_ns: Vec<u64>,
+    min_lead: Vec<u64>,
+    users: Vec<u32>,
+    dirty: Vec<usize>,
+}
+
+impl ResourceClass {
+    fn new(len: usize) -> Self {
+        ResourceClass {
+            busy_ns: vec![0; len],
+            min_lead: vec![u64::MAX; len],
+            users: vec![0; len],
+            dirty: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &i in &self.dirty {
+            self.busy_ns[i] = 0;
+            self.min_lead[i] = u64::MAX;
+            self.users[i] = 0;
+        }
+        self.dirty.clear();
+    }
+
+    /// Claim resource `i`; returns whether it was already claimed.
+    fn claim(&mut self, i: usize, spec: &TransferSpec) -> bool {
+        let shared = self.users[i] > 0;
+        if !shared {
+            self.dirty.push(i);
+        }
+        self.busy_ns[i] += spec.busy_ns;
+        self.min_lead[i] = self.min_lead[i].min(spec.lead_ns);
+        self.users[i] += 1;
+        shared
+    }
+
+    /// `max_i (min_lead_i + busy_i)` over claimed entries.
+    fn span(&self) -> u64 {
+        self.dirty
+            .iter()
+            .map(|&i| self.min_lead[i] + self.busy_ns[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest single occupancy.
+    fn max_busy(&self) -> u64 {
+        self.dirty
+            .iter()
+            .map(|&i| self.busy_ns[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn contended(&self) -> bool {
+        self.dirty.iter().any(|&i| self.users[i] > 1)
+    }
+}
+
+/// Aggregated occupancy of one pool of concurrent transfers.
+///
+/// Feed transfers with [`LoadModel::add`] (or, on hot paths that already
+/// hold the circuit, [`LoadModel::add_with_route`]); read the running
+/// estimate with [`LoadModel::makespan_ns`]. Adding is monotone, so one
+/// model can emit cumulative prefix estimates (the phased backends do).
+#[derive(Clone, Debug)]
+pub struct LoadModel {
+    ports: PortModel,
+    /// Unified engine per node, or the send port under split ports.
+    engine: ResourceClass,
+    /// Split-port receive side (unused under [`PortModel::Unified`]).
+    recv: ResourceClass,
+    link: ResourceClass,
+    /// `max_t (lead_t + busy_t)` over everything added so far.
+    path_max_ns: u64,
+    transfers: usize,
+    route_scratch: Vec<LinkId>,
+    rev_scratch: Vec<LinkId>,
+}
+
+impl LoadModel {
+    /// An empty pool over `topo`'s resources.
+    pub fn new<T: Topology + ?Sized>(topo: &T, ports: PortModel) -> Self {
+        let n = topo.num_nodes();
+        LoadModel {
+            ports,
+            engine: ResourceClass::new(n),
+            recv: ResourceClass::new(n),
+            link: ResourceClass::new(topo.link_count()),
+            path_max_ns: 0,
+            transfers: 0,
+            route_scratch: Vec::new(),
+            rev_scratch: Vec::new(),
+        }
+    }
+
+    /// Clear all occupancy (reuse across phases without reallocating);
+    /// O(resources touched since the last reset).
+    pub fn reset(&mut self) {
+        self.engine.reset();
+        self.recv.reset();
+        self.link.reset();
+        self.path_max_ns = 0;
+        self.transfers = 0;
+    }
+
+    /// Account one transfer whose full claim set (`links` = the circuit,
+    /// plus the reverse circuit for fused exchanges) the caller already
+    /// routed. Returns `true` when the transfer joined at least one
+    /// resource another transfer already held — the analytic analogue of
+    /// the event engine's "transfer could not start immediately".
+    pub fn add_with_route(&mut self, spec: TransferSpec, links: &[LinkId]) -> bool {
+        self.transfers += 1;
+        self.path_max_ns = self.path_max_ns.max(spec.lead_ns + spec.busy_ns);
+        let (src, dst) = (spec.src.index(), spec.dst.index());
+        let mut shared = self.engine.claim(src, &spec);
+        match self.ports {
+            // A fused exchange occupies both unified engines symmetrically;
+            // so does a plain message (Observation 1: one engine per node).
+            PortModel::Unified => shared |= self.engine.claim(dst, &spec),
+            PortModel::Split => {
+                shared |= self.recv.claim(dst, &spec);
+                if spec.fused {
+                    shared |= self.engine.claim(dst, &spec);
+                    shared |= self.recv.claim(src, &spec);
+                }
+            }
+        }
+        for l in links {
+            shared |= self.link.claim(l.index(), &spec);
+        }
+        shared
+    }
+
+    /// [`LoadModel::add_with_route`], routing the circuit(s) on `topo`
+    /// first.
+    pub fn add<T: Topology + ?Sized>(&mut self, topo: &T, spec: TransferSpec) -> bool {
+        let mut links = std::mem::take(&mut self.route_scratch);
+        let mut rev = std::mem::take(&mut self.rev_scratch);
+        route_claims(topo, &spec, &mut links, &mut rev);
+        let shared = self.add_with_route(spec, &links);
+        self.route_scratch = links;
+        self.rev_scratch = rev;
+        shared
+    }
+
+    /// The pool's makespan estimate: the slowest single transfer or the
+    /// most occupied resource, whichever dominates.
+    pub fn makespan_ns(&self) -> u64 {
+        self.path_max_ns
+            .max(self.engine.span())
+            .max(self.recv.span())
+            .max(self.link.span())
+    }
+
+    /// Busiest engine/port occupancy (ns) — contention pressure at nodes.
+    pub fn max_engine_ns(&self) -> u64 {
+        self.engine.max_busy().max(self.recv.max_busy())
+    }
+
+    /// Busiest directed-link occupancy (ns) — contention pressure on wires.
+    pub fn max_link_ns(&self) -> u64 {
+        self.link.max_busy()
+    }
+
+    /// Transfers added so far.
+    pub fn transfers(&self) -> usize {
+        self.transfers
+    }
+
+    /// Whether any resource is claimed by two or more transfers.
+    pub fn contended(&self) -> bool {
+        self.engine.contended() || self.recv.contended() || self.link.contended()
+    }
+}
+
+/// Write `spec`'s full claim set into `out` (cleared first): the forward
+/// circuit, plus the reverse circuit for fused exchanges. `scratch` is a
+/// caller-owned buffer that keeps the reverse routing allocation-free on
+/// hot paths.
+pub fn route_claims<T: Topology + ?Sized>(
+    topo: &T,
+    spec: &TransferSpec,
+    out: &mut Vec<LinkId>,
+    scratch: &mut Vec<LinkId>,
+) {
+    topo.route_into(spec.src, spec.dst, out);
+    if spec.fused {
+        topo.route_into(spec.dst, spec.src, scratch);
+        out.extend_from_slice(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::Hypercube;
+
+    fn spec(src: u32, dst: u32, busy: u64, lead: u64) -> TransferSpec {
+        TransferSpec {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            busy_ns: busy,
+            lead_ns: lead,
+            fused: false,
+        }
+    }
+
+    #[test]
+    fn empty_pool_is_zero() {
+        let cube = Hypercube::new(3);
+        let m = LoadModel::new(&cube, PortModel::Unified);
+        assert_eq!(m.makespan_ns(), 0);
+        assert_eq!(m.max_engine_ns(), 0);
+        assert_eq!(m.max_link_ns(), 0);
+        assert!(!m.contended());
+    }
+
+    #[test]
+    fn disjoint_transfers_take_the_slowest_path() {
+        let cube = Hypercube::new(3);
+        let mut m = LoadModel::new(&cube, PortModel::Unified);
+        assert!(!m.add(&cube, spec(0, 1, 100, 10)));
+        assert!(!m.add(&cube, spec(2, 3, 250, 5)));
+        assert_eq!(m.makespan_ns(), 255);
+        assert!(!m.contended());
+    }
+
+    #[test]
+    fn shared_engine_serializes() {
+        let cube = Hypercube::new(3);
+        let mut m = LoadModel::new(&cube, PortModel::Unified);
+        // Node 0 sends twice: its engine carries both transfers.
+        assert!(!m.add(&cube, spec(0, 1, 100, 10)));
+        assert!(m.add(&cube, spec(0, 2, 100, 25)), "second user is flagged");
+        assert_eq!(m.makespan_ns(), 10 + 200);
+        assert!(m.contended());
+    }
+
+    #[test]
+    fn unified_receiver_engine_counts_too() {
+        let cube = Hypercube::new(3);
+        let mut m = LoadModel::new(&cube, PortModel::Unified);
+        m.add(&cube, spec(0, 3, 100, 0));
+        m.add(&cube, spec(5, 3, 100, 0));
+        // Both messages land on node 3's unified engine.
+        assert_eq!(m.makespan_ns(), 200);
+
+        let mut split = LoadModel::new(&cube, PortModel::Split);
+        split.add(&cube, spec(0, 3, 100, 0));
+        split.add(&cube, spec(5, 3, 100, 0));
+        // Still serialized — the split receive port is one resource.
+        assert_eq!(split.makespan_ns(), 200);
+        // But a send overlapping a receive is free under split ports.
+        let mut duplex = LoadModel::new(&cube, PortModel::Split);
+        assert!(!duplex.add(&cube, spec(0, 3, 100, 0)));
+        assert!(!duplex.add(&cube, spec(3, 0, 100, 0)));
+        assert_eq!(duplex.makespan_ns(), 100);
+    }
+
+    #[test]
+    fn shared_link_serializes() {
+        let cube = Hypercube::new(3);
+        // 0 -> 3 (links (0,d0),(1,d1)) and 1 -> 7 (links (1,d1),(3,d2))
+        // share directed link (1,d1); endpoints are disjoint.
+        let mut m = LoadModel::new(&cube, PortModel::Unified);
+        assert!(!m.add(&cube, spec(0, 3, 300, 0)));
+        assert!(m.add(&cube, spec(1, 7, 300, 0)));
+        assert_eq!(m.makespan_ns(), 600);
+        assert_eq!(m.max_link_ns(), 600);
+        assert!(m.contended());
+    }
+
+    #[test]
+    fn fused_exchange_claims_both_directions() {
+        let cube = Hypercube::new(3);
+        let mut m = LoadModel::new(&cube, PortModel::Unified);
+        m.add(
+            &cube,
+            TransferSpec {
+                src: NodeId(0),
+                dst: NodeId(1),
+                busy_ns: 500,
+                lead_ns: 0,
+                fused: true,
+            },
+        );
+        // A later transfer out of node 1 serializes behind the exchange.
+        assert!(m.add(&cube, spec(1, 3, 100, 0)));
+        assert_eq!(m.makespan_ns(), 600);
+        // And the reverse link 1 -> 0 is occupied by the fused claim.
+        assert_eq!(m.max_link_ns(), 500);
+    }
+
+    #[test]
+    fn leads_shift_resource_spans_and_reset_clears() {
+        let cube = Hypercube::new(3);
+        let mut m = LoadModel::new(&cube, PortModel::Unified);
+        m.add(&cube, spec(0, 1, 100, 40));
+        m.add(&cube, spec(0, 2, 100, 90));
+        // Engine span starts at the *earliest* lead among its users.
+        assert_eq!(m.makespan_ns(), 40 + 200);
+        m.reset();
+        assert_eq!(m.makespan_ns(), 0);
+        assert_eq!(m.transfers(), 0);
+        assert!(!m.contended());
+        // Reuse after reset behaves like a fresh model.
+        assert!(!m.add(&cube, spec(0, 1, 7, 3)));
+        assert_eq!(m.makespan_ns(), 10);
+    }
+
+    #[test]
+    fn route_claims_covers_both_directions_for_fused() {
+        let cube = Hypercube::new(3);
+        let (mut links, mut tmp) = (Vec::new(), Vec::new());
+        let one_way = spec(0, 3, 1, 0);
+        route_claims(&cube, &one_way, &mut links, &mut tmp);
+        assert_eq!(links.len(), 2);
+        let fused = TransferSpec {
+            fused: true,
+            ..one_way
+        };
+        route_claims(&cube, &fused, &mut links, &mut tmp);
+        assert_eq!(links.len(), 4, "forward + reverse circuits");
+    }
+}

@@ -66,6 +66,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analytic;
 mod engine;
 mod params;
 mod program;
@@ -73,6 +74,7 @@ mod sim;
 mod stats;
 mod trace;
 
+pub use analytic::{LoadModel, TransferSpec};
 pub use params::{ClaimPolicy, MachineParams, PortModel};
 pub use program::{Op, Program, ProgramBuilder, Tag};
 pub use sim::{simulate, simulate_traced};

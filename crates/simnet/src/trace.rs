@@ -38,9 +38,42 @@ pub struct TraceEvent {
     pub bytes: u32,
 }
 
+impl TraceEvent {
+    /// Stable one-line rendering, e.g. `t=75000 Started P0->P1 tag=2 64B`.
+    ///
+    /// This format is a compatibility surface: the golden-trace suite
+    /// (`tests/trace_golden.rs`) pins whole event sequences rendered this
+    /// way, so engine refactors diff against exact event order. Change it
+    /// only together with the golden files.
+    pub fn compact(&self) -> String {
+        format!(
+            "t={} {:?} P{}->P{} tag={} {}B",
+            self.time_ns,
+            self.kind,
+            self.src.index(),
+            self.dst.index(),
+            self.tag.0,
+            self.bytes
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compact_is_stable() {
+        let ev = TraceEvent {
+            time_ns: 75_000,
+            kind: TraceKind::Started,
+            src: NodeId(0),
+            dst: NodeId(1),
+            tag: Tag(2),
+            bytes: 64,
+        };
+        assert_eq!(ev.compact(), "t=75000 Started P0->P1 tag=2 64B");
+    }
 
     #[test]
     fn trace_event_debug_and_clone() {

@@ -67,4 +67,34 @@ fn main() {
     println!("\nReading: AC piles blocked circuits onto the hot receivers; RS_N spreads");
     println!("them across phases (node contention gone); RS_NL additionally keeps every");
     println!("phase link-disjoint, so blocking falls to protocol-level waits only.");
+
+    // The same contention story, without running a single event: the
+    // analytic backend reads saturation straight off occupancy sums.
+    use commrt::{AnalyticBackend, BackendReport, DesBackend, SimBackend};
+    println!("\nbackend cross-check (makespan ms, contended transfers, busiest link ms):");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>14}",
+        "alg", "des", "analytic", "contended", "link busy (ms)"
+    );
+    for name in ["AC", "RS_N", "RS_NL"] {
+        let entry = commsched::registry::find(name).expect("registered");
+        let schedule = entry.schedule(&com, &cube, 9);
+        let scheme = Scheme::for_scheduler(entry);
+        let report = |b: &dyn SimBackend| -> BackendReport {
+            b.estimate(&params, &cube, &com, &schedule, scheme)
+                .expect("estimates run")
+        };
+        let (des, ana) = (report(&DesBackend), report(&AnalyticBackend));
+        println!(
+            "{:<6} {:>12.2} {:>12.2} {:>10} {:>14.2}",
+            name,
+            des.makespan_ms(),
+            ana.makespan_ms(),
+            ana.contention.contended_transfers,
+            ana.contention.max_link_busy_ns as f64 / 1e6,
+        );
+    }
+    println!("\nThe analytic column lands within the conformance suite's documented");
+    println!("tolerance of the event engine at a fraction of the cost — run the");
+    println!("`simcheck` binary for the full differential sweep.");
 }

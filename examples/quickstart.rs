@@ -60,4 +60,24 @@ fn main() {
     let s = rs_nl(&com, &cube, 1);
     validate_schedule(&com, &s).expect("valid schedule");
     println!("  link_contention_free = {}", s.link_contention_free(&cube));
+
+    // Sweeping far beyond what event simulation can afford? Swap the
+    // backend: same grid, no events, documented tolerance vs the engine
+    // (`IPSC_BACKEND=analytic` does this for the repro binaries).
+    let fast = ExperimentGrid::new()
+        .topology("hypercube(6)", Hypercube::new(6))
+        .schedulers(commsched::registry::primary())
+        .point(WorkloadPoint::shared(
+            Generator::fixed("dregular(d=12,8K)", com.clone()),
+            12,
+            8192,
+            1,
+        ))
+        .with_backend(BackendKind::Analytic)
+        .execute()
+        .expect("analytic grid runs");
+    println!("\nanalytic backend (event-free estimates of the same grid):");
+    for cell in fast.row(0) {
+        println!("{:<6} {:>10.2} ms", cell.algorithm, cell.result.comm_ms);
+    }
 }

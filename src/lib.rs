@@ -18,7 +18,9 @@
 //! * [`workloads`] — generators for the paper's random test sets and richer
 //!   irregular patterns.
 //! * [`commrt`] — the runtime layer: compiles schedules + protocols (S1/S2)
-//!   into per-node programs and runs experiments.
+//!   into per-node programs and runs experiments on pluggable simulation
+//!   backends (exact discrete-event, or a fast contention-aware analytic
+//!   model — `IPSC_BACKEND`).
 //!
 //! ## Quickstart
 //!
@@ -49,7 +51,8 @@ pub use workloads;
 pub mod prelude {
     pub use commcache::{ArtifactStore, CacheConfig, CacheStats, Fingerprint, SchedCache};
     pub use commrt::{
-        run_schedule, ExperimentGrid, ExperimentRunner, GridResult, Scheme, WorkloadPoint,
+        run_schedule, AnalyticBackend, BackendKind, BackendReport, DesBackend, ExperimentGrid,
+        ExperimentRunner, GridResult, Scheme, SimBackend, WorkloadPoint,
     };
     pub use commsched::{
         ac, greedy, lp, rs_n, rs_nl, validate_schedule, CommMatrix, Schedule, ScheduleQuality,
