@@ -27,14 +27,29 @@
 //! schedules `table1` will ask for under `IPSC_CACHE=<same dir>`.
 //! Passing `--base-seed` switches to one *shared* sample stream instead
 //! (the `WorkloadPoint::shared` discipline of ablation-style grids).
+//!
+//! With `--addr`, `schedctl` is also the client of a live `schedd`
+//! daemon: `submit` sends one schedule request, `bench` replays one
+//! request repeatedly and reports latency plus the daemon's dedup hit
+//! rate, `stats --addr` snapshots the daemon's counters, and `shutdown`
+//! drains it:
+//!
+//! ```text
+//! schedctl submit --addr unix:/tmp/schedd.sock --scheduler RS_NL --n 16
+//! schedctl bench --addr unix:/tmp/schedd.sock --requests 500
+//! schedctl stats --addr unix:/tmp/schedd.sock
+//! schedctl shutdown --addr unix:/tmp/schedd.sock
+//! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use commcache::{decode_artifact, ArtifactStore, CacheConfig, Fingerprint, SchedCache, StoreError};
 use commrt::grid::paper_base_seed;
+use commrt::BackendKind;
 use commsched::{registry, Scheduler};
 use hypercube::Hypercube;
+use schedd::{Client, Endpoint, SchemeChoice, SubmitRequest, TopologySpec};
 use workloads::{Generator, SampleSet};
 
 const USAGE: &str = "\
@@ -42,12 +57,17 @@ schedctl — inspect and warm the ipsc-sched schedule cache
 
 USAGE:
   schedctl warm [OPTIONS]      precompile a workload spec into the cache
-  schedctl stats [OPTIONS]     summarize a cache directory
+  schedctl stats [OPTIONS]     summarize a cache directory, or a live
+                               daemon's counters with --addr
   schedctl inspect [OPTIONS]   decode artifacts
+  schedctl submit [OPTIONS]    submit one request to a live schedd
+  schedctl bench [OPTIONS]     replay requests against a live schedd
+  schedctl shutdown --addr <e> drain and stop a live schedd
   schedctl help                print this text
 
 OPTIONS:
   --dir <path>         artifact-store directory   [default: results/cache]
+  --addr <endpoint>    live daemon: unix:<path> or tcp:<host:port>
   --n <nodes>          hypercube size (power of two)        [default: 64]
   --d <list>           densities, comma-separated          [default: 4,8]
   --bytes <list>       message sizes (bytes), comma-sep   [default: 1024]
@@ -64,6 +84,12 @@ OPTIONS:
   --expect-hits        (warm) exit 1 unless ≥ 1 request was answered by
                        the store — asserts a previous warm is being reused
   --fingerprint <hex>  (inspect) only this artifact
+  --scheduler <name>   (submit/bench) registry entry      [default: RS_NL]
+  --seed <s>           (submit/bench) scheduler seed           [default: 0]
+  --scheme <s>         (submit/bench) s1|s2|default      [default: default]
+  --backend <b>        (submit/bench) des|analytic   [default: IPSC_BACKEND]
+  --want-schedule      (submit) stream the compiled schedule summary too
+  --requests <k>       (bench) how many requests to replay   [default: 200]
 ";
 
 fn main() -> ExitCode {
@@ -74,6 +100,9 @@ fn main() -> ExitCode {
         Some("warm") => warm(opts),
         Some("stats") => stats(opts),
         Some("inspect") => inspect(opts),
+        Some("submit") => submit(opts),
+        Some("bench") => bench(opts),
+        Some("shutdown") => shutdown(opts),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -317,7 +346,10 @@ fn scan(store: &ArtifactStore) -> Result<Scan, String> {
 }
 
 fn stats(opts: &[String]) -> Result<ExitCode, String> {
-    reject_unknown(opts, &["--dir"], &[])?;
+    reject_unknown(opts, &["--dir", "--addr"], &[])?;
+    if let Some(addr) = opt_value(opts, "--addr")? {
+        return daemon_stats(addr);
+    }
     let dir = store_dir(opts)?;
     let store = ArtifactStore::new(&dir);
     let scan = scan(&store)?;
@@ -393,5 +425,193 @@ fn inspect(opts: &[String]) -> Result<ExitCode, String> {
             return Err(format!("no artifact {f} under {}", dir.display()));
         }
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// Daemon-client verbs (live schedd over --addr)
+// ---------------------------------------------------------------------------
+
+fn connect(opts: &[String]) -> Result<Client, String> {
+    let addr = opt_value(opts, "--addr")?.ok_or("--addr is required for daemon verbs")?;
+    let endpoint = Endpoint::parse(addr)?;
+    Client::connect(&endpoint).map_err(|e| format!("cannot connect to {endpoint}: {e}"))
+}
+
+/// Build one request from the shared submit/bench flags.
+fn request_from(opts: &[String]) -> Result<SubmitRequest, String> {
+    let n: usize = opt_parsed(opts, "--n", 16)?;
+    if !n.is_power_of_two() {
+        return Err(format!("--n {n} is not a power of two (hypercube size)"));
+    }
+    let d: usize = opt_parsed(opts, "--d", 4.min(n - 1))?;
+    let bytes: u32 = opt_parsed(opts, "--bytes", 1024)?;
+    let seed: u64 = opt_parsed(opts, "--seed", 0)?;
+    let scheduler = opt_value(opts, "--scheduler")?
+        .unwrap_or("RS_NL")
+        .to_string();
+    registry::find(&scheduler).ok_or_else(|| format!("unknown scheduler `{scheduler}`"))?;
+    let scheme = match opt_value(opts, "--scheme")?.unwrap_or("default") {
+        "s1" | "S1" => SchemeChoice::S1,
+        "s2" | "S2" => SchemeChoice::S2,
+        "default" => SchemeChoice::Default,
+        other => return Err(format!("--scheme: `{other}` is not s1|s2|default")),
+    };
+    let backend = match opt_value(opts, "--backend")? {
+        Some(v) => BackendKind::parse(v).ok_or_else(|| format!("unknown backend `{v}`"))?,
+        None => BackendKind::from_env()?,
+    };
+    Ok(SubmitRequest {
+        request_id: 0,
+        want_schedule: opt_flag(opts, "--want-schedule"),
+        topology: TopologySpec::Hypercube {
+            dims: n.trailing_zeros(),
+        },
+        scheduler,
+        scheme,
+        backend,
+        seed,
+        matrix: Generator::dregular(n, d.min(n - 1), bytes).generate(seed),
+    })
+}
+
+const DAEMON_FLAGS: &[&str] = &[
+    "--addr",
+    "--n",
+    "--d",
+    "--bytes",
+    "--seed",
+    "--scheduler",
+    "--scheme",
+    "--backend",
+    "--requests",
+];
+
+fn submit(opts: &[String]) -> Result<ExitCode, String> {
+    reject_unknown(opts, DAEMON_FLAGS, &["--want-schedule"])?;
+    let req = request_from(opts)?;
+    let mut client = connect(opts)?;
+    let t0 = Instant::now();
+    let reply = client.submit(req.clone()).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    println!(
+        "{}  {} on {} seed={} backend={}",
+        reply.fingerprint,
+        req.scheduler,
+        req.topology,
+        req.seed,
+        req.backend.label()
+    );
+    println!(
+        "makespan: {:.3} ms over {} phase(s)  ({})",
+        reply.estimate.makespan_ns as f64 / 1e6,
+        reply.estimate.phase_end_ns.len(),
+        if reply.freshly_compiled {
+            "freshly compiled"
+        } else {
+            "served from cache/dedup"
+        },
+    );
+    if let Some(schedule) = &reply.schedule {
+        println!(
+            "schedule: n={} phases={} messages={} ops={}",
+            schedule.n(),
+            schedule.num_phases(),
+            schedule.message_count(),
+            schedule.ops(),
+        );
+    }
+    println!("round trip: {:.2} ms", elapsed.as_secs_f64() * 1e3);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn bench(opts: &[String]) -> Result<ExitCode, String> {
+    reject_unknown(opts, DAEMON_FLAGS, &["--want-schedule"])?;
+    let requests: usize = opt_parsed(opts, "--requests", 200)?;
+    let req = request_from(opts)?;
+    let mut client = connect(opts)?;
+    let before = client.stats().map_err(|e| e.to_string())?;
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+    let t0 = Instant::now();
+    for _ in 0..requests {
+        let t = Instant::now();
+        client.submit(req.clone()).map_err(|e| e.to_string())?;
+        latencies_us.push(t.elapsed().as_micros() as u64);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let after = client.stats().map_err(|e| e.to_string())?;
+    latencies_us.sort_unstable();
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize];
+    let d_completed = after.completed.saturating_sub(before.completed);
+    let d_compiles = after.compiles.saturating_sub(before.compiles);
+    println!(
+        "{requests} request(s) in {:.2} ms -> {:.0} req/s",
+        wall * 1e3,
+        requests as f64 / wall.max(1e-9),
+    );
+    println!(
+        "latency: p50 {}us p99 {}us max {}us",
+        pct(0.50),
+        pct(0.99),
+        latencies_us.last().copied().unwrap_or(0),
+    );
+    println!(
+        "daemon dedup: {d_compiles} compile(s) / {d_completed} completed ({:.1}% hit rate)",
+        if d_completed == 0 {
+            0.0
+        } else {
+            (1.0 - d_compiles as f64 / d_completed as f64) * 100.0
+        },
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn daemon_stats(addr: &str) -> Result<ExitCode, String> {
+    let endpoint = Endpoint::parse(addr)?;
+    let mut client =
+        Client::connect(&endpoint).map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
+    let s = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "daemon: {endpoint}{}",
+        if s.draining != 0 { "  (draining)" } else { "" }
+    );
+    println!(
+        "connections: {} active / {} accepted, {} mid-stream disconnect(s)",
+        s.connections_active, s.connections_accepted, s.disconnects_midstream
+    );
+    println!(
+        "requests: {} submitted, {} completed, {} in flight, queue depth {}",
+        s.submits, s.completed, s.inflight, s.queue_depth
+    );
+    println!(
+        "dedup: {} compile(s), {} coalesced, hit rate {:.1}%",
+        s.compiles,
+        s.coalesced,
+        s.dedup_hit_rate() * 100.0
+    );
+    println!(
+        "schedule cache: {} request(s), {} mem hit(s), {} store hit(s), {} miss(es)",
+        s.cache_requests, s.cache_mem_hits, s.cache_store_hits, s.cache_misses
+    );
+    println!(
+        "estimate cache: {} hit(s), {} miss(es)",
+        s.estimate_hits, s.estimate_misses
+    );
+    println!(
+        "rejections: {} quota, {} overload, {} shutdown",
+        s.rejected_quota, s.rejected_overload, s.rejected_shutdown
+    );
+    println!(
+        "errors: {} malformed, {} other, {} write failure(s)",
+        s.errors_malformed, s.errors_other, s.write_failures
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn shutdown(opts: &[String]) -> Result<ExitCode, String> {
+    reject_unknown(opts, &["--addr"], &[])?;
+    let mut client = connect(opts)?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("shutdown acknowledged; daemon is draining");
     Ok(ExitCode::SUCCESS)
 }

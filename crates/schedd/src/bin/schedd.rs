@@ -1,0 +1,108 @@
+//! `schedd` — the scheduling daemon.
+//!
+//! ```text
+//! schedd --unix /tmp/schedd.sock [--workers 2] [--queue 1024]
+//! schedd --tcp 127.0.0.1:7077 --store /var/cache/ipsc-sched
+//! ```
+//!
+//! Serves schedule requests until a client sends a `Shutdown` frame
+//! (`schedctl shutdown --addr ...`), then drains admitted work and
+//! exits 0.
+
+use std::process::ExitCode;
+
+use commcache::CacheConfig;
+use schedd::{Endpoint, Server, ServiceConfig};
+
+const USAGE: &str = "\
+schedd - scheduling daemon serving compiled schedules + cost estimates
+
+USAGE:
+    schedd (--unix <path> | --tcp <host:port> | --addr <endpoint>) [options]
+
+OPTIONS:
+    --unix <path>        listen on a Unix domain socket
+    --tcp <host:port>    listen on TCP (port 0 picks a free port)
+    --addr <endpoint>    unix:<path> or tcp:<host:port>
+    --workers <n>        compile worker threads        [default: 2]
+    --queue <n>          compile queue capacity        [default: 1024]
+    --quota <n>          per-connection in-flight cap  [default: 256]
+    --store <dir>        persistent artifact store for the schedule cache
+    --estimate-cache <n> estimate cache entry cap      [default: 65536]
+    -h, --help           print this help
+";
+
+fn parse_args() -> Result<(ServiceConfig, Endpoint), String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--unix" => endpoint = Some(Endpoint::Unix(value("--unix")?.into())),
+            "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp")?)),
+            "--addr" => endpoint = Some(Endpoint::parse(&value("--addr")?)?),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--quota" => {
+                config.max_inflight_per_client = value("--quota")?
+                    .parse()
+                    .map_err(|e| format!("--quota: {e}"))?
+            }
+            "--store" => config.cache = CacheConfig::persistent(value("--store")?),
+            "--estimate-cache" => {
+                config.estimate_cache_capacity = value("--estimate-cache")?
+                    .parse()
+                    .map_err(|e| format!("--estimate-cache: {e}"))?
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let endpoint = endpoint.ok_or("one of --unix/--tcp/--addr is required")?;
+    Ok((config, endpoint))
+}
+
+fn main() -> ExitCode {
+    let (config, endpoint) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("schedd: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = match Server::start(config, &endpoint) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("schedd: cannot listen on {endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("schedd: listening on {}", handle.endpoint());
+    handle.wait_shutdown_requested();
+    println!("schedd: shutdown requested, draining");
+    let stats = handle.stats();
+    handle.shutdown();
+    println!(
+        "schedd: served {} requests ({} compiles, {} coalesced, dedup hit rate {:.1}%), exiting",
+        stats.completed,
+        stats.compiles,
+        stats.coalesced,
+        stats.dedup_hit_rate() * 100.0
+    );
+    ExitCode::SUCCESS
+}

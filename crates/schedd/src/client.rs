@@ -1,0 +1,167 @@
+//! A blocking `schedd` client, pipelining-capable.
+//!
+//! [`Client::submit`] is the simple path: one request, block for its
+//! response. The load-generator path splits that into [`Client::send`]
+//! and [`Client::recv`] so a window of requests can be in flight on one
+//! connection — the daemon's workers answer in completion order, so
+//! callers match responses to requests by `request_id`, not arrival
+//! order.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use crate::net::{Endpoint, Stream};
+use crate::protocol::{
+    read_frame, write_frame, DaemonStats, DecodeError, ErrorReply, FrameError, Request, Response,
+    SubmitReply, SubmitRequest,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not frame.
+    Frame(FrameError),
+    /// The server's frame did not decode.
+    Decode(DecodeError),
+    /// The server answered with a typed error.
+    Server(ErrorReply),
+    /// The server hung up while a response was owed.
+    ConnectionClosed,
+    /// The server answered with a frame the call did not expect.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Decode(e) => write!(f, "bad response body: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::ConnectionClosed => f.write_str("server closed the connection"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A connected `schedd` client.
+pub struct Client {
+    stream: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect error.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        Ok(Client {
+            stream: endpoint.connect()?,
+            next_id: 1,
+        })
+    }
+
+    /// Hand out the next request id (monotonic per connection).
+    pub fn next_request_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Fire one request without waiting (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Block for the next response frame, whatever request it answers.
+    ///
+    /// # Errors
+    ///
+    /// Transport, framing, or decode errors; [`ClientError::ConnectionClosed`]
+    /// on EOF.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let body = read_frame(&mut self.stream)?.ok_or(ClientError::ConnectionClosed)?;
+        Ok(Response::decode(&body)?)
+    }
+
+    /// Submit one request and block for **its** response (responses for
+    /// other in-flight ids arrived out of order are not expected on
+    /// this path and surface as [`ClientError::Unexpected`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`recv`](Self::recv) can raise, plus
+    /// [`ClientError::Server`] for typed server errors.
+    pub fn submit(&mut self, mut req: SubmitRequest) -> Result<SubmitReply, ClientError> {
+        req.request_id = self.next_request_id();
+        let want = req.request_id;
+        self.send(&Request::Submit(req))?;
+        match self.recv()? {
+            Response::Schedule(reply) if reply.request_id == want => Ok(reply),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            Response::Schedule(_) => Err(ClientError::Unexpected("schedule for another id")),
+            Response::Stats { .. } => Err(ClientError::Unexpected("stats")),
+            Response::ShutdownAck { .. } => Err(ClientError::Unexpected("shutdown ack")),
+        }
+    }
+
+    /// Fetch the daemon's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`recv`](Self::recv) can raise.
+    pub fn stats(&mut self) -> Result<DaemonStats, ClientError> {
+        let id = self.next_request_id();
+        self.send(&Request::Stats { request_id: id })?;
+        match self.recv()? {
+            Response::Stats { request_id, stats } if request_id == id => Ok(stats),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            _ => Err(ClientError::Unexpected("non-stats response")),
+        }
+    }
+
+    /// Ask the daemon to drain and exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`recv`](Self::recv) can raise.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.next_request_id();
+        self.send(&Request::Shutdown { request_id: id })?;
+        match self.recv()? {
+            Response::ShutdownAck { request_id } if request_id == id => Ok(()),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            _ => Err(ClientError::Unexpected("non-ack response")),
+        }
+    }
+}

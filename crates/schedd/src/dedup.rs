@@ -1,0 +1,263 @@
+//! Single-flight request coalescing — the daemon's dedup/batch stage.
+//!
+//! [`commcache::SchedCache`] deliberately does *not* single-flight: two
+//! threads missing the same fingerprint simultaneously may both compile
+//! (the cache keeps its locks small and its semantics simple).  For a
+//! daemon replaying duplicate-heavy traffic that is exactly the wrong
+//! trade — a burst of N identical requests would run N identical
+//! compiles.  [`SingleFlight`] sits in front of the cache and guarantees
+//! **exactly one** execution per key among concurrent callers:
+//!
+//! * the first caller for a key becomes the **leader** and runs the
+//!   closure;
+//! * every concurrent caller with the same key becomes a **waiter**,
+//!   blocks, and receives a clone of the leader's result — including a
+//!   clone of the leader's *error*, so a failing compile propagates the
+//!   same typed error to every coalesced request;
+//! * once the leader finishes, the key is forgotten: later callers start
+//!   a fresh flight (the cache in front makes re-flights cheap hits).
+//!
+//! Distinct keys never synchronize with each other beyond the brief map
+//! lock. A leader that panics poisons its flight: waiters unblock and
+//! panic too (loudly, not a hang), and the key is removed so the daemon
+//! keeps serving other keys.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Outcome slot shared between a leader and its waiters.
+enum FlightState<V, E> {
+    Running,
+    Done(Result<V, E>),
+    Poisoned,
+}
+
+struct Flight<V, E> {
+    state: Mutex<FlightState<V, E>>,
+    done: Condvar,
+}
+
+/// Counters describing how much coalescing happened.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Calls that ran the closure (one per flight).
+    pub leads: u64,
+    /// Calls served by someone else's flight.
+    pub coalesced: u64,
+}
+
+/// Per-key single-flight execution. `V` and `E` must be `Clone` because
+/// every waiter receives its own copy of the one result; the daemon uses
+/// `Arc`-shaped values so clones are pointer bumps.
+pub struct SingleFlight<K, V, E> {
+    flights: Mutex<HashMap<K, Arc<Flight<V, E>>>>,
+    leads: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Removes the flight and flags it poisoned if the leader unwinds
+/// before storing a result.
+struct LeaderGuard<'a, K: Eq + Hash + Clone, V, E> {
+    owner: &'a SingleFlight<K, V, E>,
+    key: K,
+    flight: &'a Arc<Flight<V, E>>,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V, E> Drop for LeaderGuard<'_, K, V, E> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut state = self.flight.state.lock().expect("flight lock");
+        if matches!(*state, FlightState::Running) {
+            *state = FlightState::Poisoned;
+        }
+        drop(state);
+        self.flight.done.notify_all();
+        self.owner
+            .flights
+            .lock()
+            .expect("flights lock")
+            .remove(&self.key);
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone, E: Clone> SingleFlight<K, V, E> {
+    /// An empty flight table.
+    pub fn new() -> SingleFlight<K, V, E> {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+            leads: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `work` for `key`, coalescing with any concurrent identical
+    /// key. Returns the result plus whether *this* call led the flight.
+    ///
+    /// # Panics
+    ///
+    /// If the leader panicked: waiters panic rather than hang or
+    /// silently retry.
+    pub fn run(&self, key: K, work: impl FnOnce() -> Result<V, E>) -> (Result<V, E>, bool) {
+        let flight = {
+            let mut flights = self.flights.lock().expect("flights lock");
+            match flights.get(&key) {
+                Some(flight) => {
+                    // Waiter path: somebody is already flying this key.
+                    let flight = Arc::clone(flight);
+                    drop(flights);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let mut state = flight.state.lock().expect("flight lock");
+                    loop {
+                        match &*state {
+                            FlightState::Running => {
+                                state = flight.done.wait(state).expect("flight lock");
+                            }
+                            FlightState::Done(result) => return (result.clone(), false),
+                            FlightState::Poisoned => {
+                                panic!("single-flight leader panicked; flight poisoned")
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        done: Condvar::new(),
+                    });
+                    flights.insert(key.clone(), Arc::clone(&flight));
+                    flight
+                }
+            }
+        };
+        // Leader path. The guard guarantees waiters are released (and
+        // the key is freed) even if `work` unwinds.
+        self.leads.fetch_add(1, Ordering::Relaxed);
+        let mut guard = LeaderGuard {
+            owner: self,
+            key,
+            flight: &flight,
+            armed: true,
+        };
+        let result = work();
+        *flight.state.lock().expect("flight lock") = FlightState::Done(result.clone());
+        flight.done.notify_all();
+        self.flights
+            .lock()
+            .expect("flights lock")
+            .remove(&guard.key);
+        guard.armed = false;
+        (result, true)
+    }
+
+    /// Snapshot the coalescing counters.
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            leads: self.leads.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Keys currently in flight (observability only).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flights lock").len()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone, E: Clone> Default for SingleFlight<K, V, E> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+impl<K, V, E> fmt::Debug for SingleFlight<K, V, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SingleFlight")
+            .field("leads", &self.leads.load(Ordering::Relaxed))
+            .field("coalesced", &self.coalesced.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use std::thread;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let flight: SingleFlight<u32, u32, ()> = SingleFlight::new();
+        let (r1, led1) = flight.run(1, || Ok(10));
+        let (r2, led2) = flight.run(1, || Ok(20));
+        assert_eq!((r1, led1), (Ok(10), true));
+        // The first flight landed, so the second call is a fresh flight
+        // (caching is the layer above's job).
+        assert_eq!((r2, led2), (Ok(20), true));
+        assert_eq!(
+            flight.stats(),
+            FlightStats {
+                leads: 2,
+                coalesced: 0
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_same_key_runs_once() {
+        let flight: Arc<SingleFlight<u32, u32, ()>> = Arc::new(SingleFlight::new());
+        let runs = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let flight = Arc::clone(&flight);
+                let runs = Arc::clone(&runs);
+                let gate = Arc::clone(&gate);
+                thread::spawn(move || {
+                    gate.wait();
+                    flight.run(42, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for peers to
+                        // pile on.
+                        thread::sleep(std::time::Duration::from_millis(30));
+                        Ok(7)
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let leaders = results.iter().filter(|(_, led)| *led).count();
+        assert!(leaders >= 1);
+        assert_eq!(runs.load(Ordering::SeqCst) as u64, flight.stats().leads);
+        assert!(results.iter().all(|(r, _)| *r == Ok(7) || !r.is_ok()));
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn errors_clone_to_every_waiter() {
+        let flight: Arc<SingleFlight<u32, u32, String>> = Arc::new(SingleFlight::new());
+        let (result, led) = flight.run(1, || Err("compile exploded".to_string()));
+        assert!(led);
+        assert_eq!(result, Err("compile exploded".to_string()));
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn leader_panic_poisons_waiters_not_the_table() {
+        let flight: Arc<SingleFlight<u32, u32, ()>> = Arc::new(SingleFlight::new());
+        let inner = Arc::clone(&flight);
+        let leader = thread::spawn(move || {
+            let _ = inner.run(9, || -> Result<u32, ()> { panic!("leader died") });
+        });
+        assert!(leader.join().is_err());
+        // The key is freed: a new flight on it succeeds.
+        let (result, led) = flight.run(9, || Ok(1));
+        assert_eq!((result, led), (Ok(1), true));
+    }
+}

@@ -1,0 +1,1247 @@
+//! The `schedd` wire protocol: length-prefixed, checksummed frames.
+//!
+//! Every message — client→server requests and server→client responses —
+//! travels as one **frame**:
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0 | 4 | magic [`FRAME_MAGIC`] (`b"SDF1"`, version baked into the tag) |
+//! | 4 | 4 | body length `u32` LE (≤ [`MAX_BODY_LEN`]) |
+//! | 8 | len | body |
+//! | 8+len | 8 | FNV-1a-64 checksum of the body, LE |
+//!
+//! The first body byte is the frame kind; the rest is kind-specific, all
+//! integers little-endian, strings UTF-8 with a `u32` length prefix.
+//! Responses can arrive **out of order** relative to their submissions
+//! (the daemon's worker pool races), so every request carries a
+//! `request_id` that the matching response echoes — that is what makes
+//! pipelined submission (the `schedload` hot path) possible over one
+//! connection.
+//!
+//! Decoding is hardened the way the artifact store is hardened: hostile
+//! headers, truncation at any byte offset, and single-byte corruption all
+//! surface as typed [`FrameError`]/[`DecodeError`] values — never panics,
+//! never silently-wrong data (the body checksum catches corruption that a
+//! length-prefixed stream format cannot otherwise see). The property
+//! suite in `tests/protocol_roundtrip.rs` pins exactly that.
+//!
+//! Schedules inside [`SubmitReply`] frames reuse the commcache artifact
+//! serialization ([`commcache::encode_artifact`]): one payload format on
+//! disk and on the wire, one corruption suite hardening both.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use commcache::Fingerprint;
+use commrt::{BackendKind, BackendReport, ContentionStats, Scheme};
+use commsched::{CommMatrix, Schedule, Scheduler};
+use hypercube::{Hypercube, Mesh2d, Topology};
+
+/// Leading magic of every frame; the trailing `1` is the protocol
+/// version, so a future layout change is a new magic, not an ambiguity.
+pub const FRAME_MAGIC: [u8; 4] = *b"SDF1";
+
+/// Hard upper bound on a frame body. Large enough for the biggest legal
+/// response (a dense 1024-node LP schedule is ~4 MiB as an artifact),
+/// small enough that a hostile length header cannot balloon allocation.
+pub const MAX_BODY_LEN: u32 = 32 << 20;
+
+/// Longest accepted scheduler name.
+pub const MAX_NAME_LEN: usize = 64;
+
+/// Largest node count a request may carry. Bounds the dense-matrix
+/// allocation a decoded request forces (`n² × 4` bytes — 4 MiB at the
+/// cap) and keeps every legal schedule artifact under [`MAX_BODY_LEN`].
+pub const MAX_REQUEST_NODES: u64 = 1024;
+
+/// Largest hypercube dimension a request may name (`2^10` nodes).
+pub const MAX_DIMS: u32 = 10;
+
+// Frame kinds: requests low, responses high bit set.
+const K_SUBMIT: u8 = 0x01;
+const K_STATS_REQ: u8 = 0x02;
+const K_SHUTDOWN_REQ: u8 = 0x03;
+const K_SCHEDULE: u8 = 0x81;
+const K_STATS: u8 = 0x82;
+const K_ERROR: u8 = 0x83;
+const K_SHUTDOWN_ACK: u8 = 0x84;
+
+/// FNV-1a 64-bit (the artifact store's checksum, reused at the frame
+/// layer — corruption detection, not security).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Why a frame could not be read off the stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The stream does not start with [`FRAME_MAGIC`] — not a `schedd`
+    /// peer (or a desynchronized one). The connection cannot be resynced.
+    BadMagic([u8; 4]),
+    /// The header claims a body larger than [`MAX_BODY_LEN`].
+    Oversized(u32),
+    /// The stream ended inside a frame.
+    Truncated,
+    /// The body checksum does not match — corruption in transit.
+    Checksum,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::Oversized(len) => {
+                write!(
+                    f,
+                    "frame body of {len} bytes exceeds the {MAX_BODY_LEN} cap"
+                )
+            }
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+            FrameError::Checksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one complete frame (header + body + checksum).
+///
+/// # Errors
+///
+/// Propagates transport errors; `InvalidInput` if `body` exceeds
+/// [`MAX_BODY_LEN`] (nothing is written).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_BODY_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body of {} bytes exceeds the cap", body.len()),
+        ));
+    }
+    let mut frame = Vec::with_capacity(4 + 4 + body.len() + 8);
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame.extend_from_slice(&fnv1a64(body).to_le_bytes());
+    w.write_all(&frame)
+}
+
+/// Read exactly `buf.len()` bytes; distinguishes clean EOF before the
+/// first byte (`Ok(false)`) from EOF mid-buffer ([`FrameError::Truncated`]).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(FrameError::Truncated)
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame body off the stream. `Ok(None)` is a clean EOF at a
+/// frame boundary (the peer hung up between messages).
+///
+/// # Errors
+///
+/// Every malformation is a typed [`FrameError`]; this function never
+/// panics on hostile bytes and never allocates more than the header's
+/// (bounds-checked) claim.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut magic = [0u8; 4];
+    if !read_exact_or_eof(r, &mut magic)? {
+        return Ok(None);
+    }
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let mut len_bytes = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_bytes)? {
+        return Err(FrameError::Truncated);
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_BODY_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    if !read_exact_or_eof(r, &mut body)? {
+        return Err(FrameError::Truncated);
+    }
+    let mut sum = [0u8; 8];
+    if !read_exact_or_eof(r, &mut sum)? {
+        return Err(FrameError::Truncated);
+    }
+    if u64::from_le_bytes(sum) != fnv1a64(&body) {
+        return Err(FrameError::Checksum);
+    }
+    Ok(Some(body))
+}
+
+// ---------------------------------------------------------------------------
+// Body decode plumbing
+// ---------------------------------------------------------------------------
+
+/// Why a well-framed body could not be decoded.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// The body ended before its own structure did.
+    Truncated,
+    /// Bytes remain after the last field.
+    TrailingBytes,
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// An enum-coded field carries an unassigned value.
+    BadValue {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A string field is not valid UTF-8 or exceeds its cap.
+    BadString(&'static str),
+    /// Structurally sound but semantically impossible (self-message,
+    /// node index out of range, matrix/topology size mismatch, ...).
+    Invalid(String),
+    /// The embedded schedule artifact failed to decode.
+    Artifact(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "body ended inside a field"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after the last field"),
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            DecodeError::BadValue { field, value } => {
+                write!(f, "field `{field}` carries unassigned value {value}")
+            }
+            DecodeError::BadString(field) => {
+                write!(f, "field `{field}` is not valid UTF-8 or too long")
+            }
+            DecodeError::Invalid(what) => write!(f, "invalid request: {what}"),
+            DecodeError::Artifact(what) => write!(f, "embedded schedule artifact: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Little-endian field cursor over a frame body.
+struct Rd<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Rd { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.at.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str(&mut self, field: &'static str, cap: usize) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > cap {
+            return Err(DecodeError::BadString(field));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadString(field))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Request model
+// ---------------------------------------------------------------------------
+
+/// The topology a request schedules on, as named on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopologySpec {
+    /// `dims`-dimensional hypercube under e-cube routing.
+    Hypercube {
+        /// Cube dimension (1 ≤ dims ≤ [`MAX_DIMS`]).
+        dims: u32,
+    },
+    /// `rows × cols` 2-D mesh under XY routing.
+    Mesh2d {
+        /// Mesh rows (≥ 1).
+        rows: u32,
+        /// Mesh columns (≥ 1).
+        cols: u32,
+    },
+}
+
+impl TopologySpec {
+    /// Number of nodes the spec describes.
+    pub fn num_nodes(self) -> usize {
+        match self {
+            TopologySpec::Hypercube { dims } => 1usize << dims,
+            TopologySpec::Mesh2d { rows, cols } => rows as usize * cols as usize,
+        }
+    }
+
+    /// Materialize the topology.
+    pub fn build(self) -> Box<dyn Topology> {
+        match self {
+            TopologySpec::Hypercube { dims } => Box::new(Hypercube::new(dims)),
+            TopologySpec::Mesh2d { rows, cols } => {
+                Box::new(Mesh2d::new(rows as usize, cols as usize))
+            }
+        }
+    }
+
+    fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            TopologySpec::Hypercube { dims } => {
+                out.push(0);
+                out.extend_from_slice(&dims.to_le_bytes());
+            }
+            TopologySpec::Mesh2d { rows, cols } => {
+                out.push(1);
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&cols.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(rd: &mut Rd<'_>) -> Result<TopologySpec, DecodeError> {
+        match rd.u8()? {
+            0 => {
+                let dims = rd.u32()?;
+                if dims == 0 || dims > MAX_DIMS {
+                    return Err(DecodeError::BadValue {
+                        field: "topology.dims",
+                        value: dims.into(),
+                    });
+                }
+                Ok(TopologySpec::Hypercube { dims })
+            }
+            1 => {
+                let rows = rd.u32()?;
+                let cols = rd.u32()?;
+                let nodes = u64::from(rows) * u64::from(cols);
+                if rows == 0 || cols == 0 || nodes > MAX_REQUEST_NODES {
+                    return Err(DecodeError::BadValue {
+                        field: "topology.mesh",
+                        value: nodes,
+                    });
+                }
+                Ok(TopologySpec::Mesh2d { rows, cols })
+            }
+            other => Err(DecodeError::BadValue {
+                field: "topology.kind",
+                value: other.into(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::Hypercube { dims } => write!(f, "hypercube(d={dims})"),
+            TopologySpec::Mesh2d { rows, cols } => write!(f, "mesh({rows}x{cols})"),
+        }
+    }
+}
+
+/// The communication scheme a request asks for: explicit, or the paper
+/// default of whatever scheduler serves it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchemeChoice {
+    /// Loose synchrony with exchange fusion.
+    S1,
+    /// Post-everything-then-blast.
+    S2,
+    /// [`Scheme::for_scheduler`] of the resolved registry entry.
+    #[default]
+    Default,
+}
+
+impl SchemeChoice {
+    /// Resolve against the entry that will serve the request.
+    pub fn resolve(self, entry: &dyn Scheduler) -> Scheme {
+        match self {
+            SchemeChoice::S1 => Scheme::S1,
+            SchemeChoice::S2 => Scheme::S2,
+            SchemeChoice::Default => Scheme::for_scheduler(entry),
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            SchemeChoice::S1 => 0,
+            SchemeChoice::S2 => 1,
+            SchemeChoice::Default => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<SchemeChoice> {
+        match code {
+            0 => Some(SchemeChoice::S1),
+            1 => Some(SchemeChoice::S2),
+            2 => Some(SchemeChoice::Default),
+            _ => None,
+        }
+    }
+}
+
+fn backend_code(kind: BackendKind) -> u8 {
+    match kind {
+        BackendKind::Des => 0,
+        BackendKind::Analytic => 1,
+    }
+}
+
+fn backend_from_code(code: u8) -> Option<BackendKind> {
+    match code {
+        0 => Some(BackendKind::Des),
+        1 => Some(BackendKind::Analytic),
+        _ => None,
+    }
+}
+
+/// One schedule request: exactly the commcache fingerprint inputs —
+/// *(matrix, topology, scheduler, seed)* — plus how to price the result
+/// (scheme, backend) and what to stream back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitRequest {
+    /// Client-chosen id echoed by the matching response (pipelining).
+    pub request_id: u64,
+    /// Stream the compiled schedule back (estimates always come back).
+    pub want_schedule: bool,
+    /// Where the communication happens.
+    pub topology: TopologySpec,
+    /// Registry name of the scheduler ([`commsched::registry::find`]).
+    pub scheduler: String,
+    /// Communication scheme for the estimate.
+    pub scheme: SchemeChoice,
+    /// Simulation backend pricing the estimate.
+    pub backend: BackendKind,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// The communication matrix.
+    pub matrix: CommMatrix,
+}
+
+impl SubmitRequest {
+    /// Encode into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.matrix.message_count() * 12);
+        out.push(K_SUBMIT);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.push(u8::from(self.want_schedule));
+        self.topology.encode(&mut out);
+        put_str(&mut out, &self.scheduler);
+        out.push(self.scheme.code());
+        out.push(backend_code(self.backend));
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.matrix.n() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.matrix.message_count() as u64).to_le_bytes());
+        for (src, dst, bytes) in self.matrix.messages() {
+            out.extend_from_slice(&src.0.to_le_bytes());
+            out.extend_from_slice(&dst.0.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(rd: &mut Rd<'_>) -> Result<SubmitRequest, DecodeError> {
+        let request_id = rd.u64()?;
+        let want_schedule = match rd.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(DecodeError::BadValue {
+                    field: "flags",
+                    value: other.into(),
+                })
+            }
+        };
+        let topology = TopologySpec::decode(rd)?;
+        let scheduler = rd.str("scheduler", MAX_NAME_LEN)?;
+        let scheme = rd.u8()?;
+        let scheme = SchemeChoice::from_code(scheme).ok_or(DecodeError::BadValue {
+            field: "scheme",
+            value: scheme.into(),
+        })?;
+        let backend = rd.u8()?;
+        let backend = backend_from_code(backend).ok_or(DecodeError::BadValue {
+            field: "backend",
+            value: backend.into(),
+        })?;
+        let seed = rd.u64()?;
+        let n = rd.u64()?;
+        if n == 0 || n > MAX_REQUEST_NODES {
+            return Err(DecodeError::BadValue {
+                field: "matrix.n",
+                value: n,
+            });
+        }
+        let n = n as usize;
+        if n != topology.num_nodes() {
+            return Err(DecodeError::Invalid(format!(
+                "matrix spans {n} nodes but the topology {topology} has {}",
+                topology.num_nodes()
+            )));
+        }
+        let count = rd.u64()? as usize;
+        // Bound the claimed count by the bytes actually present before
+        // allocating anything proportional to it.
+        if count > rd.remaining() / 12 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut matrix = CommMatrix::new(n);
+        for _ in 0..count {
+            let src = rd.u32()? as usize;
+            let dst = rd.u32()? as usize;
+            let bytes = rd.u32()?;
+            if src >= n || dst >= n {
+                return Err(DecodeError::Invalid(format!(
+                    "message endpoint {} out of {n} nodes",
+                    src.max(dst)
+                )));
+            }
+            if src == dst {
+                return Err(DecodeError::Invalid(format!("self-message at node {src}")));
+            }
+            if bytes == 0 {
+                return Err(DecodeError::Invalid(format!(
+                    "zero-byte message {src} -> {dst}"
+                )));
+            }
+            matrix.set(src, dst, bytes);
+        }
+        Ok(SubmitRequest {
+            request_id,
+            want_schedule,
+            topology,
+            scheduler,
+            scheme,
+            backend,
+            seed,
+            matrix,
+        })
+    }
+}
+
+/// Every client→server frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Schedule + estimate one request.
+    Submit(SubmitRequest),
+    /// Snapshot the daemon counters.
+    Stats {
+        /// Echoed by the response.
+        request_id: u64,
+    },
+    /// Ask the daemon to drain and exit.
+    Shutdown {
+        /// Echoed by the acknowledgement.
+        request_id: u64,
+    },
+}
+
+impl Request {
+    /// Encode into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Submit(req) => req.encode(),
+            Request::Stats { request_id } => {
+                let mut out = vec![K_STATS_REQ];
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out
+            }
+            Request::Shutdown { request_id } => {
+                let mut out = vec![K_SHUTDOWN_REQ];
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decode a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DecodeError`] for every malformation; never panics.
+    pub fn decode(body: &[u8]) -> Result<Request, DecodeError> {
+        let mut rd = Rd::new(body);
+        let req = match rd.u8()? {
+            K_SUBMIT => Request::Submit(SubmitRequest::decode(&mut rd)?),
+            K_STATS_REQ => Request::Stats {
+                request_id: rd.u64()?,
+            },
+            K_SHUTDOWN_REQ => Request::Shutdown {
+                request_id: rd.u64()?,
+            },
+            other => return Err(DecodeError::BadKind(other)),
+        };
+        rd.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response model
+// ---------------------------------------------------------------------------
+
+/// Typed failure classes a response can carry. The numeric codes are
+/// wire-stable: new codes append, existing codes never renumber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The frame or body could not be decoded (the echoed id is 0 when
+    /// the failure predates knowing one).
+    Malformed = 1,
+    /// No registry entry under the requested name.
+    UnknownScheduler = 2,
+    /// The entry declines the topology ([`Scheduler::supports_topology`]).
+    UnsupportedTopology = 3,
+    /// Structurally decodable but unservable request.
+    BadRequest = 4,
+    /// The client exceeded its in-flight quota; resubmit after a reply.
+    QuotaExceeded = 5,
+    /// The compile queue is full; backpressure — resubmit later.
+    Overloaded = 6,
+    /// The daemon is draining; no new work is admitted.
+    ShuttingDown = 7,
+    /// The simulation backend rejected the request.
+    SimFailed = 8,
+    /// A daemon-side invariant failure.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// Every assigned code, in numeric order.
+    pub fn all() -> [ErrorCode; 9] {
+        [
+            ErrorCode::Malformed,
+            ErrorCode::UnknownScheduler,
+            ErrorCode::UnsupportedTopology,
+            ErrorCode::BadRequest,
+            ErrorCode::QuotaExceeded,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::SimFailed,
+            ErrorCode::Internal,
+        ]
+    }
+
+    fn from_code(code: u8) -> Option<ErrorCode> {
+        ErrorCode::all().into_iter().find(|c| *c as u8 == code)
+    }
+
+    /// Stable lowercase label for logs and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownScheduler => "unknown-scheduler",
+            ErrorCode::UnsupportedTopology => "unsupported-topology",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::SimFailed => "sim-failed",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed error response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// The offending request's id (0 when unknown).
+    pub request_id: u64,
+    /// Failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+/// A successful schedule response: the fingerprint, the estimate, and
+/// (when asked for) the schedule itself as a commcache artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitReply {
+    /// Echo of [`SubmitRequest::request_id`].
+    pub request_id: u64,
+    /// Canonical key of the request ([`Fingerprint::compute`]).
+    pub fingerprint: Fingerprint,
+    /// Whether *this* request ran the compile (false = served by dedup,
+    /// the cache, or the artifact store).
+    pub freshly_compiled: bool,
+    /// The backend's estimate.
+    pub estimate: BackendReport,
+    /// The compiled schedule, present iff the request asked for it.
+    /// `Arc` so the daemon streams cache-shared schedules without deep
+    /// copies.
+    pub schedule: Option<Arc<Schedule>>,
+}
+
+impl SubmitReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_bytes());
+        out.push(u8::from(self.freshly_compiled));
+        out.extend_from_slice(&self.estimate.makespan_ns.to_le_bytes());
+        out.extend_from_slice(&(self.estimate.phase_end_ns.len() as u64).to_le_bytes());
+        for &end in &self.estimate.phase_end_ns {
+            out.extend_from_slice(&end.to_le_bytes());
+        }
+        let c = &self.estimate.contention;
+        out.extend_from_slice(&c.max_engine_busy_ns.to_le_bytes());
+        out.extend_from_slice(&c.max_link_busy_ns.to_le_bytes());
+        out.extend_from_slice(&c.contended_transfers.to_le_bytes());
+        out.extend_from_slice(&(c.contended_phases as u64).to_le_bytes());
+        match &self.schedule {
+            None => out.push(0),
+            Some(schedule) => {
+                out.push(1);
+                let artifact = commcache::encode_artifact(self.fingerprint, schedule);
+                out.extend_from_slice(&(artifact.len() as u64).to_le_bytes());
+                out.extend_from_slice(&artifact);
+            }
+        }
+    }
+
+    fn decode(rd: &mut Rd<'_>) -> Result<SubmitReply, DecodeError> {
+        let request_id = rd.u64()?;
+        let fingerprint = Fingerprint::from_bytes(rd.take(16)?.try_into().expect("16 bytes"));
+        let freshly_compiled = match rd.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(DecodeError::BadValue {
+                    field: "freshly_compiled",
+                    value: other.into(),
+                })
+            }
+        };
+        let makespan_ns = rd.u64()?;
+        let phase_count = rd.u64()? as usize;
+        if phase_count > rd.remaining() / 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut phase_end_ns = Vec::with_capacity(phase_count);
+        for _ in 0..phase_count {
+            phase_end_ns.push(rd.u64()?);
+        }
+        let contention = ContentionStats {
+            max_engine_busy_ns: rd.u64()?,
+            max_link_busy_ns: rd.u64()?,
+            contended_transfers: rd.u64()?,
+            contended_phases: rd.u64()? as usize,
+        };
+        let schedule = match rd.u8()? {
+            0 => None,
+            1 => {
+                let len = rd.u64()? as usize;
+                let bytes = rd.take(len)?;
+                let (fp, schedule) = commcache::decode_artifact(bytes)
+                    .map_err(|e| DecodeError::Artifact(e.to_string()))?;
+                if fp != fingerprint {
+                    return Err(DecodeError::Invalid(format!(
+                        "artifact keyed {fp} inside a reply keyed {fingerprint}"
+                    )));
+                }
+                Some(Arc::new(schedule))
+            }
+            other => {
+                return Err(DecodeError::BadValue {
+                    field: "schedule_present",
+                    value: other.into(),
+                })
+            }
+        };
+        Ok(SubmitReply {
+            request_id,
+            fingerprint,
+            freshly_compiled,
+            estimate: BackendReport {
+                makespan_ns,
+                phase_end_ns,
+                contention,
+            },
+            schedule,
+        })
+    }
+}
+
+/// A point-in-time snapshot of every daemon counter, as carried by a
+/// stats response. All fields are `u64`; the wire layout is the struct
+/// field order, which is append-only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Connections ever accepted.
+    pub connections_accepted: u64,
+    /// Connections currently open (gauge).
+    pub connections_active: u64,
+    /// Connections that died inside a frame (mid-stream disconnects).
+    pub disconnects_midstream: u64,
+    /// Submit frames received.
+    pub submits: u64,
+    /// Schedule responses successfully written back.
+    pub completed: u64,
+    /// Requests that actually ran a schedule compile (true misses).
+    pub compiles: u64,
+    /// Requests that piggybacked on another request's in-flight compile
+    /// (the dedup/batch stage's single-flight coalescing).
+    pub coalesced: u64,
+    /// Schedule-cache requests ([`commcache::CacheStats::requests`]).
+    pub cache_requests: u64,
+    /// Schedule-cache memory hits.
+    pub cache_mem_hits: u64,
+    /// Schedule-cache artifact-store hits.
+    pub cache_store_hits: u64,
+    /// Schedule-cache misses (equals compiles when only the daemon uses
+    /// the cache).
+    pub cache_misses: u64,
+    /// Estimate-cache hits.
+    pub estimate_hits: u64,
+    /// Estimate-cache misses.
+    pub estimate_misses: u64,
+    /// Submits rejected for exceeding the per-client in-flight quota.
+    pub rejected_quota: u64,
+    /// Submits rejected because the compile queue was full.
+    pub rejected_overload: u64,
+    /// Submits rejected because the daemon was draining.
+    pub rejected_shutdown: u64,
+    /// Frames or bodies that failed to decode.
+    pub errors_malformed: u64,
+    /// Other error responses (unknown scheduler, bad request, sim
+    /// failure, internal).
+    pub errors_other: u64,
+    /// Responses that could not be written (client went away).
+    pub write_failures: u64,
+    /// Jobs waiting in the compile queue (gauge).
+    pub queue_depth: u64,
+    /// Admitted jobs not yet answered (gauge).
+    pub inflight: u64,
+    /// 1 while the daemon is draining.
+    pub draining: u64,
+}
+
+impl DaemonStats {
+    /// The wire fields, in layout order.
+    fn fields(&self) -> [u64; 22] {
+        [
+            self.connections_accepted,
+            self.connections_active,
+            self.disconnects_midstream,
+            self.submits,
+            self.completed,
+            self.compiles,
+            self.coalesced,
+            self.cache_requests,
+            self.cache_mem_hits,
+            self.cache_store_hits,
+            self.cache_misses,
+            self.estimate_hits,
+            self.estimate_misses,
+            self.rejected_quota,
+            self.rejected_overload,
+            self.rejected_shutdown,
+            self.errors_malformed,
+            self.errors_other,
+            self.write_failures,
+            self.queue_depth,
+            self.inflight,
+            self.draining,
+        ]
+    }
+
+    fn from_fields(f: [u64; 22]) -> DaemonStats {
+        DaemonStats {
+            connections_accepted: f[0],
+            connections_active: f[1],
+            disconnects_midstream: f[2],
+            submits: f[3],
+            completed: f[4],
+            compiles: f[5],
+            coalesced: f[6],
+            cache_requests: f[7],
+            cache_mem_hits: f[8],
+            cache_store_hits: f[9],
+            cache_misses: f[10],
+            estimate_hits: f[11],
+            estimate_misses: f[12],
+            rejected_quota: f[13],
+            rejected_overload: f[14],
+            rejected_shutdown: f[15],
+            errors_malformed: f[16],
+            errors_other: f[17],
+            write_failures: f[18],
+            queue_depth: f[19],
+            inflight: f[20],
+            draining: f[21],
+        }
+    }
+
+    /// Fraction of completed schedule responses that did **not** run a
+    /// compile — the service-level dedup metric `schedload` gates on.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            1.0 - self.compiles as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Every server→client frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// A served schedule request.
+    Schedule(SubmitReply),
+    /// A daemon counter snapshot.
+    Stats {
+        /// Echo of the stats request's id.
+        request_id: u64,
+        /// The snapshot.
+        stats: DaemonStats,
+    },
+    /// A typed failure.
+    Error(ErrorReply),
+    /// Shutdown acknowledged; the daemon drains and exits.
+    ShutdownAck {
+        /// Echo of the shutdown request's id.
+        request_id: u64,
+    },
+}
+
+impl Response {
+    /// The request id this response answers.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Response::Schedule(r) => r.request_id,
+            Response::Stats { request_id, .. } => *request_id,
+            Response::Error(e) => e.request_id,
+            Response::ShutdownAck { request_id } => *request_id,
+        }
+    }
+
+    /// Encode into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Schedule(reply) => {
+                out.push(K_SCHEDULE);
+                reply.encode(&mut out);
+            }
+            Response::Stats { request_id, stats } => {
+                out.push(K_STATS);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                for field in stats.fields() {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+            }
+            Response::Error(err) => {
+                out.push(K_ERROR);
+                out.extend_from_slice(&err.request_id.to_le_bytes());
+                out.push(err.code as u8);
+                put_str(&mut out, &err.detail);
+            }
+            Response::ShutdownAck { request_id } => {
+                out.push(K_SHUTDOWN_ACK);
+                out.extend_from_slice(&request_id.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DecodeError`] for every malformation; never panics.
+    pub fn decode(body: &[u8]) -> Result<Response, DecodeError> {
+        let mut rd = Rd::new(body);
+        let resp = match rd.u8()? {
+            K_SCHEDULE => Response::Schedule(SubmitReply::decode(&mut rd)?),
+            K_STATS => {
+                let request_id = rd.u64()?;
+                let mut fields = [0u64; 22];
+                for f in &mut fields {
+                    *f = rd.u64()?;
+                }
+                Response::Stats {
+                    request_id,
+                    stats: DaemonStats::from_fields(fields),
+                }
+            }
+            K_ERROR => {
+                let request_id = rd.u64()?;
+                let code = rd.u8()?;
+                let code = ErrorCode::from_code(code).ok_or(DecodeError::BadValue {
+                    field: "error.code",
+                    value: code.into(),
+                })?;
+                let detail = rd.str("error.detail", 4096)?;
+                Response::Error(ErrorReply {
+                    request_id,
+                    code,
+                    detail,
+                })
+            }
+            K_SHUTDOWN_ACK => Response::ShutdownAck {
+                request_id: rd.u64()?,
+            },
+            other => return Err(DecodeError::BadKind(other)),
+        };
+        rd.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched::registry;
+
+    fn sample_request() -> SubmitRequest {
+        let mut matrix = CommMatrix::new(16);
+        matrix.set(0, 5, 1024);
+        matrix.set(5, 0, 1024);
+        matrix.set(2, 9, 64);
+        SubmitRequest {
+            request_id: 77,
+            want_schedule: true,
+            topology: TopologySpec::Hypercube { dims: 4 },
+            scheduler: "RS_NL".into(),
+            scheme: SchemeChoice::Default,
+            backend: BackendKind::Des,
+            seed: 9,
+            matrix,
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_through_frames() {
+        for req in [
+            Request::Submit(sample_request()),
+            Request::Stats { request_id: 3 },
+            Request::Shutdown { request_id: 4 },
+        ] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &req.encode()).unwrap();
+            let body = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(Request::decode(&body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_with_and_without_schedule() {
+        let req = sample_request();
+        let entry = registry::find("RS_NL").unwrap();
+        let topo = req.topology.build();
+        let schedule = entry.schedule(&req.matrix, topo.as_ref(), req.seed);
+        let fp = Fingerprint::compute(&req.matrix, topo.as_ref(), entry.name(), req.seed);
+        for schedule in [Some(Arc::new(schedule)), None] {
+            let resp = Response::Schedule(SubmitReply {
+                request_id: 77,
+                fingerprint: fp,
+                freshly_compiled: schedule.is_some(),
+                estimate: BackendReport {
+                    makespan_ns: 1234,
+                    phase_end_ns: vec![100, 1234],
+                    contention: ContentionStats {
+                        max_engine_busy_ns: 9,
+                        max_link_busy_ns: 8,
+                        contended_transfers: 7,
+                        contended_phases: 1,
+                    },
+                },
+                schedule,
+            });
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(decoded, resp);
+            assert_eq!(decoded.request_id(), 77);
+        }
+    }
+
+    #[test]
+    fn stats_and_errors_roundtrip() {
+        let stats = DaemonStats {
+            submits: 10,
+            completed: 8,
+            compiles: 2,
+            ..DaemonStats::default()
+        };
+        let resp = Response::Stats {
+            request_id: 5,
+            stats,
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        assert!((stats.dedup_hit_rate() - 0.75).abs() < 1e-12);
+        for code in ErrorCode::all() {
+            let resp = Response::Error(ErrorReply {
+                request_id: 1,
+                code,
+                detail: format!("{code} happened"),
+            });
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+        let ack = Response::ShutdownAck { request_id: 2 };
+        assert_eq!(Response::decode(&ack.encode()).unwrap(), ack);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_torn_frames_are_typed() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Stats { request_id: 1 }.encode()).unwrap();
+        for cut in 1..wire.len() {
+            match read_frame(&mut &wire[..cut]) {
+                Err(FrameError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_headers_are_typed_errors() {
+        let garbage = *b"GET / HTTP/1.1\r\n";
+        assert!(matches!(
+            read_frame(&mut garbage.as_slice()),
+            Err(FrameError::BadMagic(_))
+        ));
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&FRAME_MAGIC);
+        oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut oversized.as_slice()),
+            Err(FrameError::Oversized(_))
+        ));
+        assert!(write_frame(&mut Vec::new(), &vec![0; MAX_BODY_LEN as usize + 1]).is_err());
+    }
+
+    #[test]
+    fn matrix_semantics_are_validated_at_decode() {
+        let req = sample_request();
+        let good = req.encode();
+        // Topology/matrix size mismatch.
+        let mut mismatched = sample_request();
+        mismatched.topology = TopologySpec::Hypercube { dims: 5 };
+        assert!(matches!(
+            Request::decode(&mismatched.encode()),
+            Err(DecodeError::Invalid(_))
+        ));
+        // Unknown trailing bytes.
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            Request::decode(&trailing),
+            Err(DecodeError::TrailingBytes)
+        ));
+        // Unassigned enum values.
+        assert!(matches!(
+            Request::decode(&[0x7f]),
+            Err(DecodeError::BadKind(0x7f))
+        ));
+    }
+
+    #[test]
+    fn scheme_choice_resolves_paper_defaults() {
+        let rs_nl = registry::find("RS_NL").unwrap();
+        let ac = registry::find("AC").unwrap();
+        assert_eq!(SchemeChoice::Default.resolve(rs_nl), Scheme::S1);
+        assert_eq!(SchemeChoice::Default.resolve(ac), Scheme::S2);
+        assert_eq!(SchemeChoice::S2.resolve(rs_nl), Scheme::S2);
+        assert_eq!(SchemeChoice::S1.resolve(ac), Scheme::S1);
+    }
+
+    #[test]
+    fn topology_specs_build_what_they_name() {
+        let cube = TopologySpec::Hypercube { dims: 3 };
+        assert_eq!(cube.num_nodes(), 8);
+        assert_eq!(cube.build().num_nodes(), 8);
+        let mesh = TopologySpec::Mesh2d { rows: 3, cols: 4 };
+        assert_eq!(mesh.num_nodes(), 12);
+        assert_eq!(mesh.build().num_nodes(), 12);
+        assert_eq!(format!("{mesh}"), "mesh(3x4)");
+    }
+}

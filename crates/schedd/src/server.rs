@@ -1,0 +1,525 @@
+//! The daemon shell: sockets, threads, admission, and graceful drain.
+//!
+//! Thread anatomy of a running [`Server`]:
+//!
+//! * one **acceptor** blocks on the listener and spawns a reader per
+//!   connection;
+//! * one **reader per connection** decodes frames and runs the
+//!   admission stage (drain check → registry/topology validation →
+//!   per-client quota → bounded-queue push). Every rejection is a typed
+//!   error frame; the connection stays healthy;
+//! * a fixed pool of **workers** pops admitted jobs and runs the
+//!   [`ServiceState`] pipeline, writing responses under the
+//!   connection's writer lock — which is why responses can overtake
+//!   each other and every frame echoes its `request_id`.
+//!
+//! Graceful shutdown (from [`ServerHandle::shutdown`] or a client's
+//! `Shutdown` frame) is an ordering, not a flag: mark draining (new
+//! submits → `ShuttingDown`) → wake and join the acceptor → close the
+//! queue and join the workers, which **drains every admitted job** →
+//! unblock and join the readers → remove the Unix socket file. Nothing
+//! admitted is dropped; nothing after the drain mark is accepted.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::net::{Endpoint, Listener, Stream};
+use crate::protocol::{
+    read_frame, write_frame, DaemonStats, ErrorCode, ErrorReply, FrameError, Request, Response,
+    SubmitRequest,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::service::{ServiceConfig, ServiceState};
+
+/// One admitted request on its way to the worker pool.
+struct Job {
+    req: SubmitRequest,
+    writer: Arc<Mutex<Stream>>,
+    conn: Arc<ConnState>,
+}
+
+/// Per-connection shared state (reader + workers).
+struct ConnState {
+    id: u64,
+    inflight: AtomicU64,
+}
+
+/// Counters backing [`DaemonStats`]. Everything is a relaxed atomic:
+/// these are metrics, not synchronization.
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    disconnects_midstream: AtomicU64,
+    submits: AtomicU64,
+    completed: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    errors_malformed: AtomicU64,
+    errors_other: AtomicU64,
+    write_failures: AtomicU64,
+    inflight: AtomicU64,
+}
+
+/// State shared by every daemon thread.
+struct Shared {
+    state: ServiceState,
+    queue: BoundedQueue<Job>,
+    counters: Counters,
+    config: ServiceConfig,
+    endpoint: Endpoint,
+    /// Set once a shutdown is requested; admission rejects from then on.
+    draining: Mutex<bool>,
+    drain_requested: Condvar,
+    /// Live connections, by id, as extra socket handles for shutdown.
+    conns: Mutex<HashMap<u64, Stream>>,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        *self.draining.lock().expect("drain lock")
+    }
+
+    fn request_drain(&self) {
+        *self.draining.lock().expect("drain lock") = true;
+        self.drain_requested.notify_all();
+    }
+
+    fn stats(&self) -> DaemonStats {
+        let cache = self.state.cache_stats();
+        let flight = self.state.flight_stats();
+        let (estimate_hits, estimate_misses) = self.state.estimate_stats();
+        let c = &self.counters;
+        DaemonStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            disconnects_midstream: c.disconnects_midstream.load(Ordering::Relaxed),
+            submits: c.submits.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            compiles: self.state.compiles(),
+            coalesced: flight.coalesced,
+            cache_requests: cache.requests,
+            cache_mem_hits: cache.mem_hits,
+            cache_store_hits: cache.store_hits,
+            cache_misses: cache.misses,
+            estimate_hits,
+            estimate_misses,
+            rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
+            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
+            errors_malformed: c.errors_malformed.load(Ordering::Relaxed),
+            errors_other: c.errors_other.load(Ordering::Relaxed),
+            write_failures: c.write_failures.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            inflight: c.inflight.load(Ordering::Relaxed),
+            draining: u64::from(self.is_draining()),
+        }
+    }
+
+    /// Write one response frame under the connection's writer lock.
+    fn write_response(&self, writer: &Arc<Mutex<Stream>>, resp: &Response) -> io::Result<()> {
+        let body = resp.encode();
+        let mut stream = writer.lock().expect("writer lock");
+        write_frame(&mut *stream, &body)?;
+        stream.flush()
+    }
+
+    /// Best-effort error frame; a dead client is not the daemon's
+    /// problem here.
+    fn write_error(
+        &self,
+        writer: &Arc<Mutex<Stream>>,
+        request_id: u64,
+        code: ErrorCode,
+        detail: String,
+    ) {
+        let resp = Response::Error(ErrorReply {
+            request_id,
+            code,
+            detail,
+        });
+        if self.write_response(writer, &resp).is_err() {
+            self.counters.write_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A running daemon.
+pub struct Server;
+
+/// Handle on a running daemon: stats, test hooks, shutdown.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `endpoint` and start serving.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, if the endpoint cannot be listened on.
+    pub fn start(config: ServiceConfig, endpoint: &Endpoint) -> io::Result<ServerHandle> {
+        let listener = endpoint.bind()?;
+        let bound = listener.local_endpoint()?;
+        let shared = Arc::new(Shared {
+            state: ServiceState::new(&config),
+            queue: BoundedQueue::new(config.queue_capacity),
+            counters: Counters::default(),
+            config,
+            endpoint: bound,
+            draining: Mutex::new(false),
+            drain_requested: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("schedd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name("schedd-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared, &readers))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            readers,
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The endpoint actually bound (TCP port 0 resolved).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.shared.endpoint
+    }
+
+    /// Snapshot every daemon counter.
+    pub fn stats(&self) -> DaemonStats {
+        self.shared.stats()
+    }
+
+    /// Test hook: stop workers from taking jobs, making queue depth and
+    /// quota occupancy deterministic. Drain ([`shutdown`](Self::shutdown))
+    /// overrides a pause.
+    pub fn pause_workers(&self) {
+        self.shared.queue.pause();
+    }
+
+    /// Undo [`pause_workers`](Self::pause_workers).
+    pub fn resume_workers(&self) {
+        self.shared.queue.resume();
+    }
+
+    /// Block until some client sends a `Shutdown` frame (the daemon
+    /// binary's main-thread parking spot).
+    pub fn wait_shutdown_requested(&self) {
+        let mut draining = self.shared.draining.lock().expect("drain lock");
+        while !*draining {
+            draining = self
+                .shared
+                .drain_requested
+                .wait(draining)
+                .expect("drain lock");
+        }
+    }
+
+    /// Drain and stop: serve everything admitted, reject everything
+    /// new, join every thread, remove the Unix socket file.
+    pub fn shutdown(mut self) {
+        self.shared.request_drain();
+
+        // The acceptor is parked in accept(); a throwaway connection
+        // wakes it so it can observe the drain flag and exit.
+        if let Ok(stream) = self.shared.endpoint.connect() {
+            drop(stream);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+
+        // Closing the queue lets workers drain admitted jobs and exit.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+
+        // Readers are parked in read_frame(); shutting the sockets down
+        // turns that into EOF.
+        for (_, stream) in self.shared.conns.lock().expect("conns lock").drain() {
+            stream.shutdown_both();
+        }
+        let handles: Vec<_> = self
+            .readers
+            .lock()
+            .expect("readers lock")
+            .drain(..)
+            .collect();
+        for reader in handles {
+            let _ = reader.join();
+        }
+
+        if let Endpoint::Unix(path) = &self.shared.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: &Listener,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn_id: u64 = 1;
+    loop {
+        let stream = match listener.accept() {
+            Ok(stream) => stream,
+            Err(_) if shared.is_draining() => return,
+            Err(_) => continue,
+        };
+        if shared.is_draining() {
+            // The wake-up connection (or a late client): drop it.
+            return;
+        }
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        if let Ok(extra) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("conns lock")
+                .insert(conn_id, extra);
+        }
+        let shared = Arc::clone(shared);
+        let reader = std::thread::Builder::new()
+            .name(format!("schedd-conn-{conn_id}"))
+            .spawn(move || {
+                reader_loop(stream, conn_id, &shared);
+                shared.conns.lock().expect("conns lock").remove(&conn_id);
+                shared
+                    .counters
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawn reader");
+        readers.lock().expect("readers lock").push(reader);
+    }
+}
+
+fn reader_loop(stream: Stream, conn_id: u64, shared: &Arc<Shared>) {
+    let mut reading = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => stream,
+    };
+    let writer = Arc::new(Mutex::new(match reading.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    }));
+    let conn = Arc::new(ConnState {
+        id: conn_id,
+        inflight: AtomicU64::new(0),
+    });
+    loop {
+        match read_frame(&mut reading) {
+            Ok(None) => return, // clean close between frames
+            Ok(Some(body)) => match Request::decode(&body) {
+                Ok(req) => handle_request(req, &writer, &conn, shared),
+                Err(e) => {
+                    shared
+                        .counters
+                        .errors_malformed
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Framing is intact, so the stream stays usable.
+                    shared.write_error(&writer, 0, ErrorCode::Malformed, e.to_string());
+                }
+            },
+            Err(e) => {
+                match &e {
+                    FrameError::Io(_) | FrameError::Truncated => {
+                        shared
+                            .counters
+                            .disconnects_midstream
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    FrameError::BadMagic(_) | FrameError::Oversized(_) | FrameError::Checksum => {
+                        shared
+                            .counters
+                            .errors_malformed
+                            .fetch_add(1, Ordering::Relaxed);
+                        // Byte-stream sync is lost; tell the peer why,
+                        // then hang up.
+                        shared.write_error(&writer, 0, ErrorCode::Malformed, e.to_string());
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn handle_request(
+    req: Request,
+    writer: &Arc<Mutex<Stream>>,
+    conn: &Arc<ConnState>,
+    shared: &Arc<Shared>,
+) {
+    match req {
+        Request::Stats { request_id } => {
+            let resp = Response::Stats {
+                request_id,
+                stats: shared.stats(),
+            };
+            if shared.write_response(writer, &resp).is_err() {
+                shared
+                    .counters
+                    .write_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Request::Shutdown { request_id } => {
+            let resp = Response::ShutdownAck { request_id };
+            if shared.write_response(writer, &resp).is_err() {
+                shared
+                    .counters
+                    .write_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            shared.request_drain();
+        }
+        Request::Submit(req) => handle_submit(req, writer, conn, shared),
+    }
+}
+
+/// The admission stage: drain check → semantic validation → quota →
+/// queue. Rejections are typed error frames; the connection survives.
+fn handle_submit(
+    req: SubmitRequest,
+    writer: &Arc<Mutex<Stream>>,
+    conn: &Arc<ConnState>,
+    shared: &Arc<Shared>,
+) {
+    shared.counters.submits.fetch_add(1, Ordering::Relaxed);
+    let request_id = req.request_id;
+    if shared.is_draining() {
+        shared
+            .counters
+            .rejected_shutdown
+            .fetch_add(1, Ordering::Relaxed);
+        shared.write_error(
+            writer,
+            request_id,
+            ErrorCode::ShuttingDown,
+            "daemon is draining".into(),
+        );
+        return;
+    }
+    if let Err(e) = shared.state.admit(&req) {
+        shared.counters.errors_other.fetch_add(1, Ordering::Relaxed);
+        shared.write_error(writer, request_id, e.code(), e.to_string());
+        return;
+    }
+    // Quota: optimistic increment, revert on rejection — never exceeds
+    // the cap even with a racing pipelined client.
+    let quota = shared.config.max_inflight_per_client as u64;
+    if conn.inflight.fetch_add(1, Ordering::AcqRel) >= quota {
+        conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared
+            .counters
+            .rejected_quota
+            .fetch_add(1, Ordering::Relaxed);
+        shared.write_error(
+            writer,
+            request_id,
+            ErrorCode::QuotaExceeded,
+            format!(
+                "more than {quota} requests in flight on connection {}",
+                conn.id
+            ),
+        );
+        return;
+    }
+    shared.counters.inflight.fetch_add(1, Ordering::Relaxed);
+    let job = Job {
+        req,
+        writer: Arc::clone(writer),
+        conn: Arc::clone(conn),
+    };
+    if let Err((job, push_err)) = shared.queue.try_push(job) {
+        job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared.counters.inflight.fetch_sub(1, Ordering::Relaxed);
+        let (code, counter, detail) = match push_err {
+            PushError::Full => (
+                ErrorCode::Overloaded,
+                &shared.counters.rejected_overload,
+                format!("compile queue full ({} jobs)", shared.config.queue_capacity),
+            ),
+            PushError::Closed => (
+                ErrorCode::ShuttingDown,
+                &shared.counters.rejected_shutdown,
+                "daemon is draining".to_string(),
+            ),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        shared.write_error(writer, request_id, code, detail);
+    }
+}
+
+/// Worker: pop, run the pipeline, write the answer.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let resp = match shared.state.process(&job.req) {
+            Ok(reply) => Response::Schedule(reply),
+            Err(e) => {
+                shared.counters.errors_other.fetch_add(1, Ordering::Relaxed);
+                Response::Error(ErrorReply {
+                    request_id: job.req.request_id,
+                    code: e.code(),
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let wrote = shared.write_response(&job.writer, &resp).is_ok();
+        match (&resp, wrote) {
+            (Response::Schedule(_), true) => {
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            (_, false) => {
+                shared
+                    .counters
+                    .write_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared.counters.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,413 @@
+//! The daemon's compute pipeline, separated from all transport concerns.
+//!
+//! [`ServiceState::process`] is the whole pipeline after decode and
+//! admission: **resolve → fingerprint → dedup → compile → simulate**.
+//! It takes a decoded [`SubmitRequest`] and produces either a
+//! [`SubmitReply`] or a typed [`ServiceError`]; the server wraps it in
+//! socket plumbing, and the differential-conformance suite calls it (and
+//! the registry directly) *in-process* to pin the daemon byte-identical
+//! to library calls — which is only possible because nothing in here
+//! knows about sockets.
+//!
+//! Two layers of reuse sit in front of the actual work:
+//!
+//! 1. [`SingleFlight`] coalesces *concurrent* identical requests onto
+//!    one compile (keyed by the commcache [`Fingerprint`], so "identical"
+//!    means identical canonical bytes, not identical frames);
+//! 2. [`commcache::SchedCache`] serves *repeat* requests from memory or
+//!    the artifact store;
+//! 3. an estimate memo does the same for simulation results, keyed
+//!    (fingerprint, scheme, backend) — a duplicate-heavy load ends up
+//!    touching neither the scheduler nor the simulator.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use commcache::{CacheConfig, CacheStats, Fingerprint, SchedCache};
+use commrt::BackendReport;
+use commsched::{registry, Schedule};
+use simnet::MachineParams;
+
+use crate::dedup::{FlightStats, SingleFlight};
+use crate::protocol::{ErrorCode, SubmitReply, SubmitRequest};
+
+/// Tunables for a daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Schedule-cache configuration (in-memory or persistent).
+    pub cache: CacheConfig,
+    /// Machine model priced by the simulation backends.
+    pub params: MachineParams,
+    /// Compile-queue capacity; a full queue rejects with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Worker threads draining the compile queue.
+    pub workers: usize,
+    /// Per-connection in-flight cap; beyond it, `QuotaExceeded`.
+    pub max_inflight_per_client: usize,
+    /// Estimate-cache entry cap (clears wholesale when exceeded).
+    pub estimate_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache: CacheConfig::in_memory(),
+            params: MachineParams::ipsc860(),
+            queue_capacity: 1024,
+            workers: 2,
+            max_inflight_per_client: 256,
+            estimate_cache_capacity: 65_536,
+        }
+    }
+}
+
+/// Typed pipeline failure. `Clone` so a coalesced flight can hand every
+/// waiter the same error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No registry entry under this name.
+    UnknownScheduler(String),
+    /// The entry declines the requested topology.
+    UnsupportedTopology {
+        /// The entry that declined.
+        scheduler: String,
+        /// The topology it declined.
+        topology: String,
+    },
+    /// Decoded fine but semantically unservable.
+    BadRequest(String),
+    /// The simulation backend failed (stringified [`simnet::SimError`]).
+    Sim(String),
+}
+
+impl ServiceError {
+    /// The wire error code this failure maps to.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServiceError::UnknownScheduler(_) => ErrorCode::UnknownScheduler,
+            ServiceError::UnsupportedTopology { .. } => ErrorCode::UnsupportedTopology,
+            ServiceError::BadRequest(_) => ErrorCode::BadRequest,
+            ServiceError::Sim(_) => ErrorCode::SimFailed,
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownScheduler(name) => {
+                write!(f, "no scheduler named `{name}` in the registry")
+            }
+            ServiceError::UnsupportedTopology {
+                scheduler,
+                topology,
+            } => write!(f, "scheduler {scheduler} does not support {topology}"),
+            ServiceError::BadRequest(what) => write!(f, "bad request: {what}"),
+            ServiceError::Sim(what) => write!(f, "simulation failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Cache of backend estimates keyed (fingerprint, scheme, backend).
+///
+/// Eviction is wholesale: when the table exceeds its cap it is cleared.
+/// Crude, but the table is small (a few hundred bytes per entry), the
+/// cap is large, and clearing costs one rebuild of a working set the
+/// schedule cache still remembers — LRU bookkeeping on the daemon's
+/// hottest path would cost more than it saves.
+struct EstimateCache {
+    entries: Mutex<HashMap<(u128, u8, u8), Arc<BackendReport>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EstimateCache {
+    fn new(capacity: usize) -> EstimateCache {
+        EstimateCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, key: (u128, u8, u8)) -> Option<Arc<BackendReport>> {
+        let hit = self
+            .entries
+            .lock()
+            .expect("estimate lock")
+            .get(&key)
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, key: (u128, u8, u8), report: Arc<BackendReport>) {
+        let mut entries = self.entries.lock().expect("estimate lock");
+        if entries.len() >= self.capacity {
+            entries.clear();
+        }
+        entries.insert(key, report);
+    }
+}
+
+/// Everything the pipeline shares across requests and threads.
+pub struct ServiceState {
+    params: MachineParams,
+    cache: SchedCache,
+    flight: SingleFlight<u128, Arc<Schedule>, ServiceError>,
+    estimates: EstimateCache,
+    compiles: AtomicU64,
+}
+
+impl ServiceState {
+    /// Build the pipeline from its tunables.
+    pub fn new(config: &ServiceConfig) -> ServiceState {
+        ServiceState {
+            params: config.params.clone(),
+            cache: SchedCache::new(config.cache.clone()),
+            flight: SingleFlight::new(),
+            estimates: EstimateCache::new(config.estimate_cache_capacity),
+            compiles: AtomicU64::new(0),
+        }
+    }
+
+    /// The machine model estimates are priced against.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Schedule-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Dedup-stage counters.
+    pub fn flight_stats(&self) -> FlightStats {
+        self.flight.stats()
+    }
+
+    /// Estimate-cache counters: `(hits, misses)`.
+    pub fn estimate_stats(&self) -> (u64, u64) {
+        (
+            self.estimates.hits.load(Ordering::Relaxed),
+            self.estimates.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Compiles actually executed (true misses through every layer).
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Cheap pre-queue validation: the failures worth rejecting before
+    /// spending a queue slot. Returns the entry's registry name on
+    /// success (needed for nothing else; admission is pure).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownScheduler`], [`ServiceError::UnsupportedTopology`],
+    /// or [`ServiceError::BadRequest`] on a size mismatch.
+    pub fn admit(&self, req: &SubmitRequest) -> Result<(), ServiceError> {
+        let entry = registry::find(&req.scheduler)
+            .ok_or_else(|| ServiceError::UnknownScheduler(req.scheduler.clone()))?;
+        if req.matrix.n() != req.topology.num_nodes() {
+            return Err(ServiceError::BadRequest(format!(
+                "matrix spans {} nodes but topology {} has {}",
+                req.matrix.n(),
+                req.topology,
+                req.topology.num_nodes()
+            )));
+        }
+        let topo = req.topology.build();
+        if !entry.supports_topology(topo.as_ref()) {
+            return Err(ServiceError::UnsupportedTopology {
+                scheduler: entry.name().to_string(),
+                topology: req.topology.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The full pipeline for one admitted request.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`admit`](Self::admit) can raise (so unadmitted
+    /// callers still get typed errors), plus [`ServiceError::Sim`].
+    pub fn process(&self, req: &SubmitRequest) -> Result<SubmitReply, ServiceError> {
+        let entry = registry::find(&req.scheduler)
+            .ok_or_else(|| ServiceError::UnknownScheduler(req.scheduler.clone()))?;
+        if req.matrix.n() != req.topology.num_nodes() {
+            return Err(ServiceError::BadRequest(format!(
+                "matrix spans {} nodes but topology {} has {}",
+                req.matrix.n(),
+                req.topology,
+                req.topology.num_nodes()
+            )));
+        }
+        let topo = req.topology.build();
+        if !entry.supports_topology(topo.as_ref()) {
+            return Err(ServiceError::UnsupportedTopology {
+                scheduler: entry.name().to_string(),
+                topology: req.topology.to_string(),
+            });
+        }
+        let fp = Fingerprint::compute(&req.matrix, topo.as_ref(), entry.name(), req.seed);
+
+        // Dedup stage: concurrent identical fingerprints ride one
+        // compile; the cache underneath serves repeats. `compiled_here`
+        // distinguishes a true compile from a cache hit inside the led
+        // flight.
+        let compiled_here = std::cell::Cell::new(false);
+        let (schedule, led) = self.flight.run(fp.0, || {
+            Ok(self.cache.get_or_compute(fp, || {
+                compiled_here.set(true);
+                entry.schedule(&req.matrix, topo.as_ref(), req.seed)
+            }))
+        });
+        let schedule = schedule?;
+        let freshly_compiled = led && compiled_here.get();
+        if freshly_compiled {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let scheme = req.scheme.resolve(entry);
+        let estimate_key = (fp.0, scheme as u8, req.backend as u8);
+        let estimate = match self.estimates.get(estimate_key) {
+            Some(report) => report,
+            None => {
+                let report = req
+                    .backend
+                    .backend()
+                    .estimate(&self.params, topo.as_ref(), &req.matrix, &schedule, scheme)
+                    .map_err(|e| ServiceError::Sim(e.to_string()))?;
+                let report = Arc::new(report);
+                self.estimates.insert(estimate_key, Arc::clone(&report));
+                report
+            }
+        };
+
+        Ok(SubmitReply {
+            request_id: req.request_id,
+            fingerprint: fp,
+            freshly_compiled,
+            estimate: (*estimate).clone(),
+            schedule: req.want_schedule.then(|| Arc::clone(&schedule)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{SchemeChoice, TopologySpec};
+    use commrt::{BackendKind, Scheme};
+    use commsched::CommMatrix;
+
+    fn request(seed: u64, backend: BackendKind) -> SubmitRequest {
+        let mut matrix = CommMatrix::new(8);
+        matrix.set(0, 3, 512);
+        matrix.set(3, 0, 512);
+        matrix.set(1, 6, 256);
+        SubmitRequest {
+            request_id: 1,
+            want_schedule: true,
+            topology: TopologySpec::Hypercube { dims: 3 },
+            scheduler: "RS_NL".into(),
+            scheme: SchemeChoice::Default,
+            backend,
+            seed,
+            matrix,
+        }
+    }
+
+    #[test]
+    fn process_matches_direct_library_calls() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let req = request(11, BackendKind::Des);
+        let reply = state.process(&req).unwrap();
+        assert!(reply.freshly_compiled);
+
+        let entry = registry::find("RS_NL").unwrap();
+        let topo = req.topology.build();
+        let direct = entry.schedule(&req.matrix, topo.as_ref(), req.seed);
+        assert_eq!(**reply.schedule.as_ref().unwrap(), direct);
+        let direct_report = BackendKind::Des
+            .backend()
+            .estimate(
+                state.params(),
+                topo.as_ref(),
+                &req.matrix,
+                &direct,
+                Scheme::S1,
+            )
+            .unwrap();
+        assert_eq!(reply.estimate, direct_report);
+    }
+
+    #[test]
+    fn repeats_hit_every_cache_layer() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let req = request(5, BackendKind::Analytic);
+        let first = state.process(&req).unwrap();
+        let second = state.process(&req).unwrap();
+        assert!(first.freshly_compiled);
+        assert!(!second.freshly_compiled);
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(first.estimate, second.estimate);
+        assert_eq!(state.compiles(), 1);
+        assert_eq!(state.cache_stats().misses, 1);
+        let (est_hits, est_misses) = state.estimate_stats();
+        assert_eq!((est_hits, est_misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_backends_share_the_compile_not_the_estimate() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let des = state.process(&request(5, BackendKind::Des)).unwrap();
+        let analytic = state.process(&request(5, BackendKind::Analytic)).unwrap();
+        assert_eq!(des.fingerprint, analytic.fingerprint);
+        assert_eq!(state.compiles(), 1);
+        let (_, est_misses) = state.estimate_stats();
+        assert_eq!(est_misses, 2);
+    }
+
+    #[test]
+    fn admission_rejects_with_typed_errors() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let mut unknown = request(1, BackendKind::Des);
+        unknown.scheduler = "FASTER_THAN_LIGHT".into();
+        assert!(matches!(
+            state.admit(&unknown),
+            Err(ServiceError::UnknownScheduler(_))
+        ));
+        // LP is pinned to e-cube hypercubes; a mesh must be declined.
+        let mut mesh = request(1, BackendKind::Des);
+        mesh.scheduler = "LP".into();
+        mesh.topology = TopologySpec::Mesh2d { rows: 2, cols: 4 };
+        assert!(matches!(
+            state.admit(&mesh),
+            Err(ServiceError::UnsupportedTopology { .. })
+        ));
+        let mut mismatched = request(1, BackendKind::Des);
+        mismatched.topology = TopologySpec::Hypercube { dims: 4 };
+        assert!(matches!(
+            state.admit(&mismatched),
+            Err(ServiceError::BadRequest(_))
+        ));
+        // Errors map to distinct wire codes.
+        assert_eq!(
+            state.admit(&unknown).unwrap_err().code(),
+            ErrorCode::UnknownScheduler
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Differential conformance: for a pinned request set (dims 2–6, every
+//! registry entry, both backends), responses served through a live
+//! daemon are **byte-identical** to in-process library calls — same
+//! schedule (compared as commcache artifact bytes), same estimate, same
+//! fingerprint. The daemon is a transport, never a semantic layer.
+
+use commcache::{encode_artifact, Fingerprint};
+use commrt::{run_schedule, BackendKind, Scheme};
+use commsched::registry;
+use schedd::{Client, Endpoint, SchemeChoice, Server, ServiceConfig, SubmitRequest, TopologySpec};
+use simnet::MachineParams;
+use workloads::Generator;
+
+/// The pinned request set: one d-regular instance per dimension.
+fn pinned_requests() -> Vec<SubmitRequest> {
+    let mut requests = Vec::new();
+    for dims in 2u32..=6 {
+        let n = 1usize << dims;
+        let matrix = Generator::dregular(n, 3.min(n - 1), 2048).generate(u64::from(dims));
+        for entry in registry::all() {
+            for backend in BackendKind::all() {
+                requests.push(SubmitRequest {
+                    request_id: 0,
+                    want_schedule: true,
+                    topology: TopologySpec::Hypercube { dims },
+                    scheduler: entry.name().to_string(),
+                    scheme: SchemeChoice::Default,
+                    backend,
+                    seed: 1000 + u64::from(dims),
+                    matrix: matrix.clone(),
+                });
+            }
+        }
+    }
+    requests
+}
+
+#[test]
+fn daemon_responses_are_byte_identical_to_in_process_calls() {
+    let endpoint = Endpoint::Unix(
+        std::env::temp_dir().join(format!("schedd-conf-{}.sock", std::process::id())),
+    );
+    let handle = Server::start(ServiceConfig::default(), &endpoint).expect("daemon starts");
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let params = MachineParams::ipsc860();
+
+    let requests = pinned_requests();
+    assert_eq!(
+        requests.len(),
+        5 * registry::all().len() * 2,
+        "5 dims x 8 entries x 2 backends"
+    );
+
+    for req in &requests {
+        let reply = client
+            .submit(req.clone())
+            .unwrap_or_else(|e| panic!("{} dims={}: {e}", req.scheduler, req.topology));
+
+        // In-process reference: the same calls the daemon's pipeline
+        // must reduce to.
+        let entry = registry::find(&req.scheduler).unwrap();
+        let topo = req.topology.build();
+        let expect_schedule = entry.schedule(&req.matrix, topo.as_ref(), req.seed);
+        let expect_fp = Fingerprint::compute(&req.matrix, topo.as_ref(), entry.name(), req.seed);
+        let scheme = Scheme::for_scheduler(entry);
+        let expect_estimate = req
+            .backend
+            .backend()
+            .estimate(
+                &params,
+                topo.as_ref(),
+                &req.matrix,
+                &expect_schedule,
+                scheme,
+            )
+            .expect("in-process estimate succeeds");
+
+        assert_eq!(reply.fingerprint, expect_fp, "{}", req.scheduler);
+        assert_eq!(reply.estimate, expect_estimate, "{}", req.scheduler);
+        // Byte-level, not just structural: the artifact encoding of the
+        // schedule the daemon returned equals the artifact encoding of
+        // the locally compiled one.
+        let got_schedule = reply.schedule.as_ref().expect("schedule streamed back");
+        assert_eq!(
+            encode_artifact(reply.fingerprint, got_schedule),
+            encode_artifact(expect_fp, &expect_schedule),
+            "{} dims={}",
+            req.scheduler,
+            req.topology
+        );
+
+        // The DES estimate must agree with the raw simulator run —
+        // the daemon inherits the backend conformance contract.
+        if req.backend == BackendKind::Des {
+            let sim = run_schedule(
+                topo.as_ref(),
+                &params,
+                &req.matrix,
+                &expect_schedule,
+                scheme,
+            )
+            .expect("simulation succeeds");
+            assert_eq!(
+                reply.estimate.makespan_ns, sim.makespan_ns,
+                "{}",
+                req.scheduler
+            );
+        }
+    }
+
+    // Replaying the full set: every schedule is already cached, no new
+    // compiles, and the bytes are *still* identical.
+    let compiles_after_first_pass = handle.stats().compiles;
+    for req in &requests {
+        let reply = client.submit(req.clone()).expect("replay succeeds");
+        assert!(
+            !reply.freshly_compiled,
+            "{} replay recompiled",
+            req.scheduler
+        );
+        let entry = registry::find(&req.scheduler).unwrap();
+        let topo = req.topology.build();
+        let expect_schedule = entry.schedule(&req.matrix, topo.as_ref(), req.seed);
+        assert_eq!(
+            encode_artifact(reply.fingerprint, reply.schedule.as_ref().unwrap()),
+            encode_artifact(reply.fingerprint, &expect_schedule),
+        );
+    }
+    assert_eq!(handle.stats().compiles, compiles_after_first_pass);
+
+    // One compile per unique (matrix, scheduler, seed): backends share
+    // the fingerprint, so 5 dims x 8 entries.
+    assert_eq!(compiles_after_first_pass, 5 * registry::all().len() as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn explicit_scheme_choices_conform_too() {
+    // S1 and S2 forced explicitly (not the per-scheduler default) must
+    // also match in-process estimates — the scheme byte travels intact.
+    let endpoint = Endpoint::Unix(
+        std::env::temp_dir().join(format!("schedd-conf-scheme-{}.sock", std::process::id())),
+    );
+    let handle = Server::start(ServiceConfig::default(), &endpoint).expect("daemon starts");
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let params = MachineParams::ipsc860();
+
+    let matrix = Generator::dregular(16, 3, 1024).generate(77);
+    for (choice, scheme) in [
+        (SchemeChoice::S1, Scheme::S1),
+        (SchemeChoice::S2, Scheme::S2),
+    ] {
+        for backend in BackendKind::all() {
+            let req = SubmitRequest {
+                request_id: 0,
+                want_schedule: false,
+                topology: TopologySpec::Hypercube { dims: 4 },
+                scheduler: "AC".into(),
+                scheme: choice,
+                backend,
+                seed: 0,
+                matrix: matrix.clone(),
+            };
+            let reply = client.submit(req.clone()).expect("submit succeeds");
+            let entry = registry::find("AC").unwrap();
+            let topo = req.topology.build();
+            let schedule = entry.schedule(&req.matrix, topo.as_ref(), req.seed);
+            let expect = backend
+                .backend()
+                .estimate(&params, topo.as_ref(), &req.matrix, &schedule, scheme)
+                .unwrap();
+            assert_eq!(reply.estimate, expect, "{choice:?} on {}", backend.label());
+            assert!(reply.schedule.is_none(), "schedule not requested");
+        }
+    }
+    handle.shutdown();
+}

@@ -1,0 +1,328 @@
+//! Fault injection against a live (in-process) daemon: mid-stream
+//! disconnects, hostile frame headers, quota exhaustion, and full-queue
+//! overload each surface their documented typed error — and the daemon
+//! keeps serving, proven by a follow-up successful request in the same
+//! test.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use commrt::BackendKind;
+use schedd::{
+    Client, ClientError, Endpoint, ErrorCode, Request, Response, SchemeChoice, Server,
+    ServerHandle, ServiceConfig, SubmitRequest, TopologySpec,
+};
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("schedd-fault-{tag}-{}.sock", std::process::id()))
+}
+
+fn start(tag: &str, config: ServiceConfig) -> (ServerHandle, Endpoint) {
+    let endpoint = Endpoint::Unix(sock_path(tag));
+    let handle = Server::start(config, &endpoint).expect("daemon starts");
+    (handle, endpoint)
+}
+
+fn request(seed: u64) -> SubmitRequest {
+    SubmitRequest {
+        request_id: 0,
+        want_schedule: false,
+        topology: TopologySpec::Hypercube { dims: 3 },
+        scheduler: "RS_NL".into(),
+        scheme: SchemeChoice::Default,
+        backend: BackendKind::Analytic,
+        seed,
+        matrix: workloads::Generator::dregular(8, 3, 512).generate(seed),
+    }
+}
+
+/// The "daemon still serves" probe every fault test ends with.
+fn assert_serving(endpoint: &Endpoint, seed: u64) {
+    let mut client = Client::connect(endpoint).expect("connect after fault");
+    let reply = client.submit(request(seed)).expect("daemon still serves");
+    assert!(reply.estimate.makespan_ns > 0);
+}
+
+#[test]
+fn disconnect_mid_frame_is_counted_and_survived() {
+    let (handle, endpoint) = start("midstream", ServiceConfig::default());
+    // Write half a frame, then vanish.
+    {
+        let mut stream = endpoint.connect().unwrap();
+        stream.write_all(b"SDF1").unwrap();
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 10]).unwrap(); // 90 bytes short
+    }
+    // The daemon notices the torn stream and keeps serving.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while handle.stats().disconnects_midstream == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnect not observed"
+        );
+        std::thread::yield_now();
+    }
+    assert_serving(&endpoint, 1);
+    assert_eq!(handle.stats().disconnects_midstream, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_headers_get_typed_errors_and_do_not_kill_the_daemon() {
+    let (handle, endpoint) = start("hostile", ServiceConfig::default());
+
+    // Wrong magic: the daemon answers Malformed, then hangs up.
+    {
+        let mut stream = endpoint.connect().unwrap();
+        stream
+            .write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        stream.flush().unwrap();
+        let resp = schedd::read_frame(&mut stream)
+            .expect("error frame arrives")
+            .map(|body| Response::decode(&body).expect("decodes"));
+        match resp {
+            Some(Response::Error(err)) => assert_eq!(err.code, ErrorCode::Malformed),
+            other => panic!("expected Malformed error frame, got {other:?}"),
+        }
+    }
+
+    // Oversized length header: same typed rejection.
+    {
+        let mut stream = endpoint.connect().unwrap();
+        stream.write_all(b"SDF1").unwrap();
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        stream.flush().unwrap();
+        let resp = schedd::read_frame(&mut stream)
+            .expect("error frame arrives")
+            .map(|body| Response::decode(&body).expect("decodes"));
+        match resp {
+            Some(Response::Error(err)) => assert_eq!(err.code, ErrorCode::Malformed),
+            other => panic!("expected Malformed error frame, got {other:?}"),
+        }
+    }
+
+    // Corrupted body checksum: typed rejection again.
+    {
+        let mut stream = endpoint.connect().unwrap();
+        let mut wire = Vec::new();
+        schedd::write_frame(&mut wire, &Request::Stats { request_id: 1 }.encode()).unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        stream.write_all(&wire).unwrap();
+        stream.flush().unwrap();
+        let resp = schedd::read_frame(&mut stream)
+            .expect("error frame arrives")
+            .map(|body| Response::decode(&body).expect("decodes"));
+        match resp {
+            Some(Response::Error(err)) => assert_eq!(err.code, ErrorCode::Malformed),
+            other => panic!("expected Malformed error frame, got {other:?}"),
+        }
+    }
+
+    // A well-framed but undecodable body: Malformed, and the SAME
+    // connection stays usable (framing survived).
+    {
+        let mut client = Client::connect(&endpoint).unwrap();
+        let mut stream = endpoint.connect().unwrap();
+        let mut wire = Vec::new();
+        schedd::write_frame(&mut wire, &[0x55, 1, 2, 3]).unwrap();
+        stream.write_all(&wire).unwrap();
+        stream.flush().unwrap();
+        let body = schedd::read_frame(&mut stream).unwrap().unwrap();
+        match Response::decode(&body).unwrap() {
+            Response::Error(err) => {
+                assert_eq!(err.code, ErrorCode::Malformed);
+                assert_eq!(err.request_id, 0, "id unknown for undecodable bodies");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        drop(stream);
+        let reply = client.submit(request(2)).expect("same daemon still serves");
+        assert!(reply.freshly_compiled);
+    }
+
+    assert!(handle.stats().errors_malformed >= 4);
+    assert_serving(&endpoint, 3);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_scheduler_and_bad_topology_are_typed_not_fatal() {
+    let (handle, endpoint) = start("admission", ServiceConfig::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    let mut unknown = request(1);
+    unknown.scheduler = "NO_SUCH_ALGORITHM".into();
+    match client.submit(unknown) {
+        Err(ClientError::Server(err)) => assert_eq!(err.code, ErrorCode::UnknownScheduler),
+        other => panic!("expected UnknownScheduler, got {other:?}"),
+    }
+
+    // LP declines meshes: UnsupportedTopology through the wire.
+    let mut mesh = request(1);
+    mesh.scheduler = "LP".into();
+    mesh.topology = TopologySpec::Mesh2d { rows: 2, cols: 4 };
+    mesh.matrix = {
+        let mut m = commsched::CommMatrix::new(8);
+        m.set(0, 1, 64);
+        m
+    };
+    match client.submit(mesh) {
+        Err(ClientError::Server(err)) => assert_eq!(err.code, ErrorCode::UnsupportedTopology),
+        other => panic!("expected UnsupportedTopology, got {other:?}"),
+    }
+
+    // The very same connection still serves good requests.
+    let reply = client.submit(request(1)).expect("still serving");
+    assert!(reply.estimate.makespan_ns > 0);
+    assert_eq!(handle.stats().errors_other, 2);
+    handle.shutdown();
+}
+
+#[test]
+fn quota_exhaustion_is_typed_and_recoverable() {
+    let quota = 4;
+    let (handle, endpoint) = start(
+        "quota",
+        ServiceConfig {
+            max_inflight_per_client: quota,
+            ..ServiceConfig::default()
+        },
+    );
+    // Freeze the workers so in-flight occupancy is deterministic.
+    handle.pause_workers();
+
+    let mut client = Client::connect(&endpoint).unwrap();
+    for _ in 0..quota {
+        let id = client.next_request_id();
+        let mut req = request(9);
+        req.request_id = id;
+        client.send(&Request::Submit(req)).unwrap();
+    }
+    // The quota is full; one more submit is rejected immediately.
+    let overflow_id = client.next_request_id();
+    let mut overflow = request(9);
+    overflow.request_id = overflow_id;
+    client.send(&Request::Submit(overflow)).unwrap();
+    match client
+        .recv()
+        .expect("rejection arrives while workers are paused")
+    {
+        Response::Error(err) => {
+            assert_eq!(err.code, ErrorCode::QuotaExceeded);
+            assert_eq!(err.request_id, overflow_id);
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    assert_eq!(handle.stats().rejected_quota, 1);
+
+    // Unfreeze: the queued work completes, the quota frees up, and the
+    // same connection serves again.
+    handle.resume_workers();
+    for _ in 0..quota {
+        match client.recv().expect("queued responses drain") {
+            Response::Schedule(_) => {}
+            other => panic!("expected schedules, got {other:?}"),
+        }
+    }
+    let reply = client.submit(request(9)).expect("quota freed");
+    assert!(!reply.freshly_compiled, "duplicate of the drained requests");
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_overload_is_typed_and_recoverable() {
+    let (handle, endpoint) = start(
+        "overload",
+        ServiceConfig {
+            queue_capacity: 2,
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    handle.pause_workers();
+
+    let mut client = Client::connect(&endpoint).unwrap();
+    for _ in 0..2 {
+        let id = client.next_request_id();
+        let mut req = request(5);
+        req.request_id = id;
+        client.send(&Request::Submit(req)).unwrap();
+    }
+    // Queue depth 2 reached; the next submit overflows.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while handle.stats().queue_depth < 2 {
+        assert!(std::time::Instant::now() < deadline, "queue never filled");
+        std::thread::yield_now();
+    }
+    let overflow_id = client.next_request_id();
+    let mut overflow = request(5);
+    overflow.request_id = overflow_id;
+    client.send(&Request::Submit(overflow)).unwrap();
+    match client.recv().expect("overload rejection arrives") {
+        Response::Error(err) => {
+            assert_eq!(err.code, ErrorCode::Overloaded);
+            assert_eq!(err.request_id, overflow_id);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(handle.stats().rejected_overload, 1);
+
+    handle.resume_workers();
+    for _ in 0..2 {
+        match client.recv().expect("queued responses drain") {
+            Response::Schedule(_) => {}
+            other => panic!("expected schedules, got {other:?}"),
+        }
+    }
+    assert_serving(&endpoint, 5);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_work_and_rejects_new() {
+    let (handle, endpoint) = start("drain", ServiceConfig::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+    handle.pause_workers();
+
+    // Admit work, then request shutdown while it is still queued.
+    let id = client.next_request_id();
+    let mut req = request(7);
+    req.request_id = id;
+    client.send(&Request::Submit(req)).unwrap();
+    let shutdown_id = client.next_request_id();
+    client
+        .send(&Request::Shutdown {
+            request_id: shutdown_id,
+        })
+        .unwrap();
+    match client.recv().expect("ack arrives") {
+        Response::ShutdownAck { request_id } => assert_eq!(request_id, shutdown_id),
+        other => panic!("expected ack, got {other:?}"),
+    }
+
+    // New submits are now rejected with ShuttingDown...
+    let late_id = client.next_request_id();
+    let mut late = request(8);
+    late.request_id = late_id;
+    client.send(&Request::Submit(late)).unwrap();
+    match client.recv().expect("rejection arrives") {
+        Response::Error(err) => {
+            assert_eq!(err.code, ErrorCode::ShuttingDown);
+            assert_eq!(err.request_id, late_id);
+        }
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+
+    // ...but the admitted job is still served during the drain (workers
+    // are paused; shutdown() closes the queue, which overrides pause).
+    let drainer = std::thread::spawn(move || handle.shutdown());
+    match client.recv().expect("drained response arrives") {
+        Response::Schedule(reply) => assert_eq!(reply.request_id, id),
+        other => panic!("expected drained schedule, got {other:?}"),
+    }
+    drainer.join().unwrap();
+    // The socket is gone: connecting now fails.
+    assert!(Client::connect(&endpoint).is_err());
+}

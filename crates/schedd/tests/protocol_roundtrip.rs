@@ -1,0 +1,310 @@
+//! Property and adversarial tests of the `schedd` wire protocol: every
+//! request/response frame — all 8 registry schedulers × both backends,
+//! every error code, stats snapshots — encodes→decodes identically, and
+//! every malformation (truncation at any byte offset, single-byte
+//! corruption, hostile headers) surfaces as a typed
+//! [`FrameError`]/[`DecodeError`], never a panic and never wrong data.
+
+use std::sync::Arc;
+
+use commcache::Fingerprint;
+use commrt::{BackendKind, BackendReport, ContentionStats};
+use commsched::{registry, CommMatrix};
+use proptest::prelude::*;
+use schedd::{
+    read_frame, write_frame, DaemonStats, DecodeError, ErrorCode, ErrorReply, FrameError, Request,
+    Response, SchemeChoice, SubmitReply, SubmitRequest, TopologySpec,
+};
+
+/// Sparse matrix on `n = 2^dim` nodes from raw triples.
+fn matrix_from(dim: u32, cells: &[(usize, usize, u32)]) -> CommMatrix {
+    let n = 1usize << dim;
+    let mut com = CommMatrix::new(n);
+    for &(s, d, bytes) in cells {
+        let (s, d) = (s % n, d % n);
+        if s != d && com.get(s, d) == 0 {
+            com.set(s, d, bytes.max(1));
+        }
+    }
+    com
+}
+
+fn scheme_from(idx: usize) -> SchemeChoice {
+    [SchemeChoice::S1, SchemeChoice::S2, SchemeChoice::Default][idx % 3]
+}
+
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, body).expect("frame within bounds");
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn submit_requests_roundtrip_for_every_scheduler_and_backend(
+        dim in 2u32..6,
+        cells in proptest::collection::vec((0usize..32, 0usize..32, 1u32..65_536), 0..96),
+        seed in 0u64..10_000,
+        request_id in 0u64..u64::MAX,
+        scheme_idx in 0usize..3,
+        want_flag in 0u8..2,
+    ) {
+        let matrix = matrix_from(dim, &cells);
+        let want_schedule = want_flag == 1;
+        for entry in registry::all() {
+            for backend in BackendKind::all() {
+                let req = Request::Submit(SubmitRequest {
+                    request_id,
+                    want_schedule,
+                    topology: TopologySpec::Hypercube { dims: dim },
+                    scheduler: entry.name().to_string(),
+                    scheme: scheme_from(scheme_idx),
+                    backend,
+                    seed,
+                    matrix: matrix.clone(),
+                });
+                // Through the full framing layer, not just the body.
+                let wire = frame(&req.encode());
+                let body = read_frame(&mut wire.as_slice())
+                    .expect("well-formed frame")
+                    .expect("not EOF");
+                prop_assert_eq!(Request::decode(&body).expect("decode"), req);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_replies_roundtrip_for_every_scheduler(
+        dim in 2u32..5,
+        cells in proptest::collection::vec((0usize..16, 0usize..16, 1u32..4096), 1..48),
+        seed in 0u64..1000,
+        want_flag in 0u8..2,
+        makespan in 0u64..u64::MAX,
+        phase_ends in proptest::collection::vec(0u64..u64::MAX, 0..12),
+    ) {
+        let matrix = matrix_from(dim, &cells);
+        let want_schedule = want_flag == 1;
+        let cube = TopologySpec::Hypercube { dims: dim }.build();
+        for entry in registry::all() {
+            let schedule = entry.schedule(&matrix, cube.as_ref(), seed);
+            let fp = Fingerprint::compute(&matrix, cube.as_ref(), entry.name(), seed);
+            let resp = Response::Schedule(SubmitReply {
+                request_id: seed,
+                fingerprint: fp,
+                freshly_compiled: want_schedule,
+                estimate: BackendReport {
+                    makespan_ns: makespan,
+                    phase_end_ns: phase_ends.clone(),
+                    contention: ContentionStats {
+                        max_engine_busy_ns: makespan / 2,
+                        max_link_busy_ns: makespan / 3,
+                        contended_transfers: seed,
+                        contended_phases: phase_ends.len(),
+                    },
+                },
+                schedule: want_schedule.then(|| Arc::new(schedule)),
+            });
+            let wire = frame(&resp.encode());
+            let body = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+            prop_assert_eq!(Response::decode(&body).expect("decode"), resp);
+        }
+    }
+
+    #[test]
+    fn stats_and_error_frames_roundtrip(
+        fields in proptest::collection::vec(0u64..u64::MAX, 22..23),
+        request_id in 0u64..u64::MAX,
+        detail_seed in 0u64..u64::MAX,
+    ) {
+        let detail = format!("diagnostic detail {detail_seed}");
+        let stats = DaemonStats {
+            connections_accepted: fields[0],
+            connections_active: fields[1],
+            disconnects_midstream: fields[2],
+            submits: fields[3],
+            completed: fields[4],
+            compiles: fields[5],
+            coalesced: fields[6],
+            cache_requests: fields[7],
+            cache_mem_hits: fields[8],
+            cache_store_hits: fields[9],
+            cache_misses: fields[10],
+            estimate_hits: fields[11],
+            estimate_misses: fields[12],
+            rejected_quota: fields[13],
+            rejected_overload: fields[14],
+            rejected_shutdown: fields[15],
+            errors_malformed: fields[16],
+            errors_other: fields[17],
+            write_failures: fields[18],
+            queue_depth: fields[19],
+            inflight: fields[20],
+            draining: fields[21],
+        };
+        let resp = Response::Stats { request_id, stats };
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        for code in ErrorCode::all() {
+            let resp = Response::Error(ErrorReply {
+                request_id,
+                code,
+                detail: detail.clone(),
+            });
+            let wire = frame(&resp.encode());
+            let body = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+            prop_assert_eq!(Response::decode(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_offset_is_a_typed_error(
+        cells in proptest::collection::vec((0usize..16, 0usize..16, 1u32..4096), 1..48),
+        cut_pct in 0usize..100,
+    ) {
+        let req = Request::Submit(SubmitRequest {
+            request_id: 42,
+            want_schedule: true,
+            topology: TopologySpec::Hypercube { dims: 4 },
+            scheduler: "RS_NL".into(),
+            scheme: SchemeChoice::Default,
+            backend: BackendKind::Des,
+            seed: 7,
+            matrix: matrix_from(4, &cells),
+        });
+        let wire = frame(&req.encode());
+        let cut = (wire.len() - 1) * cut_pct / 100;
+        // Cutting the wire mid-frame: read_frame must type the failure
+        // (or report clean EOF for cut == 0), never panic.
+        match read_frame(&mut &wire[..cut]) {
+            Ok(None) => prop_assert!(cut == 0, "EOF only legal at a frame boundary"),
+            Err(FrameError::Truncated) => {}
+            other => prop_assert!(false, "cut at {}: expected Truncated, got {:?}", cut, other),
+        }
+        // Cutting the already-verified body mid-field: Request::decode
+        // must type the failure too (in-process callers hit this path).
+        let body = req.encode();
+        let body_cut = (body.len() - 1) * cut_pct / 100;
+        match Request::decode(&body[..body_cut]) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "decoded a body truncated at {}", body_cut),
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_caught(
+        victim in 0usize..100_000,
+        flip in 1u8..=255,
+        cells in proptest::collection::vec((0usize..16, 0usize..16, 1u32..4096), 1..48),
+    ) {
+        let req = Request::Submit(SubmitRequest {
+            request_id: 9,
+            want_schedule: false,
+            topology: TopologySpec::Hypercube { dims: 4 },
+            scheduler: "AC".into(),
+            scheme: SchemeChoice::S2,
+            backend: BackendKind::Analytic,
+            seed: 3,
+            matrix: matrix_from(4, &cells),
+        });
+        let mut wire = frame(&req.encode());
+        let at = victim % wire.len();
+        wire[at] ^= flip;
+        // Any single flipped byte must yield a typed frame error: a
+        // magic/length/checksum flip fails framing, and a body flip
+        // fails the FNV-1a-64 body checksum. A silently different
+        // request must never come back.
+        match read_frame(&mut wire.as_slice()) {
+            Err(_) => {}
+            Ok(body) => prop_assert!(false, "byte {} flipped undetected: {:?}", at, body),
+        }
+    }
+}
+
+#[test]
+fn hostile_and_oversized_headers_are_typed_errors() {
+    // Not our protocol at all.
+    assert!(matches!(
+        read_frame(&mut &b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"[..]),
+        Err(FrameError::BadMagic(_))
+    ));
+    // Correct magic, absurd length claim: rejected before allocation.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(b"SDF1");
+    wire.extend_from_slice(&u32::MAX.to_le_bytes());
+    wire.extend_from_slice(&[0u8; 64]);
+    assert!(matches!(
+        read_frame(&mut wire.as_slice()),
+        Err(FrameError::Oversized(_))
+    ));
+    // Correct framing, hostile body: a Submit claiming 2^20 nodes must
+    // be rejected by the node cap, not by allocating a 4 TiB matrix.
+    let mut body = vec![0x01u8]; // Submit
+    body.extend_from_slice(&1u64.to_le_bytes()); // request_id
+    body.push(0); // want_schedule
+    body.push(0); // hypercube
+    body.extend_from_slice(&20u32.to_le_bytes()); // dims = 20 > MAX_DIMS
+    match Request::decode(&body) {
+        Err(DecodeError::BadValue { field, .. }) => assert_eq!(field, "topology.dims"),
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+    // A message-count claim far past the body's end must be caught by
+    // the bytes-remaining bound before any allocation.
+    let mut body = vec![0x01u8];
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.push(0);
+    body.push(0);
+    body.extend_from_slice(&4u32.to_le_bytes()); // dims = 4
+    body.extend_from_slice(&5u32.to_le_bytes()); // scheduler = "RS_NL"
+    body.extend_from_slice(b"RS_NL");
+    body.push(2); // scheme default
+    body.push(0); // backend des
+    body.extend_from_slice(&0u64.to_le_bytes()); // seed
+    body.extend_from_slice(&16u64.to_le_bytes()); // n
+    body.extend_from_slice(&u64::MAX.to_le_bytes()); // count bomb
+    assert!(matches!(
+        Request::decode(&body),
+        Err(DecodeError::Truncated)
+    ));
+}
+
+#[test]
+fn semantic_garbage_is_invalid_not_panic() {
+    let mut base = SubmitRequest {
+        request_id: 1,
+        want_schedule: false,
+        topology: TopologySpec::Hypercube { dims: 3 },
+        scheduler: "AC".into(),
+        scheme: SchemeChoice::Default,
+        backend: BackendKind::Des,
+        seed: 0,
+        matrix: CommMatrix::new(8),
+    };
+    base.matrix.set(0, 1, 64);
+    // A topology/matrix size mismatch on the wire is rejected at decode.
+    let mut mismatched = base.clone();
+    mismatched.topology = TopologySpec::Hypercube { dims: 4 };
+    assert!(matches!(
+        Request::decode(&mismatched.encode()),
+        Err(DecodeError::Invalid(_))
+    ));
+    // Mesh requests roundtrip too (the other topology arm).
+    let mut mesh = base.clone();
+    mesh.topology = TopologySpec::Mesh2d { rows: 2, cols: 4 };
+    assert_eq!(
+        Request::decode(&mesh.encode()).unwrap(),
+        Request::Submit(mesh)
+    );
+    // Unknown kinds and trailing bytes are typed.
+    assert!(matches!(
+        Request::decode(&[0x55]),
+        Err(DecodeError::BadKind(0x55))
+    ));
+    let mut trailing = base.encode();
+    trailing.push(0xFF);
+    assert!(matches!(
+        Request::decode(&trailing),
+        Err(DecodeError::TrailingBytes)
+    ));
+    assert!(matches!(Request::decode(&[]), Err(DecodeError::Truncated)));
+}

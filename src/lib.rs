@@ -21,6 +21,9 @@
 //!   into per-node programs and runs experiments on pluggable simulation
 //!   backends (exact discrete-event, or a fast contention-aware analytic
 //!   model — `IPSC_BACKEND`).
+//! * [`schedd`] — a scheduling daemon: serves compile+simulate requests
+//!   over a checksummed framed protocol (Unix/TCP), coalescing identical
+//!   in-flight requests onto one compile and streaming schedules back.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use commcache;
 pub use commrt;
 pub use commsched;
 pub use hypercube;
+pub use schedd;
 pub use simnet;
 pub use workloads;
 
