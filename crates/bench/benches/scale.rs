@@ -1,0 +1,211 @@
+//! Scaling curves for the two simulation substrates — the numbers behind
+//! the "cost scales with traffic, not topology" claim.
+//!
+//! Two sweeps land in `BENCH_scale_sim.json`:
+//!
+//! * `analytic/d{dim}` — pricing a fixed pool of 2048 random transfers
+//!   on hypercubes from d=6 (the paper's machine) to d=20 (a
+//!   million-node fabric), plus `analytic_resident_bytes/d{dim}` with
+//!   the pool's table footprint. Above the sparse crossover the cost
+//!   per pool may grow only with the route lengths (~d), never with
+//!   the 2^d node count — the `--expect-analytic-growth` gate pins the
+//!   d=14 → d=20 ratio.
+//! * `des-seq/d{dim}` and `des-par/d10` — the exact engine on dense
+//!   AC-scheduled traffic (`dregular(d=16, M=4096)`, the pending-set
+//!   regime batching was built for), sequential at d ∈ {6, 8, 10} and
+//!   parallel at d=10. The `--expect-parallel-speedup` gate pins the
+//!   d=10 sequential/parallel ratio.
+//!
+//! Gates (all optional, for CI exit-code enforcement):
+//!
+//! ```text
+//! cargo bench --bench scale -- --expect-analytic-growth 2.0 \
+//!     --expect-parallel-speedup 2.0 --expect-analytic-wall-ms 50
+//! ```
+//!
+//! `REPRO_SAMPLES` overrides the repetition count (default 3).
+
+use commrt::{DesBackend, Scheme, SimBackend};
+use commsched::registry;
+use criterion::black_box;
+use hypercube::{Hypercube, NodeId, Topology};
+use repro_bench::{time_case, write_bench_json};
+use simnet::{ExecMode, LoadModel, PortModel, TransferSpec};
+
+/// Analytic sweep: d=6 (the paper) through d=20 (a million nodes).
+const ANALYTIC_DIMS: [u32; 8] = [6, 8, 10, 12, 14, 16, 18, 20];
+/// Fixed traffic per pool — the independent variable is the fabric.
+const POOL_TRANSFERS: usize = 2048;
+/// Sequential DES curve; d=10 also runs in parallel mode.
+const DES_DIMS: [u32; 3] = [6, 8, 10];
+
+struct Gates {
+    analytic_growth: Option<f64>,
+    parallel_speedup: Option<f64>,
+    analytic_wall_ms: Option<f64>,
+}
+
+fn parse_gates() -> Gates {
+    let mut gates = Gates {
+        analytic_growth: None,
+        parallel_speedup: None,
+        analytic_wall_ms: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut expect = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("scale: {name} expects a number");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--expect-analytic-growth" => {
+                gates.analytic_growth = Some(expect("--expect-analytic-growth"));
+            }
+            "--expect-parallel-speedup" => {
+                gates.parallel_speedup = Some(expect("--expect-parallel-speedup"));
+            }
+            "--expect-analytic-wall-ms" => {
+                gates.analytic_wall_ms = Some(expect("--expect-analytic-wall-ms"));
+            }
+            // Tolerate harness-style flags (e.g. `--bench`) so `cargo
+            // bench` invocations without gates keep working.
+            _ => {}
+        }
+    }
+    gates
+}
+
+/// Deterministic random transfers on an `n`-node fabric (xorshift LCG —
+/// the bench must price the same pool on every run).
+fn random_specs(n: usize, count: usize, mut state: u64) -> Vec<TransferSpec> {
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut specs = Vec::with_capacity(count);
+    while specs.len() < count {
+        let (src, dst) = (rand() as usize % n, rand() as usize % n);
+        if src == dst {
+            continue;
+        }
+        specs.push(TransferSpec {
+            src: NodeId(src as u32),
+            dst: NodeId(dst as u32),
+            busy_ns: 1 + rand() % 100_000,
+            lead_ns: rand() % 10_000,
+            fused: false,
+        });
+    }
+    specs
+}
+
+fn main() {
+    let gates = parse_gates();
+    let reps = repro_bench::sample_count_or(3);
+    let mut cases = Vec::new();
+
+    // -- analytic: fixed traffic, growing fabric ---------------------------
+    let mut analytic_mean = std::collections::HashMap::new();
+    println!("analytic pool pricing: {POOL_TRANSFERS} transfers, {reps} reps");
+    for dim in ANALYTIC_DIMS {
+        let cube = Hypercube::new(dim);
+        let n = cube.num_nodes();
+        let specs = random_specs(n, POOL_TRANSFERS, 0x5ca1_ab1e ^ u64::from(dim));
+        let mut pool = LoadModel::new(&cube, PortModel::Unified);
+        let case = time_case(format!("analytic/d{dim}"), reps, || {
+            pool.reset();
+            for &spec in &specs {
+                pool.add(&cube, spec);
+            }
+            black_box(pool.makespan_ns());
+        });
+        println!(
+            "  d={dim:<2} ({n:>9} nodes, {}): {:>9.3} ms/pool, {:>8} resident bytes",
+            if pool.is_dense() { "dense " } else { "sparse" },
+            case.mean_ns / 1e6,
+            pool.resident_bytes(),
+        );
+        analytic_mean.insert(dim, case.mean_ns);
+        cases.push(criterion::CaseResult {
+            name: format!("analytic_resident_bytes/d{dim}"),
+            mean_ns: pool.resident_bytes() as f64,
+            min_ns: pool.resident_bytes() as f64,
+            max_ns: pool.resident_bytes() as f64,
+        });
+        cases.push(case);
+    }
+
+    // -- DES: dense AC traffic, sequential curve + parallel d=10 -----------
+    let params = simnet::MachineParams::ipsc860();
+    let entry = registry::find("AC").expect("AC is registered");
+    let scheme = Scheme::for_scheduler(entry);
+    let (density, bytes) = (16usize, 4096u32);
+    println!("exact engine: AC on dregular(d={density}, M={bytes}), {reps} reps");
+    let mut des_mean = std::collections::HashMap::new();
+    for dim in DES_DIMS {
+        let cube = Hypercube::new(dim);
+        let com = workloads::random_dregular(cube.num_nodes(), density, bytes, 7);
+        let schedule = entry.schedule(&com, &cube, 7);
+        let modes: &[(&str, Option<ExecMode>)] = if dim == 10 {
+            &[
+                ("des-seq", None),
+                ("des-par", Some(ExecMode::Parallel { threads: 4 })),
+            ]
+        } else {
+            &[("des-seq", None)]
+        };
+        for &(label, exec) in modes {
+            let backend = match exec {
+                None => DesBackend::default(),
+                Some(mode) => DesBackend::with_exec(mode),
+            };
+            let case = time_case(format!("{label}/d{dim}"), reps, || {
+                backend
+                    .estimate(&params, &cube, &com, &schedule, scheme)
+                    .unwrap_or_else(|e| panic!("{label} d={dim}: {e}"));
+            });
+            println!("  {label}/d{dim}: {:>9.3} ms/run", case.mean_ns / 1e6);
+            des_mean.insert((label, dim), case.mean_ns);
+            cases.push(case);
+        }
+    }
+
+    let path = write_bench_json("scale_sim", &cases).expect("write bench json");
+    println!("wrote {}", path.display());
+
+    // -- gates -------------------------------------------------------------
+    let mut failed = false;
+    let growth = analytic_mean[&20] / analytic_mean[&14];
+    println!("analytic growth d14 -> d20 (64x the nodes): {growth:.2}x the cost");
+    if let Some(bound) = gates.analytic_growth {
+        if growth > bound {
+            eprintln!("scale: FAIL analytic growth {growth:.2}x > {bound:.2}x");
+            failed = true;
+        }
+    }
+    let speedup = des_mean[&("des-seq", 10)] / des_mean[&("des-par", 10)];
+    println!("parallel DES speedup on dense d=10: {speedup:.2}x");
+    if let Some(bound) = gates.parallel_speedup {
+        if speedup < bound {
+            eprintln!("scale: FAIL parallel speedup {speedup:.2}x < {bound:.2}x");
+            failed = true;
+        }
+    }
+    if let Some(bound) = gates.analytic_wall_ms {
+        let wall_ms = analytic_mean[&14] / 1e6;
+        println!("analytic d=14 wall: {wall_ms:.3} ms (bound {bound:.1} ms)");
+        if wall_ms > bound {
+            eprintln!("scale: FAIL analytic d=14 wall {wall_ms:.3} ms > {bound:.1} ms");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

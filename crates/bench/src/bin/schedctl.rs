@@ -90,6 +90,10 @@ OPTIONS:
   --backend <b>        (submit/bench) des|analytic   [default: IPSC_BACKEND]
   --want-schedule      (submit) stream the compiled schedule summary too
   --requests <k>       (bench) how many requests to replay   [default: 200]
+  --dims <lo>..<hi>    (bench) sweep hypercube dimensions instead of one
+                       --n, appending daemon/d{dim} latency rows to
+                       BENCH_scale_sim.json (daemon needs --max-nodes
+                       covering 2^hi)
 ";
 
 fn main() -> ExitCode {
@@ -444,6 +448,12 @@ fn request_from(opts: &[String]) -> Result<SubmitRequest, String> {
     if !n.is_power_of_two() {
         return Err(format!("--n {n} is not a power of two (hypercube size)"));
     }
+    request_with_n(opts, n)
+}
+
+/// [`request_from`] with the machine size fixed by the caller (the
+/// `--dims` sweep overrides `--n` per dimension).
+fn request_with_n(opts: &[String], n: usize) -> Result<SubmitRequest, String> {
     let d: usize = opt_parsed(opts, "--d", 4.min(n - 1))?;
     let bytes: u32 = opt_parsed(opts, "--bytes", 1024)?;
     let seed: u64 = opt_parsed(opts, "--seed", 0)?;
@@ -485,6 +495,7 @@ const DAEMON_FLAGS: &[&str] = &[
     "--scheme",
     "--backend",
     "--requests",
+    "--dims",
 ];
 
 fn submit(opts: &[String]) -> Result<ExitCode, String> {
@@ -528,6 +539,9 @@ fn submit(opts: &[String]) -> Result<ExitCode, String> {
 fn bench(opts: &[String]) -> Result<ExitCode, String> {
     reject_unknown(opts, DAEMON_FLAGS, &["--want-schedule"])?;
     let requests: usize = opt_parsed(opts, "--requests", 200)?;
+    if let Some(spec) = opt_value(opts, "--dims")? {
+        return bench_dims(opts, spec, requests);
+    }
     let req = request_from(opts)?;
     let mut client = connect(opts)?;
     let before = client.stats().map_err(|e| e.to_string())?;
@@ -563,6 +577,51 @@ fn bench(opts: &[String]) -> Result<ExitCode, String> {
             (1.0 - d_compiles as f64 / d_completed as f64) * 100.0
         },
     );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `bench --dims <lo>..<hi>`: replay `requests` requests per hypercube
+/// dimension against the live daemon and append one `daemon/d{dim}` row
+/// per dimension (mean/min/max ns per request) to `BENCH_scale_sim.json`
+/// — the daemon-side leg of the scale curve `benches/scale.rs` starts.
+/// The daemon must have been started with a `--max-nodes` admitting the
+/// largest dimension.
+fn bench_dims(opts: &[String], spec: &str, requests: usize) -> Result<ExitCode, String> {
+    let (lo, hi) = spec
+        .split_once("..")
+        .and_then(|(a, b)| Some((a.trim().parse::<u32>().ok()?, b.trim().parse::<u32>().ok()?)))
+        .filter(|&(lo, hi)| lo >= 1 && lo <= hi)
+        .ok_or_else(|| format!("--dims: `{spec}` is not `<lo>..<hi>` with 1 <= lo <= hi"))?;
+    let mut client = connect(opts)?;
+    let mut cases = Vec::new();
+    println!("daemon sweep: dims {lo}..{hi}, {requests} request(s) each");
+    for dim in lo..=hi {
+        let req = request_with_n(opts, 1usize << dim)?;
+        let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests);
+        let t0 = Instant::now();
+        for _ in 0..requests {
+            let t = Instant::now();
+            client.submit(req.clone()).map_err(|e| e.to_string())?;
+            latencies_ns.push(t.elapsed().as_nanos() as u64);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let mean = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len().max(1) as f64;
+        let case = criterion::CaseResult {
+            name: format!("daemon/d{dim}"),
+            mean_ns: mean,
+            min_ns: latencies_ns.iter().min().copied().unwrap_or(0) as f64,
+            max_ns: latencies_ns.iter().max().copied().unwrap_or(0) as f64,
+        };
+        println!(
+            "  d={dim:<2} ({:>7} nodes): {:>8.0} req/s, mean {:>10.1} us",
+            1u64 << dim,
+            requests as f64 / wall.max(1e-9),
+            mean / 1e3,
+        );
+        cases.push(case);
+    }
+    let path = repro_bench::append_bench_json("scale_sim", &cases).map_err(|e| e.to_string())?;
+    println!("appended {} row(s) to {}", cases.len(), path.display());
     Ok(ExitCode::SUCCESS)
 }
 

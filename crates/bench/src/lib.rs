@@ -241,6 +241,26 @@ pub fn write_bench_json(
     criterion::write_report_quiet(group, cases)
 }
 
+/// Append `cases` to `BENCH_<group>.json` across *processes*: existing
+/// cases survive, except that a new case replaces any old one with the
+/// same name (re-running a sweep must update its rows, not duplicate
+/// them). This is how `schedctl bench --dims` adds its `daemon/d{dim}`
+/// rows to the `BENCH_scale_sim.json` the scale bench wrote earlier —
+/// the shim's own writer truncates on a process's first write.
+///
+/// # Errors
+///
+/// I/O errors from the filesystem.
+pub fn append_bench_json(
+    group: &str,
+    cases: &[criterion::CaseResult],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut merged = criterion::read_report(group);
+    merged.retain(|old| !cases.iter().any(|new| new.name == old.name));
+    merged.extend(cases.iter().cloned());
+    criterion::rewrite_report(group, &merged)
+}
+
 /// Render a Table-1-style block for one density. The column set is taken
 /// from the records themselves (first-row order), so the table grows with
 /// the registry instead of hardcoding algorithm names.
@@ -374,6 +394,27 @@ mod tests {
         assert!(text.contains("\"name\": \"noop\""));
         assert!(text.contains("\"mean_ns\""));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_bench_json_replaces_by_name_and_keeps_the_rest() {
+        let case = |name: &str, mean: f64| criterion::CaseResult {
+            name: name.to_string(),
+            mean_ns: mean,
+            min_ns: mean,
+            max_ns: mean,
+        };
+        let group = "libtest_append_selftest";
+        let path = write_bench_json(group, &[case("scale/a", 1.0)]).unwrap();
+        // Cross-process-style append: keeps scale/a, adds daemon rows.
+        append_bench_json(group, &[case("daemon/d4", 2.0)]).unwrap();
+        // Re-running a sweep replaces its rows instead of duplicating.
+        append_bench_json(group, &[case("daemon/d4", 3.0), case("daemon/d5", 4.0)]).unwrap();
+        let back = criterion::read_report(group);
+        let names: Vec<&str> = back.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["scale/a", "daemon/d4", "daemon/d5"]);
+        assert_eq!(back[1].mean_ns, 3.0);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -224,10 +224,10 @@ fn differential(
     let params = simnet::MachineParams::ipsc860();
     let scheme = Scheme::for_scheduler(entry);
     let schedule = entry.schedule(com, cube, seed);
-    let des = DesBackend
+    let des = DesBackend::default()
         .estimate(&params, cube, com, &schedule, scheme)
         .unwrap_or_else(|e| panic!("{} DES failed: {e}", entry.name()));
-    let ana = AnalyticBackend
+    let ana = AnalyticBackend::default()
         .estimate(&params, cube, com, &schedule, scheme)
         .unwrap_or_else(|e| panic!("{} analytic failed: {e}", entry.name()));
     (des, ana, scheme)

@@ -32,7 +32,7 @@ use std::fmt;
 
 use commsched::{CommMatrix, Schedule, ScheduleKind};
 use hypercube::{NodeId, Topology};
-use simnet::{LoadModel, MachineParams, SimError, TraceKind, TransferSpec};
+use simnet::{ExecMode, LoadModel, MachineParams, PoolMode, SimError, TraceKind, TransferSpec};
 
 use crate::compile::compile;
 use crate::Scheme;
@@ -155,7 +155,19 @@ fn check_shapes<T: Topology + ?Sized>(
 /// This is the same code path [`crate::ExperimentRunner`] fast-paths for
 /// its default measurements (minus the trace); makespans agree exactly.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct DesBackend;
+pub struct DesBackend {
+    /// Engine execution mode: sequential (exact, the default) or the
+    /// parallel conservative-lookahead mode ([`simnet::ExecMode`]).
+    pub exec: ExecMode,
+}
+
+impl DesBackend {
+    /// Backend running the engine under `exec` — used by the scale bench
+    /// and by [`SimMode::from_env`]-driven selection.
+    pub fn with_exec(exec: ExecMode) -> Self {
+        DesBackend { exec }
+    }
+}
 
 impl SimBackend for DesBackend {
     fn name(&self) -> &'static str {
@@ -172,7 +184,7 @@ impl SimBackend for DesBackend {
     ) -> Result<BackendReport, SimError> {
         check_shapes(topo, com, schedule)?;
         let programs = compile(com, schedule, scheme);
-        let (report, trace) = simnet::simulate_traced(topo, params, programs)?;
+        let (report, trace) = simnet::simulate_traced_with(topo, params, programs, self.exec)?;
         let phases = schedule.num_phases().max(1);
         let mut phase_end_ns = vec![0u64; phases];
         // Requested/Started per (src, dst, tag): blocked-start detection.
@@ -259,9 +271,21 @@ impl SimBackend for DesBackend {
 /// maxima collapse to the exact event-engine answer — the conformance
 /// suite pins that class bit-for-bit.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct AnalyticBackend;
+pub struct AnalyticBackend {
+    /// Resource-pool layout ([`simnet::PoolMode`]): dense vectors,
+    /// traffic-sized sparse tables, or the size-based automatic pick.
+    /// The layout never changes estimates — the differential suite pins
+    /// dense = sparse bit-for-bit — only memory and topology-size cost.
+    pub pool: PoolMode,
+}
 
 impl AnalyticBackend {
+    /// Backend pricing pools under `pool` — used by the scale bench and
+    /// by [`SimMode::from_env`]-driven selection.
+    pub fn with_pool(pool: PoolMode) -> Self {
+        AnalyticBackend { pool }
+    }
+
     /// Reject self-pairs a hand-assembled schedule could smuggle past the
     /// matrix (which forbids diagonal entries).
     fn check_phases(schedule: &Schedule) -> Result<(), SimError> {
@@ -290,6 +314,7 @@ impl AnalyticBackend {
     /// topology automorphisms (the metamorphic suite pins that) at the
     /// cost of a small, degree-bounded undershoot.
     fn estimate_pool<T: Topology + ?Sized>(
+        &self,
         params: &MachineParams,
         topo: &T,
         com: &CommMatrix,
@@ -305,7 +330,7 @@ impl AnalyticBackend {
             in_degree[dst.index()] += 1;
         }
         let mut sends_before = vec![0u64; n];
-        let mut pool = LoadModel::new(topo, params.ports);
+        let mut pool = LoadModel::with_mode(topo, params.ports, self.pool);
         let mut phase_end_ns = Vec::with_capacity(phases.len());
         let mut contended_transfers = 0u64;
         let mut contended_phases = 0usize;
@@ -373,6 +398,7 @@ impl AnalyticBackend {
     /// two. For a single contention-free phase both collapse to
     /// `lead + busy`, the event engine's exact answer.
     fn estimate_s1<T: Topology + ?Sized>(
+        &self,
         params: &MachineParams,
         topo: &T,
         com: &CommMatrix,
@@ -388,7 +414,7 @@ impl AnalyticBackend {
         let mut link_busy = vec![0u64; topo.link_count()];
         let mut claims = Vec::new();
         let mut rev_scratch = Vec::new();
-        let mut phase_model = LoadModel::new(topo, params.ports);
+        let mut phase_model = LoadModel::with_mode(topo, params.ports, self.pool);
         let mut phase_end_ns = Vec::with_capacity(schedule.num_phases());
         let mut chain_ns = 0u64; // max-plus running makespan
         let mut sum_ns = 0u64; // per-phase pool running sum
@@ -517,7 +543,7 @@ impl AnalyticBackend {
                 // All messages form one pool (the AC program blasts them
                 // without ordering constraints).
                 let all: Vec<(NodeId, NodeId)> = com.messages().map(|(s, d, _)| (s, d)).collect();
-                Self::estimate_pool(params, topo, com, &[all], false)
+                self.estimate_pool(params, topo, com, &[all], false)
             }
             ScheduleKind::Phased => match scheme {
                 Scheme::S2 => {
@@ -526,9 +552,9 @@ impl AnalyticBackend {
                         .iter()
                         .map(|pm| pm.pairs().collect())
                         .collect();
-                    Self::estimate_pool(params, topo, com, &phases, true)
+                    self.estimate_pool(params, topo, com, &phases, true)
                 }
-                Scheme::S1 => Self::estimate_s1(params, topo, com, schedule),
+                Scheme::S1 => self.estimate_s1(params, topo, com, schedule),
             },
         })
     }
@@ -555,8 +581,91 @@ impl SimBackend for AnalyticBackend {
 // Selection
 // ---------------------------------------------------------------------------
 
-static DES: DesBackend = DesBackend;
-static ANALYTIC: AnalyticBackend = AnalyticBackend;
+static DES: DesBackend = DesBackend {
+    exec: ExecMode::Sequential,
+};
+static ANALYTIC: AnalyticBackend = AnalyticBackend {
+    pool: PoolMode::Auto,
+};
+
+/// Engine tuning knobs orthogonal to [`BackendKind`]: how the analytic
+/// model lays out its pools and how the event engine executes. Parsed
+/// from the `IPSC_SIM_MODE` environment variable and applied via
+/// [`SimMode::des`] / [`SimMode::analytic`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimMode {
+    /// Analytic pool layout (`auto` / `dense` / `sparse`).
+    pub pool: PoolMode,
+    /// Event-engine execution (`seq` / `parallel` / `parallel:<n>`).
+    pub exec: ExecMode,
+}
+
+impl SimMode {
+    /// Parse a comma-separated mode list: any of `auto`, `dense`,
+    /// `sparse` (pool layout) and `seq`, `parallel`, `parallel:<n>`
+    /// (engine execution). Later tokens win within each axis.
+    /// Case-sensitive, by design — env typos should fail loudly.
+    ///
+    /// `parallel` without a thread count uses the `IPSC_THREADS`
+    /// convention (falling back to the host's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// An unrecognized token, echoed back with the accepted set.
+    pub fn parse(s: &str) -> Result<SimMode, String> {
+        let mut mode = SimMode::default();
+        for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tok {
+                "auto" => mode.pool = PoolMode::Auto,
+                "dense" => mode.pool = PoolMode::Dense,
+                "sparse" => mode.pool = PoolMode::Sparse,
+                "seq" => mode.exec = ExecMode::Sequential,
+                "parallel" => {
+                    mode.exec = ExecMode::Parallel {
+                        threads: crate::experiment::default_threads(),
+                    }
+                }
+                _ => match tok.strip_prefix("parallel:").map(str::parse) {
+                    Some(Ok(threads)) if threads > 0 => mode.exec = ExecMode::Parallel { threads },
+                    _ => {
+                        return Err(format!(
+                            "IPSC_SIM_MODE token {tok:?} is not a mode; use \
+                             \"auto\"/\"dense\"/\"sparse\" and/or \
+                             \"seq\"/\"parallel\"/\"parallel:<n>\""
+                        ))
+                    }
+                },
+            }
+        }
+        Ok(mode)
+    }
+
+    /// Mode from the `IPSC_SIM_MODE` environment variable; unset or
+    /// empty means the defaults (auto pools, sequential engine).
+    ///
+    /// # Errors
+    ///
+    /// An unrecognized or non-UTF-8 value, echoed back.
+    pub fn from_env() -> Result<SimMode, String> {
+        match std::env::var("IPSC_SIM_MODE") {
+            Err(std::env::VarError::NotPresent) => Ok(SimMode::default()),
+            Err(std::env::VarError::NotUnicode(v)) => Err(format!(
+                "IPSC_SIM_MODE={v:?} is not valid UTF-8; use e.g. \"sparse,parallel:8\""
+            )),
+            Ok(v) => SimMode::parse(&v),
+        }
+    }
+
+    /// The event-engine backend under this mode's execution setting.
+    pub fn des(self) -> DesBackend {
+        DesBackend::with_exec(self.exec)
+    }
+
+    /// The analytic backend under this mode's pool layout.
+    pub fn analytic(self) -> AnalyticBackend {
+        AnalyticBackend::with_pool(self.pool)
+    }
+}
 
 /// Which backend prices a measurement. `Copy`-cheap so runners, grid
 /// columns, and records can carry it by value.
@@ -692,7 +801,7 @@ mod tests {
             long_per_byte_ns: -1.0,
             ..MachineParams::ipsc860()
         };
-        let err = AnalyticBackend
+        let err = AnalyticBackend::default()
             .estimate(&params, &cube, &com, &ac(&com), Scheme::S2)
             .unwrap_err();
         assert!(matches!(err, SimError::BadParams(_)), "{err}");
@@ -707,7 +816,7 @@ mod tests {
         pm.assign(NodeId(2), NodeId(2));
         let hostile =
             Schedule::from_parts(ScheduleKind::Phased, SchedulerKind::RsN, 8, vec![pm], 0, 0);
-        let err = AnalyticBackend
+        let err = AnalyticBackend::default()
             .estimate(&MachineParams::ipsc860(), &cube, &com, &hostile, Scheme::S2)
             .unwrap_err();
         assert!(
@@ -744,10 +853,10 @@ mod tests {
         for &entry in registry::all() {
             let schedule = entry.schedule(&com, &cube, 1);
             let scheme = Scheme::for_scheduler(entry);
-            let des = DesBackend
+            let des = DesBackend::default()
                 .estimate(&params, &cube, &com, &schedule, scheme)
                 .unwrap();
-            let ana = AnalyticBackend
+            let ana = AnalyticBackend::default()
                 .estimate(&params, &cube, &com, &schedule, scheme)
                 .unwrap();
             assert_eq!(
@@ -763,7 +872,7 @@ mod tests {
         }
         // And the value itself is the closed form.
         let schedule = ac(&com);
-        let r = AnalyticBackend
+        let r = AnalyticBackend::default()
             .estimate(&params, &cube, &com, &schedule, Scheme::S2)
             .unwrap();
         assert_eq!(
@@ -801,7 +910,7 @@ mod tests {
         let params = MachineParams::ipsc860();
         // Bit-reverse-style collisions: AC over a dense matrix contends.
         let com = workloads::random_dense(8, 4, 8192, 3);
-        let contended = AnalyticBackend
+        let contended = AnalyticBackend::default()
             .estimate(&params, &cube, &com, &ac(&com), Scheme::S2)
             .unwrap();
         assert!(contended.contention.contended_transfers > 0);
@@ -809,7 +918,7 @@ mod tests {
         // A single-message matrix does not.
         let mut lone = CommMatrix::new(8);
         lone.set(0, 5, 512);
-        let free = AnalyticBackend
+        let free = AnalyticBackend::default()
             .estimate(&params, &cube, &lone, &ac(&lone), Scheme::S2)
             .unwrap();
         assert_eq!(free.contention.contended_transfers, 0);
@@ -825,7 +934,7 @@ mod tests {
         let params = MachineParams::ipsc860();
         let schedule = rs_nl(&com, &cube, 4);
         let direct = crate::run_schedule(&cube, &params, &com, &schedule, Scheme::S1).unwrap();
-        let via_backend = DesBackend
+        let via_backend = DesBackend::default()
             .estimate(&params, &cube, &com, &schedule, Scheme::S1)
             .unwrap();
         assert_eq!(direct.makespan_ns, via_backend.makespan_ns);

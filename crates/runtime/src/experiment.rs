@@ -304,7 +304,7 @@ pub(crate) fn measure_sample<T: Topology + ?Sized>(
             let programs = compile(com, schedule, scheme);
             simnet::simulate(topo, params, programs)?.makespan_ms()
         }
-        BackendKind::Analytic => AnalyticBackend
+        BackendKind::Analytic => AnalyticBackend::default()
             .estimate_on(params, topo, com, schedule, scheme)?
             .makespan_ms(),
     };

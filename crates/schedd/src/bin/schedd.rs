@@ -12,7 +12,7 @@
 use std::process::ExitCode;
 
 use commcache::CacheConfig;
-use schedd::{Endpoint, Server, ServiceConfig};
+use schedd::{Endpoint, ProtocolLimits, Server, ServiceConfig};
 
 const USAGE: &str = "\
 schedd - scheduling daemon serving compiled schedules + cost estimates
@@ -27,6 +27,9 @@ OPTIONS:
     --workers <n>        compile worker threads        [default: 2]
     --queue <n>          compile queue capacity        [default: 1024]
     --quota <n>          per-connection in-flight cap  [default: 256]
+    --max-nodes <n>      largest request node count    [default: 1024]
+                         (raises the dimension cap to ceil(log2(n));
+                         the matrix-cell allocation guard stays in force)
     --store <dir>        persistent artifact store for the schedule cache
     --estimate-cache <n> estimate cache entry cap      [default: 65536]
     -h, --help           print this help
@@ -59,6 +62,15 @@ fn parse_args() -> Result<(ServiceConfig, Endpoint), String> {
                 config.max_inflight_per_client = value("--quota")?
                     .parse()
                     .map_err(|e| format!("--quota: {e}"))?
+            }
+            "--max-nodes" => {
+                let nodes: u64 = value("--max-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--max-nodes: {e}"))?;
+                if nodes < 2 {
+                    return Err("--max-nodes: need at least 2 nodes".into());
+                }
+                config.limits = ProtocolLimits::with_max_nodes(nodes);
             }
             "--store" => config.cache = CacheConfig::persistent(value("--store")?),
             "--estimate-cache" => {

@@ -49,8 +49,8 @@ pub use client::{Client, ClientError};
 pub use dedup::{FlightStats, SingleFlight};
 pub use net::{Endpoint, Stream};
 pub use protocol::{
-    read_frame, write_frame, DaemonStats, DecodeError, ErrorCode, ErrorReply, FrameError, Request,
-    Response, SchemeChoice, SubmitReply, SubmitRequest, TopologySpec,
+    read_frame, write_frame, DaemonStats, DecodeError, ErrorCode, ErrorReply, FrameError,
+    ProtocolLimits, Request, Response, SchemeChoice, SubmitReply, SubmitRequest, TopologySpec,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerHandle};

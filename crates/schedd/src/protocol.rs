@@ -50,13 +50,67 @@ pub const MAX_BODY_LEN: u32 = 32 << 20;
 /// Longest accepted scheduler name.
 pub const MAX_NAME_LEN: usize = 64;
 
-/// Largest node count a request may carry. Bounds the dense-matrix
-/// allocation a decoded request forces (`n² × 4` bytes — 4 MiB at the
-/// cap) and keeps every legal schedule artifact under [`MAX_BODY_LEN`].
+/// Default for [`ProtocolLimits::max_request_nodes`]: large enough for
+/// every paper-scale request, small enough that a hostile header cannot
+/// force a large allocation on an unconfigured daemon.
 pub const MAX_REQUEST_NODES: u64 = 1024;
 
-/// Largest hypercube dimension a request may name (`2^10` nodes).
+/// Default for [`ProtocolLimits::max_dims`] (`2^10` nodes).
 pub const MAX_DIMS: u32 = 10;
+
+/// Default for [`ProtocolLimits::max_matrix_cells`]: 2^26 dense cells
+/// (a 256 MiB `u32` matrix) — the allocation bomb guard that stays in
+/// force however high `--max-nodes` is raised.
+pub const MAX_MATRIX_CELLS: u64 = 1 << 26;
+
+/// Decode-time size limits, configurable per daemon (`--max-nodes`).
+///
+/// The wire format itself has no node bound; these limits are what the
+/// *decoder* enforces before allocating anything a hostile header could
+/// inflate. [`Request::decode`] applies the defaults (the paper-scale
+/// caps the protocol shipped with); a daemon serving bigger fabrics
+/// passes its own limits via [`Request::decode_with`].
+///
+/// [`max_matrix_cells`](Self::max_matrix_cells) is deliberately
+/// independent of the node cap: a dense [`CommMatrix`] costs `n²`
+/// cells, so raising `--max-nodes` alone must not let a single frame
+/// demand a 16 GiB matrix — topology-sized requests above the cell
+/// budget are rejected with [`DecodeError::LimitExceeded`] before the
+/// allocation happens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtocolLimits {
+    /// Largest node count a request may carry.
+    pub max_request_nodes: u64,
+    /// Largest hypercube dimension a request may name.
+    pub max_dims: u32,
+    /// Largest dense matrix (`n²` cells) a decode may allocate.
+    pub max_matrix_cells: u64,
+}
+
+impl Default for ProtocolLimits {
+    fn default() -> Self {
+        ProtocolLimits {
+            max_request_nodes: MAX_REQUEST_NODES,
+            max_dims: MAX_DIMS,
+            max_matrix_cells: MAX_MATRIX_CELLS,
+        }
+    }
+}
+
+impl ProtocolLimits {
+    /// Limits for a daemon admitting up to `nodes` nodes: the dimension
+    /// cap follows as `ceil(log2(nodes))`, and the matrix-cell bomb
+    /// guard keeps its default — node count bounds what a request may
+    /// *name*, the cell budget bounds what a decode may *allocate*.
+    pub fn with_max_nodes(nodes: u64) -> Self {
+        let nodes = nodes.max(2);
+        ProtocolLimits {
+            max_request_nodes: nodes,
+            max_dims: (u64::BITS - (nodes - 1).leading_zeros()).max(1),
+            ..ProtocolLimits::default()
+        }
+    }
+}
 
 // Frame kinds: requests low, responses high bit set.
 const K_SUBMIT: u8 = 0x01;
@@ -232,6 +286,16 @@ pub enum DecodeError {
     },
     /// A string field is not valid UTF-8 or exceeds its cap.
     BadString(&'static str),
+    /// A size field exceeds the daemon's [`ProtocolLimits`] — a legal
+    /// encoding the receiving daemon declines to allocate for.
+    LimitExceeded {
+        /// Which field.
+        field: &'static str,
+        /// The claimed size.
+        value: u64,
+        /// The limit in force.
+        limit: u64,
+    },
     /// Structurally sound but semantically impossible (self-message,
     /// node index out of range, matrix/topology size mismatch, ...).
     Invalid(String),
@@ -250,6 +314,16 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadString(field) => {
                 write!(f, "field `{field}` is not valid UTF-8 or too long")
+            }
+            DecodeError::LimitExceeded {
+                field,
+                value,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "field `{field}` claims {value}, above this daemon's limit of {limit}"
+                )
             }
             DecodeError::Invalid(what) => write!(f, "invalid request: {what}"),
             DecodeError::Artifact(what) => write!(f, "embedded schedule artifact: {what}"),
@@ -377,14 +451,21 @@ impl TopologySpec {
         }
     }
 
-    fn decode(rd: &mut Rd<'_>) -> Result<TopologySpec, DecodeError> {
+    fn decode(rd: &mut Rd<'_>, limits: &ProtocolLimits) -> Result<TopologySpec, DecodeError> {
         match rd.u8()? {
             0 => {
                 let dims = rd.u32()?;
-                if dims == 0 || dims > MAX_DIMS {
+                if dims == 0 {
                     return Err(DecodeError::BadValue {
                         field: "topology.dims",
                         value: dims.into(),
+                    });
+                }
+                if dims > limits.max_dims {
+                    return Err(DecodeError::LimitExceeded {
+                        field: "topology.dims",
+                        value: dims.into(),
+                        limit: limits.max_dims.into(),
                     });
                 }
                 Ok(TopologySpec::Hypercube { dims })
@@ -393,10 +474,17 @@ impl TopologySpec {
                 let rows = rd.u32()?;
                 let cols = rd.u32()?;
                 let nodes = u64::from(rows) * u64::from(cols);
-                if rows == 0 || cols == 0 || nodes > MAX_REQUEST_NODES {
+                if rows == 0 || cols == 0 {
                     return Err(DecodeError::BadValue {
                         field: "topology.mesh",
                         value: nodes,
+                    });
+                }
+                if nodes > limits.max_request_nodes {
+                    return Err(DecodeError::LimitExceeded {
+                        field: "topology.mesh",
+                        value: nodes,
+                        limit: limits.max_request_nodes,
                     });
                 }
                 Ok(TopologySpec::Mesh2d { rows, cols })
@@ -519,7 +607,7 @@ impl SubmitRequest {
         out
     }
 
-    fn decode(rd: &mut Rd<'_>) -> Result<SubmitRequest, DecodeError> {
+    fn decode(rd: &mut Rd<'_>, limits: &ProtocolLimits) -> Result<SubmitRequest, DecodeError> {
         let request_id = rd.u64()?;
         let want_schedule = match rd.u8()? {
             0 => false,
@@ -531,7 +619,7 @@ impl SubmitRequest {
                 })
             }
         };
-        let topology = TopologySpec::decode(rd)?;
+        let topology = TopologySpec::decode(rd, limits)?;
         let scheduler = rd.str("scheduler", MAX_NAME_LEN)?;
         let scheme = rd.u8()?;
         let scheme = SchemeChoice::from_code(scheme).ok_or(DecodeError::BadValue {
@@ -545,10 +633,26 @@ impl SubmitRequest {
         })?;
         let seed = rd.u64()?;
         let n = rd.u64()?;
-        if n == 0 || n > MAX_REQUEST_NODES {
+        if n == 0 {
             return Err(DecodeError::BadValue {
                 field: "matrix.n",
                 value: n,
+            });
+        }
+        if n > limits.max_request_nodes {
+            return Err(DecodeError::LimitExceeded {
+                field: "matrix.n",
+                value: n,
+                limit: limits.max_request_nodes,
+            });
+        }
+        // The dense matrix below costs n² cells; the cell budget guards
+        // that allocation independently of how high the node cap is set.
+        if n.saturating_mul(n) > limits.max_matrix_cells {
+            return Err(DecodeError::LimitExceeded {
+                field: "matrix.cells",
+                value: n.saturating_mul(n),
+                limit: limits.max_matrix_cells,
             });
         }
         let n = n as usize;
@@ -633,15 +737,25 @@ impl Request {
         }
     }
 
-    /// Decode a frame body.
+    /// Decode a frame body under the default [`ProtocolLimits`].
     ///
     /// # Errors
     ///
     /// Typed [`DecodeError`] for every malformation; never panics.
     pub fn decode(body: &[u8]) -> Result<Request, DecodeError> {
+        Request::decode_with(body, &ProtocolLimits::default())
+    }
+
+    /// Decode a frame body under a daemon's own size limits.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DecodeError`] for every malformation — size claims above
+    /// `limits` are [`DecodeError::LimitExceeded`]; never panics.
+    pub fn decode_with(body: &[u8], limits: &ProtocolLimits) -> Result<Request, DecodeError> {
         let mut rd = Rd::new(body);
         let req = match rd.u8()? {
-            K_SUBMIT => Request::Submit(SubmitRequest::decode(&mut rd)?),
+            K_SUBMIT => Request::Submit(SubmitRequest::decode(&mut rd, limits)?),
             K_STATS_REQ => Request::Stats {
                 request_id: rd.u64()?,
             },
@@ -1222,6 +1336,64 @@ mod tests {
             Request::decode(&[0x7f]),
             Err(DecodeError::BadKind(0x7f))
         ));
+    }
+
+    #[test]
+    fn raised_limits_roundtrip_large_fabrics() {
+        // A d=12 cube (4096 nodes) is over the default node cap but
+        // legal under a daemon started with --max-nodes 4096.
+        let limits = ProtocolLimits::with_max_nodes(4096);
+        assert_eq!(limits.max_dims, 12);
+        let mut matrix = CommMatrix::new(4096);
+        matrix.set(0, 4095, 8);
+        matrix.set(1000, 3000, 64);
+        let req = Request::Submit(SubmitRequest {
+            request_id: 5,
+            want_schedule: false,
+            topology: TopologySpec::Hypercube { dims: 12 },
+            scheduler: "AC".into(),
+            scheme: SchemeChoice::Default,
+            backend: BackendKind::Analytic,
+            seed: 1,
+            matrix,
+        });
+        let body = req.encode();
+        assert!(matches!(
+            Request::decode(&body),
+            Err(DecodeError::LimitExceeded {
+                field: "topology.dims",
+                ..
+            })
+        ));
+        assert_eq!(Request::decode_with(&body, &limits).unwrap(), req);
+    }
+
+    #[test]
+    fn matrix_cell_budget_survives_raised_node_caps() {
+        // --max-nodes 65536 admits d=16 *names*, but a dense 65536-node
+        // matrix is 2^32 cells (16 GiB): the cell budget must reject it
+        // before the allocation, however high the node cap goes.
+        let limits = ProtocolLimits::with_max_nodes(1 << 20);
+        assert_eq!(limits.max_dims, 20);
+        let mut body = vec![0x01u8]; // Submit
+        body.extend_from_slice(&1u64.to_le_bytes()); // request_id
+        body.push(0); // want_schedule
+        body.push(0); // hypercube
+        body.extend_from_slice(&20u32.to_le_bytes()); // dims = 20
+        body.extend_from_slice(&2u32.to_le_bytes()); // scheduler = "AC"
+        body.extend_from_slice(b"AC");
+        body.push(2); // scheme default
+        body.push(1); // backend analytic
+        body.extend_from_slice(&0u64.to_le_bytes()); // seed
+        body.extend_from_slice(&(1u64 << 20).to_le_bytes()); // n = 2^20
+        body.extend_from_slice(&0u64.to_le_bytes()); // message count
+        match Request::decode_with(&body, &limits) {
+            Err(DecodeError::LimitExceeded { field, limit, .. }) => {
+                assert_eq!(field, "matrix.cells");
+                assert_eq!(limit, MAX_MATRIX_CELLS);
+            }
+            other => panic!("expected the cell budget to fire, got {other:?}"),
+        }
     }
 
     #[test]

@@ -350,7 +350,7 @@ fn reader_loop(stream: Stream, conn_id: u64, shared: &Arc<Shared>) {
     loop {
         match read_frame(&mut reading) {
             Ok(None) => return, // clean close between frames
-            Ok(Some(body)) => match Request::decode(&body) {
+            Ok(Some(body)) => match Request::decode_with(&body, &shared.config.limits) {
                 Ok(req) => handle_request(req, &writer, &conn, shared),
                 Err(e) => {
                     shared

@@ -31,7 +31,7 @@ use commsched::{registry, Schedule};
 use simnet::MachineParams;
 
 use crate::dedup::{FlightStats, SingleFlight};
-use crate::protocol::{ErrorCode, SubmitReply, SubmitRequest};
+use crate::protocol::{ErrorCode, ProtocolLimits, SubmitReply, SubmitRequest};
 
 /// Tunables for a daemon instance.
 #[derive(Clone, Debug)]
@@ -48,6 +48,8 @@ pub struct ServiceConfig {
     pub max_inflight_per_client: usize,
     /// Estimate-cache entry cap (clears wholesale when exceeded).
     pub estimate_cache_capacity: usize,
+    /// Decode-time size limits (`--max-nodes` raises the node cap).
+    pub limits: ProtocolLimits,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +61,7 @@ impl Default for ServiceConfig {
             workers: 2,
             max_inflight_per_client: 256,
             estimate_cache_capacity: 65_536,
+            limits: ProtocolLimits::default(),
         }
     }
 }

@@ -12,8 +12,8 @@ use commrt::{BackendKind, BackendReport, ContentionStats};
 use commsched::{registry, CommMatrix};
 use proptest::prelude::*;
 use schedd::{
-    read_frame, write_frame, DaemonStats, DecodeError, ErrorCode, ErrorReply, FrameError, Request,
-    Response, SchemeChoice, SubmitReply, SubmitRequest, TopologySpec,
+    read_frame, write_frame, DaemonStats, DecodeError, ErrorCode, ErrorReply, FrameError,
+    ProtocolLimits, Request, Response, SchemeChoice, SubmitReply, SubmitRequest, TopologySpec,
 };
 
 /// Sparse matrix on `n = 2^dim` nodes from raw triples.
@@ -110,6 +110,36 @@ proptest! {
             let body = read_frame(&mut wire.as_slice()).unwrap().unwrap();
             prop_assert_eq!(Response::decode(&body).expect("decode"), resp);
         }
+    }
+
+    #[test]
+    fn raised_limits_roundtrip_large_dims(
+        dim in 11u32..13,
+        cells in proptest::collection::vec((0usize..4096, 0usize..4096, 1u32..65_536), 0..64),
+        seed in 0u64..10_000,
+        request_id in 0u64..u64::MAX,
+    ) {
+        // Requests past the default 1024-node cap roundtrip unchanged
+        // once the daemon raises its limits (--max-nodes), and the
+        // default decoder keeps declining them with the typed error.
+        let limits = ProtocolLimits::with_max_nodes(1 << 12);
+        let req = Request::Submit(SubmitRequest {
+            request_id,
+            want_schedule: false,
+            topology: TopologySpec::Hypercube { dims: dim },
+            scheduler: "AC".into(),
+            scheme: SchemeChoice::Default,
+            backend: BackendKind::Analytic,
+            seed,
+            matrix: matrix_from(dim, &cells),
+        });
+        let wire = frame(&req.encode());
+        let body = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(Request::decode_with(&body, &limits).expect("decode"), req);
+        prop_assert!(matches!(
+            Request::decode(&body),
+            Err(DecodeError::LimitExceeded { field: "topology.dims", .. })
+        ));
     }
 
     #[test]
@@ -243,10 +273,30 @@ fn hostile_and_oversized_headers_are_typed_errors() {
     body.extend_from_slice(&1u64.to_le_bytes()); // request_id
     body.push(0); // want_schedule
     body.push(0); // hypercube
-    body.extend_from_slice(&20u32.to_le_bytes()); // dims = 20 > MAX_DIMS
+    body.extend_from_slice(&20u32.to_le_bytes()); // dims = 20 > default max_dims
     match Request::decode(&body) {
-        Err(DecodeError::BadValue { field, .. }) => assert_eq!(field, "topology.dims"),
-        other => panic!("expected BadValue, got {other:?}"),
+        Err(DecodeError::LimitExceeded { field, limit, .. }) => {
+            assert_eq!(field, "topology.dims");
+            assert_eq!(limit, 10);
+        }
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+    // Raising the node cap admits the *name* but keeps the allocation
+    // bomb guard: the dense-matrix cell budget fires instead.
+    let limits = ProtocolLimits::with_max_nodes(1 << 20);
+    body.extend_from_slice(&2u32.to_le_bytes()); // scheduler = "AC"
+    body.extend_from_slice(b"AC");
+    body.push(2); // scheme default
+    body.push(0); // backend des
+    body.extend_from_slice(&0u64.to_le_bytes()); // seed
+    body.extend_from_slice(&(1u64 << 20).to_le_bytes()); // n = 2^20
+    body.extend_from_slice(&0u64.to_le_bytes()); // message count
+    match Request::decode_with(&body, &limits) {
+        Err(DecodeError::LimitExceeded { field, value, .. }) => {
+            assert_eq!(field, "matrix.cells");
+            assert_eq!(value, 1u64 << 40);
+        }
+        other => panic!("expected the cell budget, got {other:?}"),
     }
     // A message-count claim far past the body's end must be caught by
     // the bytes-remaining bound before any allocation.

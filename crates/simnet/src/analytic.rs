@@ -39,7 +39,39 @@
 
 use hypercube::{LinkId, NodeId, Topology};
 
+use crate::sparse::{MapMode, SparseMap};
 use crate::PortModel;
+
+/// Resource-pool representation of a [`LoadModel`].
+///
+/// Dense keeps one slot per machine resource (fastest below
+/// ~64K resources); Sparse keys occupancy by resource id in an
+/// open-addressed table so memory and reset cost scale with the traffic,
+/// admitting million-node fabrics (d=20: ~1M nodes, ~20M directed
+/// links). `Auto` picks per resource class by machine size — the two
+/// representations are bit-identical in output (pinned by proptests in
+/// `tests/sparse_pool_diff.rs`), so the choice is purely a
+/// space/time trade.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Dense at or below the crossover (65_536 resources), sparse above.
+    #[default]
+    Auto,
+    /// Force dense vectors (one slot per resource).
+    Dense,
+    /// Force the open-addressed sparse tables.
+    Sparse,
+}
+
+impl PoolMode {
+    fn map_mode(self) -> MapMode {
+        match self {
+            PoolMode::Auto => MapMode::Auto,
+            PoolMode::Dense => MapMode::Dense,
+            PoolMode::Sparse => MapMode::Sparse,
+        }
+    }
+}
 
 /// One transfer in an analytic pool: endpoints, circuit-occupancy time,
 /// and the software lead before the circuit is requested.
@@ -64,45 +96,57 @@ pub struct TransferSpec {
     pub fused: bool,
 }
 
+/// Occupancy of one resource: summed busy time, earliest lead among its
+/// users, and the user count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Occ {
+    busy_ns: u64,
+    min_lead: u64,
+    users: u32,
+}
+
+/// An unclaimed resource (the sparse map's empty value).
+const FREE: Occ = Occ {
+    busy_ns: 0,
+    min_lead: u64::MAX,
+    users: 0,
+};
+
 /// One class of identical resources (engines, receive ports, links) with
 /// dirty-index bookkeeping: only entries touched since the last reset are
-/// ever scanned or cleared.
+/// ever scanned or cleared. The occupancy table is a [`SparseMap`], so on
+/// million-node fabrics memory follows the traffic, not the machine.
 #[derive(Clone, Debug)]
 struct ResourceClass {
-    busy_ns: Vec<u64>,
-    min_lead: Vec<u64>,
-    users: Vec<u32>,
+    occ: SparseMap<Occ>,
     dirty: Vec<usize>,
 }
 
 impl ResourceClass {
-    fn new(len: usize) -> Self {
+    fn new(len: usize, mode: MapMode) -> Self {
         ResourceClass {
-            busy_ns: vec![0; len],
-            min_lead: vec![u64::MAX; len],
-            users: vec![0; len],
+            occ: SparseMap::new(len, FREE, mode),
             dirty: Vec::new(),
         }
     }
 
     fn reset(&mut self) {
         for &i in &self.dirty {
-            self.busy_ns[i] = 0;
-            self.min_lead[i] = u64::MAX;
-            self.users[i] = 0;
+            *self.occ.slot(i) = FREE;
         }
         self.dirty.clear();
     }
 
     /// Claim resource `i`; returns whether it was already claimed.
     fn claim(&mut self, i: usize, spec: &TransferSpec) -> bool {
-        let shared = self.users[i] > 0;
+        let o = self.occ.slot(i);
+        let shared = o.users > 0;
+        o.busy_ns += spec.busy_ns;
+        o.min_lead = o.min_lead.min(spec.lead_ns);
+        o.users += 1;
         if !shared {
             self.dirty.push(i);
         }
-        self.busy_ns[i] += spec.busy_ns;
-        self.min_lead[i] = self.min_lead[i].min(spec.lead_ns);
-        self.users[i] += 1;
         shared
     }
 
@@ -110,7 +154,10 @@ impl ResourceClass {
     fn span(&self) -> u64 {
         self.dirty
             .iter()
-            .map(|&i| self.min_lead[i] + self.busy_ns[i])
+            .map(|&i| {
+                let o = self.occ.get(i);
+                o.min_lead + o.busy_ns
+            })
             .max()
             .unwrap_or(0)
     }
@@ -119,13 +166,17 @@ impl ResourceClass {
     fn max_busy(&self) -> u64 {
         self.dirty
             .iter()
-            .map(|&i| self.busy_ns[i])
+            .map(|&i| self.occ.get(i).busy_ns)
             .max()
             .unwrap_or(0)
     }
 
     fn contended(&self) -> bool {
-        self.dirty.iter().any(|&i| self.users[i] > 1)
+        self.dirty.iter().any(|&i| self.occ.get(i).users > 1)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.occ.resident_bytes() + self.dirty.capacity() * std::mem::size_of::<usize>()
     }
 }
 
@@ -151,19 +202,42 @@ pub struct LoadModel {
 }
 
 impl LoadModel {
-    /// An empty pool over `topo`'s resources.
+    /// An empty pool over `topo`'s resources, with the pool
+    /// representation picked automatically ([`PoolMode::Auto`]).
     pub fn new<T: Topology + ?Sized>(topo: &T, ports: PortModel) -> Self {
+        Self::with_mode(topo, ports, PoolMode::Auto)
+    }
+
+    /// An empty pool with an explicit representation — the differential
+    /// tests force [`PoolMode::Dense`] vs [`PoolMode::Sparse`] to pin
+    /// bit-identity; callers pricing million-node fabrics below the
+    /// crossover threshold can force sparse.
+    pub fn with_mode<T: Topology + ?Sized>(topo: &T, ports: PortModel, mode: PoolMode) -> Self {
         let n = topo.num_nodes();
+        let mode = mode.map_mode();
         LoadModel {
             ports,
-            engine: ResourceClass::new(n),
-            recv: ResourceClass::new(n),
-            link: ResourceClass::new(topo.link_count()),
+            engine: ResourceClass::new(n, mode),
+            recv: ResourceClass::new(n, mode),
+            link: ResourceClass::new(topo.link_count(), mode),
             path_max_ns: 0,
             transfers: 0,
             route_scratch: Vec::new(),
             rev_scratch: Vec::new(),
         }
+    }
+
+    /// Whether every resource class is on the dense representation
+    /// (diagnostics and tests).
+    pub fn is_dense(&self) -> bool {
+        self.engine.occ.is_dense() && self.recv.occ.is_dense() && self.link.occ.is_dense()
+    }
+
+    /// Approximate heap footprint of the occupancy state in bytes — the
+    /// scale bench's peak-RSS proxy. Sparse pools stay traffic-sized on
+    /// any fabric; dense pools scale with the machine.
+    pub fn resident_bytes(&self) -> usize {
+        self.engine.resident_bytes() + self.recv.resident_bytes() + self.link.resident_bytes()
     }
 
     /// Clear all occupancy (reuse across phases without reallocating);

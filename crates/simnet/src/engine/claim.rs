@@ -5,7 +5,9 @@
 
 use hypercube::{NodeId, Topology};
 
+use crate::engine::arena::LinkRange;
 use crate::engine::node::RecvState;
+use crate::engine::parallel::{ScanJob, ScanPool};
 use crate::engine::queue::{EvKind, TransferId};
 use crate::engine::router::{TKind, TState, Transfer};
 use crate::program::Tag;
@@ -53,15 +55,15 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
                 self.nodes[src as usize].issue_next += 1;
                 seq
             });
-        let id = self.transfers.len();
-        self.transfers.push(Transfer {
+        let links = self.transfers.push_links(path.links());
+        let id = self.transfers.alloc(Transfer {
             kind: TKind::Data { exchange_part },
             src,
             dst,
             bytes,
             rev_bytes: 0,
             tag,
-            links: path.links().to_vec(),
+            links,
             duration,
             request_ns: self.now + initiation,
             start_ns: 0,
@@ -74,14 +76,13 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
         self.nodes[src as usize].stats.sends += 1;
         self.trace_push(TraceKind::Requested, src, dst, tag, bytes);
         if initiation > 0 {
-            self.queue
-                .push(self.now + initiation, EvKind::XferAdvance(id));
+            self.push_event(self.now + initiation, EvKind::XferAdvance(id));
             return Some(id);
         }
         match self.params.claim {
             ClaimPolicy::Atomic => {
                 self.pending.push(id);
-                self.retry_pending();
+                self.request_retry();
             }
             ClaimPolicy::HoldAndWait => {
                 self.transfers[id].state = TState::Claiming;
@@ -106,10 +107,8 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
                 .params
                 .transfer_ns(ab_bytes, fwd.hops())
                 .max(self.params.transfer_ns(ba_bytes, rev.hops()));
-        let mut links = fwd.links().to_vec();
-        links.extend_from_slice(rev.links());
-        let id = self.transfers.len();
-        self.transfers.push(Transfer {
+        let links = self.transfers.push_links_pair(fwd.links(), rev.links());
+        let id = self.transfers.alloc(Transfer {
             kind: TKind::Fused,
             src: a,
             dst: b,
@@ -129,19 +128,18 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
         self.nodes[b as usize].stats.sends += 1;
         self.trace_push(TraceKind::Requested, a, b, tag, ab_bytes.max(ba_bytes));
         self.pending.push(id);
-        self.retry_pending();
+        self.request_retry();
     }
 
     pub(crate) fn create_copy_transfer(&mut self, node: u32, src: u32, bytes: u32, tag: Tag) {
-        let id = self.transfers.len();
-        self.transfers.push(Transfer {
+        let id = self.transfers.alloc(Transfer {
             kind: TKind::Copy,
             src,
             dst: node,
             bytes,
             rev_bytes: 0,
             tag,
-            links: Vec::new(),
+            links: LinkRange::EMPTY,
             duration: self.params.copy_ns(bytes),
             request_ns: self.now,
             start_ns: 0,
@@ -152,7 +150,7 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
         match self.params.claim {
             ClaimPolicy::Atomic => {
                 self.pending.push(id);
-                self.retry_pending();
+                self.request_retry();
             }
             ClaimPolicy::HoldAndWait => {
                 self.transfers[id].state = TState::Claiming;
@@ -198,6 +196,20 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
             .is_none_or(|s| s == self.nodes[t.src as usize].issue_cursor)
     }
 
+    /// Ask for a pending-set rescan. Sequential mode scans immediately
+    /// (byte-identical to the historical engine); the parallel
+    /// conservative-lookahead mode defers the scan to the end of the
+    /// current timestamp batch (`Sim::run` drains it before the clock
+    /// advances), collapsing the many same-time rescans of a dense
+    /// completion burst into one batched pass.
+    pub(crate) fn request_retry(&mut self) {
+        if self.batched {
+            self.scan_due = true;
+        } else {
+            self.retry_pending();
+        }
+    }
+
     pub(crate) fn retry_pending(&mut self) {
         // Oldest-first, first-fit: a transfer starts as soon as every
         // resource it needs is simultaneously free.
@@ -205,7 +217,8 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
         while i < self.pending.len() {
             let id = self.pending[i];
             let t = &self.transfers[id];
-            if !self.router.can_claim_atomic(t, self.issue_ok(t)) {
+            let links = self.transfers.links_of(t.links);
+            if !self.router.can_claim_atomic(t, links, self.issue_ok(t)) {
                 i += 1;
                 continue;
             }
@@ -231,6 +244,86 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
         }
     }
 
+    /// The parallel mode's deferred rescan: one age-ordered commit pass
+    /// over a snapshot of the pending set, optionally prefiltered by the
+    /// work-stealing feasibility scan ([`Sim::feasibility_flags`]).
+    ///
+    /// A single pass reaches the fixed point because activation only
+    /// *consumes* resources — a candidate rejected earlier in the pass
+    /// cannot become feasible later in it (the sequential scan's own
+    /// comment makes the same argument for continuing instead of
+    /// restarting). Commit order is the sequential oldest-first order;
+    /// every prefilter flag is re-validated under the exact predicate
+    /// before claiming, so the flags only save work, never change the
+    /// outcome of this pass.
+    pub(crate) fn retry_pending_batched(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let snap = std::mem::take(&mut self.pending);
+        let flags = self.feasibility_flags(&snap);
+        let mut keep = Vec::new();
+        for (i, &id) in snap.iter().enumerate() {
+            if self.err.is_some() {
+                keep.push(id);
+                continue;
+            }
+            if flags.as_ref().is_some_and(|f| !f[i]) {
+                keep.push(id);
+                continue;
+            }
+            let t = &self.transfers[id];
+            let links = self.transfers.links_of(t.links);
+            if !self.router.can_claim_atomic(t, links, self.issue_ok(t)) {
+                keep.push(id);
+                continue;
+            }
+            let deliverable = match self.transfers[id].kind {
+                TKind::Data { .. } => self.delivery_mode(id).ok(),
+                _ => Some(true),
+            };
+            if self.err.is_some() {
+                keep.push(id);
+                continue;
+            }
+            let Some(direct) = deliverable else {
+                keep.push(id);
+                continue;
+            };
+            self.activate(id, direct);
+        }
+        self.pending = keep;
+    }
+
+    /// Fan the feasibility scan out over the worker pool. `None` means
+    /// "scan inline" — parallelism only pays for itself on big batches.
+    fn feasibility_flags(&mut self, snap: &[TransferId]) -> Option<Vec<bool>> {
+        /// Below this batch size the sequential scan beats the hand-off.
+        const PAR_SCAN_MIN: usize = 512;
+        if self.par_threads < 2 || snap.len() < PAR_SCAN_MIN {
+            return None;
+        }
+        let pool = self
+            .scan_pool
+            .get_or_insert_with(|| ScanPool::new(self.par_threads));
+        // `forbid(unsafe_code)` rules out scoped borrows across threads:
+        // move the router and arena into the job, reclaim them after.
+        let job = ScanJob::new(
+            std::mem::take(&mut self.router),
+            std::mem::take(&mut self.transfers),
+            snap.to_vec(),
+        );
+        let job = pool.scan(job);
+        self.router = job.router;
+        self.transfers = job.transfers;
+        Some(
+            job.flags
+                .iter()
+                .map(|f| f.load(std::sync::atomic::Ordering::Relaxed))
+                .collect(),
+        )
+    }
+
     pub(crate) fn activate(&mut self, id: TransferId, direct: bool) {
         let t = &self.transfers[id];
         let (kind, src, dst, bytes, tag, duration) = (
@@ -241,7 +334,8 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
             t.tag,
             t.duration,
         );
-        self.router.claim_atomic(id, t);
+        let links = self.transfers.links_of(t.links);
+        self.router.claim_atomic(id, t, links);
         // Receive-side bookkeeping.
         if matches!(kind, TKind::Data { .. }) {
             self.mark_delivery(id, direct);
@@ -259,7 +353,7 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
             self.stats_blocked_ns += delay;
             self.stats_blocked_max = self.stats_blocked_max.max(delay);
         }
-        self.queue.push(self.now + duration, EvKind::XferDone(id));
+        self.push_event(self.now + duration, EvKind::XferDone(id));
         self.trace_push(TraceKind::Started, src as u32, dst as u32, tag, bytes);
     }
 
@@ -323,15 +417,15 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
                 continue;
             }
             if idx <= nlinks {
-                let link = self.transfers[id].links[idx - 1];
+                let range = self.transfers[id].links;
+                let link = self.transfers.links_of(range)[idx - 1];
                 if !self.router.hw_claim_link(link, id) {
                     return;
                 }
                 self.transfers[id].claim_idx = idx + 1;
                 // The circuit probe takes hop_ns to cross this link.
                 if self.params.hop_ns > 0 {
-                    self.queue
-                        .push(self.now + self.params.hop_ns, EvKind::XferAdvance(id));
+                    self.push_event(self.now + self.params.hop_ns, EvKind::XferAdvance(id));
                     return;
                 }
                 continue;
@@ -374,7 +468,7 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
             self.stats_blocked_max = self.stats_blocked_max.max(delay);
         }
         let (src, dst, tag, bytes) = (t.src, t.dst, t.tag, t.bytes);
-        self.queue.push(self.now + duration, EvKind::XferDone(id));
+        self.push_event(self.now + duration, EvKind::XferDone(id));
         self.trace_push(TraceKind::Started, src, dst, tag, bytes);
     }
 
@@ -465,7 +559,7 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
                 // transfers.
                 self.check_delivery_waiters(dst);
                 if self.params.claim == ClaimPolicy::Atomic {
-                    self.retry_pending();
+                    self.request_retry();
                 }
             }
             TKind::Data { exchange_part } => {
@@ -512,7 +606,7 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
                     self.finish_exchange_part(dst);
                 }
                 if self.params.claim == ClaimPolicy::Atomic {
-                    self.retry_pending();
+                    self.request_retry();
                 }
             }
             TKind::Fused => {
@@ -524,32 +618,35 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
                 self.nodes[dst].stats.direct_bytes += u64::from(bytes);
                 self.finish_exchange_part(src);
                 self.finish_exchange_part(dst);
-                self.retry_pending();
+                self.request_retry();
             }
         }
+        // The transfer's events have all fired, its resources are released,
+        // and nothing holds its id any more: return the slot to the arena.
+        self.transfers.recycle(id);
     }
 
     pub(crate) fn release_engine(&mut self, node: usize, id: TransferId) {
         if let Some(next) = self.router.release_engine(node, id) {
-            self.queue.push(self.now, EvKind::XferAdvance(next));
+            self.push_event(self.now, EvKind::XferAdvance(next));
         }
     }
 
     pub(crate) fn release_recv_port(&mut self, node: usize, id: TransferId) {
         if let Some(next) = self.router.release_recv_port(node, id) {
-            self.queue.push(self.now, EvKind::XferAdvance(next));
+            self.push_event(self.now, EvKind::XferAdvance(next));
         }
     }
 
     pub(crate) fn release_links(&mut self, id: TransferId, duration: u64) {
-        let links = std::mem::take(&mut self.transfers[id].links);
+        let range = self.transfers[id].links;
         let mut woken = Vec::new();
+        let links = self.transfers.links_of(range);
         self.router
-            .release_links(id, &links, duration, |next| woken.push(next));
+            .release_links(id, links, duration, |next| woken.push(next));
         for next in woken {
-            self.queue.push(self.now, EvKind::XferAdvance(next));
+            self.push_event(self.now, EvKind::XferAdvance(next));
         }
-        self.transfers[id].links = links;
     }
 
     pub(crate) fn finish_exchange_part(&mut self, node: usize) {

@@ -9,11 +9,17 @@
 //!   with FIFO wait queues for the hold-and-wait policy.
 //! * [`claim`] — the transfer lifecycle: creation, the atomic and
 //!   hold-and-wait claim policies, delivery, and completion.
+//! * [`arena`] — slab storage for transfers and their routed circuits:
+//!   slot reuse keeps live memory proportional to *concurrent* traffic.
+//! * [`parallel`] — the work-stealing feasibility scanner behind the
+//!   parallel conservative-lookahead execution mode.
 //!
 //! The driver that ties them together — the event loop and per-node
 //! program execution, plus deadlock detection — is `crate::sim`.
 
+pub(crate) mod arena;
 pub(crate) mod claim;
 pub(crate) mod node;
+pub(crate) mod parallel;
 pub(crate) mod queue;
 pub(crate) mod router;

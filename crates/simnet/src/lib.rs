@@ -71,12 +71,13 @@ mod engine;
 mod params;
 mod program;
 mod sim;
+mod sparse;
 mod stats;
 mod trace;
 
-pub use analytic::{LoadModel, TransferSpec};
+pub use analytic::{LoadModel, PoolMode, TransferSpec};
 pub use params::{ClaimPolicy, MachineParams, PortModel};
 pub use program::{Op, Program, ProgramBuilder, Tag};
-pub use sim::{simulate, simulate_traced};
+pub use sim::{simulate, simulate_traced, simulate_traced_with, simulate_with, ExecMode};
 pub use stats::{NodeStats, SimError, SimReport, SimStats};
 pub use trace::{TraceEvent, TraceKind};

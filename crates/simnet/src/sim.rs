@@ -8,9 +8,11 @@ use std::collections::HashMap;
 
 use hypercube::{NodeId, Topology};
 
+use crate::engine::arena::TransferArena;
 use crate::engine::node::{Block, NodeState, RecvState};
-use crate::engine::queue::{EvKind, EventQueue, TransferId};
-use crate::engine::router::{Router, TState, Transfer};
+use crate::engine::parallel::ScanPool;
+use crate::engine::queue::{Clock, EvKind, EventQueue, PartitionedQueue, TransferId};
+use crate::engine::router::{Router, TState};
 use crate::program::{Op, Program, Tag};
 use crate::stats::{SimError, SimReport, SimStats};
 use crate::trace::{TraceEvent, TraceKind};
@@ -19,6 +21,31 @@ use crate::{ClaimPolicy, MachineParams, PortModel};
 /// Safety valve: no legitimate schedule on machines this crate targets comes
 /// anywhere near this many events.
 const EVENT_BUDGET: u64 = 100_000_000;
+
+/// How the engine executes: the sequential reference loop, or the
+/// parallel conservative-lookahead mode.
+///
+/// Parallel mode keeps the event order bit-identical to sequential (the
+/// partitioned clock merges on globally sequenced `(time, seq)` keys) but
+/// changes *when* the atomic claim policy rescans its pending set: instead
+/// of rescanning after every completion, rescans are deferred to the end
+/// of each timestamp batch and executed as one pass, prefiltered by a
+/// work-stealing feasibility scan across `threads` workers. Makespans can
+/// therefore differ from sequential only through same-timestamp
+/// arbitration; see the "parallel arbitration contract" in
+/// `docs/ARCHITECTURE.md` for the exact bounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The historical single-threaded loop (the conformance reference).
+    #[default]
+    Sequential,
+    /// Timestamp-batched claims with a parallel feasibility scan.
+    Parallel {
+        /// Worker threads for the feasibility scan (< 2 degrades to
+        /// batched-but-inline scanning).
+        threads: usize,
+    },
+}
 
 /// Run `programs` (one per node of `topo`) to completion.
 ///
@@ -31,7 +58,17 @@ pub fn simulate<T: Topology + ?Sized>(
     params: &MachineParams,
     programs: Vec<Program>,
 ) -> Result<SimReport, SimError> {
-    Sim::new(topo, params, programs, false)?
+    simulate_with(topo, params, programs, ExecMode::Sequential)
+}
+
+/// Like [`simulate`], under an explicit [`ExecMode`].
+pub fn simulate_with<T: Topology + ?Sized>(
+    topo: &T,
+    params: &MachineParams,
+    programs: Vec<Program>,
+    mode: ExecMode,
+) -> Result<SimReport, SimError> {
+    Sim::new(topo, params, programs, false, mode)?
         .run()
         .map(|(r, _)| r)
 }
@@ -42,7 +79,17 @@ pub fn simulate_traced<T: Topology + ?Sized>(
     params: &MachineParams,
     programs: Vec<Program>,
 ) -> Result<(SimReport, Vec<TraceEvent>), SimError> {
-    let (r, t) = Sim::new(topo, params, programs, true)?.run()?;
+    simulate_traced_with(topo, params, programs, ExecMode::Sequential)
+}
+
+/// Like [`simulate_traced`], under an explicit [`ExecMode`].
+pub fn simulate_traced_with<T: Topology + ?Sized>(
+    topo: &T,
+    params: &MachineParams,
+    programs: Vec<Program>,
+    mode: ExecMode,
+) -> Result<(SimReport, Vec<TraceEvent>), SimError> {
+    let (r, t) = Sim::new(topo, params, programs, true, mode)?.run()?;
     Ok((r, t.expect("trace was requested")))
 }
 
@@ -58,14 +105,23 @@ pub(crate) struct Sim<'a, T: ?Sized> {
     pub(crate) params: &'a MachineParams,
     pub(crate) programs: Vec<Program>,
     pub(crate) n: usize,
-    pub(crate) queue: EventQueue,
+    pub(crate) queue: Clock,
     pub(crate) now: u64,
     pub(crate) nodes: Vec<NodeState>,
-    pub(crate) transfers: Vec<Transfer>,
+    pub(crate) transfers: TransferArena,
     /// Atomic-policy pending transfers, oldest first.
     pub(crate) pending: Vec<TransferId>,
     pub(crate) router: Router,
     pub(crate) rendezvous: HashMap<(u32, u32, u32), ExchangeHalf>,
+    /// Parallel mode: defer pending rescans to the end of the timestamp
+    /// batch instead of running them inline.
+    pub(crate) batched: bool,
+    /// A deferred rescan is owed before the clock may advance.
+    pub(crate) scan_due: bool,
+    /// Worker count for the parallel feasibility scan.
+    pub(crate) par_threads: usize,
+    /// Lazily spawned scan workers (parallel mode, large batches only).
+    pub(crate) scan_pool: Option<ScanPool>,
     pub(crate) stats_transfers: u64,
     pub(crate) stats_blocked: u64,
     pub(crate) stats_blocked_ns: u64,
@@ -83,6 +139,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         params: &'a MachineParams,
         programs: Vec<Program>,
         traced: bool,
+        mode: ExecMode,
     ) -> Result<Self, SimError> {
         params.validate().map_err(SimError::BadParams)?;
         let n = topo.num_nodes();
@@ -118,18 +175,30 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
                 }
             }
         }
+        let (queue, batched, par_threads) = match mode {
+            ExecMode::Sequential => (Clock::Single(EventQueue::new()), false, 0),
+            ExecMode::Parallel { threads } => (
+                Clock::Partitioned(PartitionedQueue::new(threads.max(1), n)),
+                true,
+                threads,
+            ),
+        };
         Ok(Sim {
             topo,
             params,
             programs,
             n,
-            queue: EventQueue::new(),
+            queue,
             now: 0,
             nodes: (0..n).map(|_| NodeState::new()).collect(),
-            transfers: Vec::new(),
+            transfers: TransferArena::new(),
             pending: Vec::new(),
             router: Router::new(n, topo.link_count(), params.ports),
             rendezvous: HashMap::new(),
+            batched,
+            scan_due: false,
+            par_threads,
+            scan_pool: None,
             stats_transfers: 0,
             stats_blocked: 0,
             stats_blocked_ns: 0,
@@ -148,7 +217,29 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         for i in 0..self.n {
             self.schedule_resume(i);
         }
-        while let Some((t, kind)) = self.queue.pop() {
+        loop {
+            // Parallel mode: a deferred pending-set rescan runs once per
+            // timestamp batch, after every event at `now` has fired and
+            // before the clock advances (or the queue drains — deadlock
+            // detection must not see a scan still owed). The rescan may
+            // spawn new same-time events, so loop back rather than pop.
+            if self.batched && self.scan_due {
+                let batch_done = match self.queue.next_time() {
+                    None => true,
+                    Some(t) => t > self.now,
+                };
+                if batch_done {
+                    self.scan_due = false;
+                    self.retry_pending_batched();
+                    if let Some(err) = self.err.take() {
+                        return Err(err);
+                    }
+                    continue;
+                }
+            }
+            let Some((t, kind)) = self.queue.pop() else {
+                break;
+            };
             self.now = t;
             self.last_activity_ns = self.last_activity_ns.max(t);
             self.events += 1;
@@ -169,7 +260,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
                     TState::Pending => match self.params.claim {
                         ClaimPolicy::Atomic => {
                             self.pending.push(id);
-                            self.retry_pending();
+                            self.request_retry();
                         }
                         ClaimPolicy::HoldAndWait => {
                             self.transfers[id].state = TState::Claiming;
@@ -202,16 +293,19 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
             .max()
             .unwrap_or(0)
             .max(self.last_activity_ns);
+        let (link_busy_ns_total, link_busy_ns_max) = self.router.link_busy_totals();
         let stats = SimStats {
             nodes: self.nodes.into_iter().map(|s| s.stats).collect(),
             transfers: self.stats_transfers,
             transfers_blocked: self.stats_blocked,
             blocked_ns_total: self.stats_blocked_ns,
             blocked_ns_max: self.stats_blocked_max,
-            link_busy_ns_total: self.router.link_busy_ns.iter().sum(),
-            link_busy_ns_max: self.router.link_busy_ns.iter().copied().max().unwrap_or(0),
+            link_busy_ns_total,
+            link_busy_ns_max,
             copies: self.stats_copies,
             events: self.events,
+            peak_transfers_live: self.transfers.peak_live() as u64,
+            state_bytes: (self.router.resident_bytes() + self.transfers.resident_bytes()) as u64,
         };
         Ok((
             SimReport {
@@ -241,17 +335,28 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         }
     }
 
+    /// Enqueue an event, routing it to its home partition (the node whose
+    /// program it belongs to: a resume's node, a transfer event's sender).
+    /// The single-queue clock ignores the home.
+    pub(crate) fn push_event(&mut self, time: u64, kind: EvKind) {
+        let home = match kind {
+            EvKind::Resume(node) => node,
+            EvKind::XferDone(id) | EvKind::XferAdvance(id) => self.transfers[id].src as usize,
+        };
+        self.queue.push(time, kind, home);
+    }
+
     pub(crate) fn schedule_resume(&mut self, node: usize) {
         if !self.nodes[node].resume_scheduled {
             self.nodes[node].resume_scheduled = true;
-            self.queue.push(self.now, EvKind::Resume(node));
+            self.push_event(self.now, EvKind::Resume(node));
         }
     }
 
     pub(crate) fn schedule_resume_at(&mut self, node: usize, at: u64) {
         // Timed resumes (compute/overhead) bypass the dedup flag on purpose:
         // the node is mid-instruction and cannot be woken by anything else.
-        self.queue.push(at, EvKind::Resume(node));
+        self.push_event(at, EvKind::Resume(node));
     }
 
     pub(crate) fn error(&mut self, node: usize, msg: String) {
@@ -373,7 +478,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
                 // A hold-and-wait transfer may be parked waiting for this post.
                 self.check_delivery_waiters(node);
                 if self.params.claim == ClaimPolicy::Atomic {
-                    self.retry_pending();
+                    self.request_retry();
                 }
             }
             Some(RecvState::Buffered(bytes)) => {

@@ -40,6 +40,12 @@ pub struct SimStats {
     pub copies: u64,
     /// Number of events processed.
     pub events: u64,
+    /// High-water mark of concurrently in-flight transfers (the arena's
+    /// peak slot occupancy — what live memory actually tracks).
+    pub peak_transfers_live: u64,
+    /// Approximate resident engine-state bytes at completion (transfer
+    /// arena + router occupancy tables) — the scale bench's RSS proxy.
+    pub state_bytes: u64,
 }
 
 /// Result of a successful simulation.

@@ -84,7 +84,10 @@ fn main() {
             b.estimate(&params, &cube, &com, &schedule, scheme)
                 .expect("estimates run")
         };
-        let (des, ana) = (report(&DesBackend), report(&AnalyticBackend));
+        let (des, ana) = (
+            report(&DesBackend::default()),
+            report(&AnalyticBackend::default()),
+        );
         println!(
             "{:<6} {:>12.2} {:>12.2} {:>10} {:>14.2}",
             name,

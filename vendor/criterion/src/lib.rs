@@ -306,12 +306,35 @@ pub fn write_report_quiet(group: &str, cases: &[CaseResult]) -> std::io::Result<
         .lock()
         .expect("no panics hold the lock")
         .insert(path.clone());
+    write_report_at(&path, cases, merge)?;
+    Ok(path)
+}
+
+/// Overwrite `BENCH_<group>.json` with exactly `cases`, bypassing the
+/// in-process merge bookkeeping — for cross-process appenders that have
+/// already folded the survivors in via [`read_report`]. Later in-process
+/// shim writes to the same group merge on top as usual.
+///
+/// # Errors
+///
+/// I/O errors from the filesystem.
+pub fn rewrite_report(group: &str, cases: &[CaseResult]) -> std::io::Result<PathBuf> {
+    let path = output_dir().join(format!("BENCH_{}.json", sanitize(group)));
+    written_paths()
+        .lock()
+        .expect("no panics hold the lock")
+        .insert(path.clone());
+    write_report_at(&path, cases, false)?;
+    Ok(path)
+}
+
+fn write_report_at(path: &PathBuf, cases: &[CaseResult], merge: bool) -> std::io::Result<()> {
     let write = || -> std::io::Result<()> {
         // Merging re-reads our own exact output format: the case lines of
         // the existing array are kept verbatim ahead of the new ones.
         let mut lines: Vec<String> = Vec::new();
         if merge {
-            if let Ok(prev) = std::fs::read_to_string(&path) {
+            if let Ok(prev) = std::fs::read_to_string(path) {
                 lines.extend(
                     prev.lines()
                         .map(str::trim)
@@ -329,7 +352,7 @@ pub fn write_report_quiet(group: &str, cases: &[CaseResult]) -> std::io::Result<
                 c.max_ns
             ));
         }
-        let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
         writeln!(out, "[")?;
         for (i, line) in lines.iter().enumerate() {
             let comma = if i + 1 < lines.len() { "," } else { "" };
@@ -338,8 +361,52 @@ pub fn write_report_quiet(group: &str, cases: &[CaseResult]) -> std::io::Result<
         writeln!(out, "]")?;
         out.flush()
     };
-    write()?;
-    Ok(path)
+    write()
+}
+
+/// Parse an existing `BENCH_<group>.json` back into its cases (an absent
+/// or unreadable file is an empty report). The inverse of
+/// [`write_report_quiet`] for *cross-process* appending: a new process's
+/// first write truncates (fresh bench runs must not accumulate stale
+/// cases), so an appender re-reads the survivors it wants to keep and
+/// writes the union itself.
+pub fn read_report(group: &str) -> Vec<CaseResult> {
+    let path = output_dir().join(format!("BENCH_{}.json", sanitize(group)));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .filter_map(parse_case_line)
+        .collect()
+}
+
+/// Parse one `{"name": ..., "mean_ns": ..., ...}` line of our own flat
+/// format. Tolerant of nothing else — this is a round-trip, not JSON.
+fn parse_case_line(line: &str) -> Option<CaseResult> {
+    let name_start = line.find("\"name\": \"")? + "\"name\": \"".len();
+    let mut name = String::new();
+    let mut chars = line[name_start..].chars();
+    loop {
+        match chars.next()? {
+            '\\' => name.push(chars.next()?),
+            '"' => break,
+            c => name.push(c),
+        }
+    }
+    let field = |key: &str| -> Option<f64> {
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    };
+    Some(CaseResult {
+        name,
+        mean_ns: field("\"mean_ns\":")?,
+        min_ns: field("\"min_ns\":")?,
+        max_ns: field("\"max_ns\":")?,
+    })
 }
 
 /// Re-exported so bench sources can `use criterion::black_box`.
@@ -418,6 +485,25 @@ mod tests {
         assert!(text.contains("g2/b"));
         assert!(text.trim_end().ends_with(']'));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_report_round_trips_written_cases() {
+        let case = CaseResult {
+            name: "grp/weird \"name\"/d7".to_string(),
+            mean_ns: 1234.5,
+            min_ns: 1000.0,
+            max_ns: 2000.5,
+        };
+        let path = write_report_quiet("roundtrip_selftest", std::slice::from_ref(&case)).unwrap();
+        let back = read_report("roundtrip_selftest");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, case.name);
+        assert_eq!(back[0].mean_ns, case.mean_ns);
+        assert_eq!(back[0].min_ns, case.min_ns);
+        assert_eq!(back[0].max_ns, case.max_ns);
+        std::fs::remove_file(path).ok();
+        assert!(read_report("roundtrip_selftest").is_empty());
     }
 
     #[test]
