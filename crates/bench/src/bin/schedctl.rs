@@ -657,6 +657,15 @@ fn daemon_stats(addr: &str) -> Result<ExitCode, String> {
         s.estimate_hits, s.estimate_misses
     );
     println!(
+        "incremental: {} delta submit(s), {} base hit(s), {} patch(es) ({:.1}% patch rate), {} fallback(s), {} validation rejection(s)",
+        s.delta_submits,
+        s.incr_base_hits,
+        s.incr_patches,
+        s.patch_rate() * 100.0,
+        s.incr_fallbacks,
+        s.incr_validation_rejections
+    );
+    println!(
         "rejections: {} quota, {} overload, {} shutdown",
         s.rejected_quota, s.rejected_overload, s.rejected_shutdown
     );

@@ -181,6 +181,27 @@ impl InstanceKey {
         h.write_u64(seed);
         Fingerprint(h.finish())
     }
+
+    /// The 16 little-endian bytes (the daemon's `SubmitDelta` frame names
+    /// its base instance this way).
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Inverse of [`InstanceKey::to_bytes`].
+    pub fn from_bytes(bytes: [u8; 16]) -> InstanceKey {
+        InstanceKey(u128::from_le_bytes(bytes))
+    }
+
+    /// The 32-digit lowercase hex rendering (logs and error details).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// The raw 128-bit value, for crate-internal keying.
+    pub(crate) fn raw(self) -> u128 {
+        self.0
+    }
 }
 
 /// Version byte of the canonical layout. Bump it when the serialization

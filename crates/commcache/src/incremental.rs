@@ -1,0 +1,587 @@
+//! The incremental compilation layer: retained base instances and
+//! delta-patched schedules.
+//!
+//! A 1%-perturbed matrix misses the fingerprint cache *entirely* — any
+//! changed cell changes the [`crate::Fingerprint`] — and would pay a full
+//! cold compile. This layer closes that gap: it retains recent base
+//! instances (matrix + the schedules compiled for it) keyed by
+//! [`InstanceKey`] under its own byte budget, and on a fingerprint miss
+//! diffs the incoming matrix against the most recent compatible bases. A
+//! base within the structural-delta threshold is **patched** via
+//! [`Scheduler::patch_schedule`] instead of recompiled.
+//!
+//! Correctness gate: every patched schedule is checked with
+//! [`validate_schedule`] against the *perturbed* matrix (plus the entry's
+//! link-contention guarantee when it claims one) before it is served;
+//! rejects are counted and fall back to a cold compile. Patching trades
+//! exact schedule reproduction for compile latency, never validity —
+//! which is why the layer is **opt-in**
+//! ([`crate::CacheConfig::incremental`] is `None` by default) and the
+//! byte-identical repro grids run without it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use commsched::{
+    validate_schedule, CommMatrix, MatrixDelta, PartialPermutation, Schedule, Scheduler,
+};
+use hypercube::Topology;
+
+use crate::cache::schedule_weight_bytes;
+use crate::InstanceKey;
+
+/// Configuration of the [`IncrementalCache`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IncrementalConfig {
+    /// Byte budget for retained bases (matrix weight + schedule weights),
+    /// enforced by LRU eviction.
+    pub byte_budget: usize,
+    /// Fallback threshold: a base qualifies when the delta's *structural*
+    /// edits (added + removed; resizes patch for free) per 1000 base
+    /// messages stay at or under this. 50 ≙ 5%; a 1%-drift workload
+    /// (remove + re-add ≈ 20‰) fits comfortably.
+    pub max_delta_permille: u32,
+    /// Most-recent compatible bases diffed per lookup before giving up —
+    /// bounds the O(n²) diff work a single miss can spend.
+    pub max_candidates: usize,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            byte_budget: 32 << 20, // 32 MiB
+            max_delta_permille: 50,
+            max_candidates: 8,
+        }
+    }
+}
+
+impl IncrementalConfig {
+    /// Override the byte budget.
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = bytes;
+        self
+    }
+
+    /// Override the structural-delta threshold (permille of base messages).
+    pub fn with_max_delta_permille(mut self, permille: u32) -> Self {
+        self.max_delta_permille = permille;
+        self
+    }
+}
+
+/// A point-in-time snapshot of the incremental counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Fingerprint misses routed through the incremental layer.
+    pub lookups: u64,
+    /// Lookups that found a retained base within the delta threshold.
+    pub base_hits: u64,
+    /// Lookups with no base within threshold (cold compile follows).
+    pub base_misses: u64,
+    /// Patched schedules served (validated against the perturbed matrix).
+    pub patches: u64,
+    /// Base hits that still recompiled: no base schedule for the
+    /// scheduler/seed, the entry declined to patch, or validation
+    /// rejected the patch.
+    pub fallbacks: u64,
+    /// Patched schedules rejected by the validation gate (subset of
+    /// `fallbacks`).
+    pub validation_rejections: u64,
+    /// Bases currently retained.
+    pub bases_resident: usize,
+    /// Metered base weight currently retained (bytes).
+    pub bytes_in_use: usize,
+    /// Bases evicted under the byte budget.
+    pub evictions: u64,
+}
+
+impl IncrementalStats {
+    /// Fraction of lookups served by a patch (0 when idle).
+    pub fn patch_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.patches as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Link gate for patched schedules, priced per *touched* phase. A phase
+/// whose circuits are a subset of the base phase at the same index
+/// inherits the base's link guarantee — removing circuits from a
+/// link-disjoint phase cannot make two of the survivors share a link,
+/// and every retained base under a link-free entry was itself compiled
+/// or gated under that guarantee. Only phases that gained circuits (or
+/// shifted index when an emptied phase was dropped) pay an
+/// `is_link_free` route sweep.
+fn patched_link_free(patched: &Schedule, base: &Schedule, topo: &dyn Topology) -> bool {
+    let base_phases = base.phases();
+    patched.phases().iter().enumerate().all(|(k, pm)| {
+        base_phases.get(k).is_some_and(|b| phase_is_subset(pm, b)) || pm.is_link_free(topo)
+    })
+}
+
+/// Whether every circuit of `sub` also appears in `sup`.
+fn phase_is_subset(sub: &PartialPermutation, sup: &PartialPermutation) -> bool {
+    sub.n() == sup.n()
+        && (0..sub.n()).all(|i| match sub.dest(i) {
+            None => true,
+            Some(d) => sup.dest(i) == Some(d),
+        })
+}
+
+/// Approximate resident size of a retained base matrix: struct header
+/// plus the dense `n x n` cell array.
+fn matrix_weight_bytes(com: &CommMatrix) -> usize {
+    64 + com.n() * com.n() * 4
+}
+
+struct BaseEntry {
+    com: Arc<CommMatrix>,
+    topo_name: String,
+    topo_nodes: usize,
+    /// Schedules compiled (or patched) for this base, by
+    /// `(scheduler name, seed)`.
+    schedules: HashMap<(String, u64), Arc<Schedule>>,
+    weight: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u128, BaseEntry>,
+    /// Recency index: `last_used` tick → key (same faithful-LRU idiom as
+    /// [`crate::ShardedCache`]).
+    lru: BTreeMap<u64, u128>,
+    clock: u64,
+    bytes: usize,
+}
+
+impl Inner {
+    fn touch(&mut self, raw: u128) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.map.get_mut(&raw) {
+            self.lru.remove(&entry.last_used);
+            self.lru.insert(clock, raw);
+            entry.last_used = clock;
+        }
+    }
+}
+
+/// Retained base instances for delta patching: `InstanceKey` → (matrix,
+/// schedules), LRU-evicted under a byte budget, with hit/patch/fallback
+/// counters. Shared across threads as-is (all methods take `&self`).
+pub struct IncrementalCache {
+    inner: Mutex<Inner>,
+    config: IncrementalConfig,
+    lookups: AtomicU64,
+    base_hits: AtomicU64,
+    base_misses: AtomicU64,
+    patches: AtomicU64,
+    fallbacks: AtomicU64,
+    validation_rejections: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl IncrementalCache {
+    /// Build the layer from its configuration.
+    pub fn new(config: IncrementalConfig) -> Self {
+        IncrementalCache {
+            inner: Mutex::new(Inner::default()),
+            config,
+            lookups: AtomicU64::new(0),
+            base_hits: AtomicU64::new(0),
+            base_misses: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            validation_rejections: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to produce a schedule for `(entry, com, topo, seed)` by
+    /// patching a retained base. `None` means the caller compiles cold:
+    /// no compatible base within the delta threshold, no base schedule
+    /// for this scheduler/seed, the entry declined to patch, or the
+    /// validation gate rejected the patch — each outcome counted.
+    pub fn get_patched(
+        &self,
+        entry: &dyn Scheduler,
+        key: InstanceKey,
+        com: &CommMatrix,
+        topo: &dyn Topology,
+        seed: u64,
+    ) -> Option<Arc<Schedule>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let topo_name = topo.name();
+        let sched_key = (entry.name().to_string(), seed);
+
+        // Snapshot the most recent compatible candidates under the lock;
+        // diff outside it (diffing is the O(n²) part).
+        let candidates: Vec<(u128, Arc<CommMatrix>, Option<Arc<Schedule>>)> = {
+            let inner = self.inner.lock().expect("no panics hold the base map");
+            inner
+                .lru
+                .iter()
+                .rev()
+                .filter_map(|(_, raw)| inner.map.get(raw).map(|e| (*raw, e)))
+                .filter(|(_, e)| {
+                    e.topo_name == topo_name
+                        && e.topo_nodes == topo.num_nodes()
+                        && e.com.n() == com.n()
+                })
+                .take(self.config.max_candidates)
+                .map(|(raw, e)| {
+                    (
+                        raw,
+                        Arc::clone(&e.com),
+                        e.schedules.get(&sched_key).cloned(),
+                    )
+                })
+                .collect()
+        };
+
+        let mut hit_without_schedule = false;
+        let mut chosen = None;
+        for (raw, base_com, base_schedule) in candidates {
+            let delta = match MatrixDelta::diff(&base_com, com) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let base_msgs = base_com.message_count().max(1);
+            if delta.structural_count() * 1000 > self.config.max_delta_permille as usize * base_msgs
+            {
+                continue;
+            }
+            match base_schedule {
+                Some(s) => {
+                    chosen = Some((raw, s, delta));
+                    break;
+                }
+                None => hit_without_schedule = true,
+            }
+        }
+
+        let (raw, base_schedule, delta) = match chosen {
+            Some(c) => c,
+            None => {
+                if hit_without_schedule {
+                    // A base matched but was never scheduled under this
+                    // scheduler/seed: nothing to patch from.
+                    self.base_hits.fetch_add(1, Ordering::Relaxed);
+                    self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.base_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            }
+        };
+        self.base_hits.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .lock()
+            .expect("no panics hold the base map")
+            .touch(raw);
+
+        let patched = match entry.patch_schedule(&base_schedule, &delta, topo, seed) {
+            Some(s) => s,
+            None => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        // The correctness gate: a patched schedule is served only if it is
+        // a valid decomposition of the *perturbed* matrix and upholds the
+        // entry's registered link guarantee.
+        let valid = validate_schedule(com, &patched).is_ok()
+            && (!entry.link_contention_free() || patched_link_free(&patched, &base_schedule, topo));
+        if !valid {
+            self.validation_rejections.fetch_add(1, Ordering::Relaxed);
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.patches.fetch_add(1, Ordering::Relaxed);
+        let _ = key; // the caller registers the result under `key`
+        Some(Arc::new(patched))
+    }
+
+    /// The retained base matrix under exactly `key`, if resident — how
+    /// the daemon resolves a delta submit that names its base by
+    /// [`InstanceKey`]. Counts as a use for eviction purposes.
+    pub fn base_matrix(&self, key: InstanceKey) -> Option<Arc<CommMatrix>> {
+        let raw = key.raw();
+        let mut inner = self.inner.lock().expect("no panics hold the base map");
+        let com = inner.map.get(&raw).map(|e| Arc::clone(&e.com))?;
+        inner.touch(raw);
+        Some(com)
+    }
+
+    /// Retain `(key, com)` as a future patch base, recording `schedule`
+    /// under `(entry_name, seed)`. Called on every served request so
+    /// drifting patterns chain: each perturbed matrix becomes the next
+    /// iteration's base. Cheap when the base is already resident.
+    pub fn register(
+        &self,
+        key: InstanceKey,
+        com: &CommMatrix,
+        topo: &dyn Topology,
+        entry_name: &str,
+        seed: u64,
+        schedule: Arc<Schedule>,
+    ) {
+        let raw = key.raw();
+        let sched_weight = schedule_weight_bytes(&schedule);
+        let mut inner = self.inner.lock().expect("no panics hold the base map");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&raw) {
+            Some(entry) => {
+                let mut added = 0;
+                if entry
+                    .schedules
+                    .insert((entry_name.to_string(), seed), schedule)
+                    .is_none()
+                {
+                    added = sched_weight;
+                }
+                entry.weight += added;
+                let prev = entry.last_used;
+                entry.last_used = clock;
+                inner.lru.remove(&prev);
+                inner.lru.insert(clock, raw);
+                inner.bytes += added;
+            }
+            None => {
+                let weight = matrix_weight_bytes(com) + sched_weight;
+                if weight > self.config.byte_budget {
+                    return; // heavier than the whole budget: never retain
+                }
+                let mut schedules = HashMap::new();
+                schedules.insert((entry_name.to_string(), seed), schedule);
+                inner.map.insert(
+                    raw,
+                    BaseEntry {
+                        com: Arc::new(com.clone()),
+                        topo_name: topo.name(),
+                        topo_nodes: topo.num_nodes(),
+                        schedules,
+                        weight,
+                        last_used: clock,
+                    },
+                );
+                inner.lru.insert(clock, raw);
+                inner.bytes += weight;
+            }
+        }
+        while inner.bytes > self.config.byte_budget {
+            let (_, lru_key) = inner
+                .lru
+                .pop_first()
+                .expect("over budget implies non-empty");
+            let evicted = inner.map.remove(&lru_key).expect("recency index in sync");
+            inner.bytes -= evicted.weight;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot every counter.
+    pub fn stats(&self) -> IncrementalStats {
+        let (bases_resident, bytes_in_use) = {
+            let inner = self.inner.lock().expect("no panics hold the base map");
+            (inner.map.len(), inner.bytes)
+        };
+        IncrementalStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            base_hits: self.base_hits.load(Ordering::Relaxed),
+            base_misses: self.base_misses.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            validation_rejections: self.validation_rejections.load(Ordering::Relaxed),
+            bases_resident,
+            bytes_in_use,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for IncrementalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalCache")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched::registry;
+    use hypercube::Hypercube;
+
+    fn sample_com(n: usize) -> CommMatrix {
+        let mut com = CommMatrix::new(n);
+        for i in 0..n {
+            com.set(i, (i + 1) % n, 256);
+            com.set(i, (i + 5) % n, 512);
+        }
+        com
+    }
+
+    #[test]
+    fn patch_after_register_and_counters() {
+        let inc = IncrementalCache::new(IncrementalConfig::default());
+        let cube = Hypercube::new(5);
+        let base = sample_com(32);
+        let entry = registry::find("RS_NL").unwrap();
+        let key = InstanceKey::compute(&base, &cube);
+        let cold = Arc::new(entry.schedule(&base, &cube, 7));
+        inc.register(key, &base, &cube, entry.name(), 7, Arc::clone(&cold));
+
+        let mut drifted = base.clone();
+        drifted.set(0, 1, 0);
+        drifted.set(4, 20, 64);
+        let dkey = InstanceKey::compute(&drifted, &cube);
+        let patched = inc
+            .get_patched(entry, dkey, &drifted, &cube, 7)
+            .expect("within threshold");
+        validate_schedule(&drifted, &patched).unwrap();
+        assert!(patched.link_contention_free(&cube));
+        let stats = inc.stats();
+        assert_eq!(stats.base_hits, 1);
+        assert_eq!(stats.patches, 1);
+        assert_eq!(stats.validation_rejections, 0);
+        assert!((stats.patch_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_threshold_deltas_miss() {
+        let cfg = IncrementalConfig::default().with_max_delta_permille(10);
+        let inc = IncrementalCache::new(cfg);
+        let cube = Hypercube::new(4);
+        let base = sample_com(16); // 32 messages; 10‰ admits 0 structural edits
+        let entry = registry::find("RS_N").unwrap();
+        let key = InstanceKey::compute(&base, &cube);
+        inc.register(
+            key,
+            &base,
+            &cube,
+            entry.name(),
+            1,
+            Arc::new(entry.schedule(&base, &cube, 1)),
+        );
+        let mut far = base.clone();
+        far.set(0, 1, 0);
+        far.set(2, 9, 5);
+        assert!(inc
+            .get_patched(entry, InstanceKey::compute(&far, &cube), &far, &cube, 1)
+            .is_none());
+        assert_eq!(inc.stats().base_misses, 1);
+        // Resizes are non-structural: a resize-only drift still patches.
+        let mut resized = base.clone();
+        resized.set(0, 1, 9999);
+        assert!(inc
+            .get_patched(
+                entry,
+                InstanceKey::compute(&resized, &cube),
+                &resized,
+                &cube,
+                1
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn base_without_matching_schedule_falls_back() {
+        let inc = IncrementalCache::new(IncrementalConfig::default());
+        let cube = Hypercube::new(4);
+        let base = sample_com(16);
+        let rs_n = registry::find("RS_N").unwrap();
+        let rs_nl = registry::find("RS_NL").unwrap();
+        let key = InstanceKey::compute(&base, &cube);
+        inc.register(
+            key,
+            &base,
+            &cube,
+            rs_n.name(),
+            1,
+            Arc::new(rs_n.schedule(&base, &cube, 1)),
+        );
+        let mut drifted = base.clone();
+        drifted.set(2, 9, 5);
+        // Same base, but no RS_NL schedule retained for it.
+        assert!(inc
+            .get_patched(
+                rs_nl,
+                InstanceKey::compute(&drifted, &cube),
+                &drifted,
+                &cube,
+                1
+            )
+            .is_none());
+        let stats = inc.stats();
+        assert_eq!(stats.base_hits, 1);
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.patches, 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_bases() {
+        let base = sample_com(16);
+        let entry = registry::find("RS_N").unwrap();
+        let cube = Hypercube::new(4);
+        let one = matrix_weight_bytes(&base)
+            + schedule_weight_bytes(&entry.schedule(&base, &cube, 0)) * 2;
+        let inc = IncrementalCache::new(IncrementalConfig::default().with_byte_budget(one));
+        for seed_shift in 0..4u32 {
+            let mut com = base.clone();
+            com.set(0, 8 + seed_shift as usize % 8, 7 + seed_shift);
+            let key = InstanceKey::compute(&com, &cube);
+            inc.register(
+                key,
+                &com,
+                &cube,
+                entry.name(),
+                0,
+                Arc::new(entry.schedule(&com, &cube, 0)),
+            );
+        }
+        let stats = inc.stats();
+        assert!(stats.evictions >= 3, "evictions: {}", stats.evictions);
+        assert!(stats.bytes_in_use <= one);
+        assert!(stats.bases_resident <= 2);
+    }
+
+    #[test]
+    fn ac_declines_patching_and_counts_a_fallback() {
+        let inc = IncrementalCache::new(IncrementalConfig::default());
+        let cube = Hypercube::new(4);
+        let base = sample_com(16);
+        let ac = registry::find("AC").unwrap();
+        let key = InstanceKey::compute(&base, &cube);
+        inc.register(
+            key,
+            &base,
+            &cube,
+            ac.name(),
+            0,
+            Arc::new(ac.schedule(&base, &cube, 0)),
+        );
+        let mut drifted = base.clone();
+        drifted.set(2, 9, 5);
+        assert!(inc
+            .get_patched(
+                ac,
+                InstanceKey::compute(&drifted, &cube),
+                &drifted,
+                &cube,
+                0
+            )
+            .is_none());
+        let stats = inc.stats();
+        assert_eq!(stats.base_hits, 1);
+        assert_eq!(stats.fallbacks, 1);
+    }
+}

@@ -54,10 +54,12 @@ use hypercube::Topology;
 
 mod cache;
 mod fingerprint;
+mod incremental;
 mod store;
 
 pub use cache::{schedule_weight_bytes, ShardedCache};
 pub use fingerprint::{canonical_bytes, Fingerprint, InstanceKey, LAYOUT_VERSION};
+pub use incremental::{IncrementalCache, IncrementalConfig, IncrementalStats};
 pub use store::{
     decode_artifact, encode_artifact, ArtifactStore, StoreError, EXTENSION, FORMAT_VERSION, MAGIC,
 };
@@ -75,6 +77,11 @@ pub struct CacheConfig {
     /// Write freshly compiled schedules through to the store (only
     /// meaningful with `persist_dir`; on by default).
     pub write_through: bool,
+    /// Delta-aware compilation ([`IncrementalCache`]); `None` (the
+    /// default) keeps the cache byte-identical to a cold compile —
+    /// patched schedules may differ structurally from cold ones, so the
+    /// layer is strictly opt-in.
+    pub incremental: Option<IncrementalConfig>,
 }
 
 impl Default for CacheConfig {
@@ -84,6 +91,7 @@ impl Default for CacheConfig {
             byte_budget: 64 << 20, // 64 MiB
             persist_dir: None,
             write_through: true,
+            incremental: None,
         }
     }
 }
@@ -123,6 +131,17 @@ impl CacheConfig {
     pub fn read_only_store(mut self) -> Self {
         self.write_through = false;
         self
+    }
+
+    /// Enable delta-aware compilation with `config`.
+    pub fn with_incremental(mut self, config: IncrementalConfig) -> Self {
+        self.incremental = Some(config);
+        self
+    }
+
+    /// Enable delta-aware compilation with default settings.
+    pub fn incremental_default(self) -> Self {
+        self.with_incremental(IncrementalConfig::default())
     }
 }
 
@@ -191,6 +210,7 @@ impl CacheStats {
 pub struct SchedCache {
     mem: ShardedCache,
     store: Option<ArtifactStore>,
+    incremental: Option<IncrementalCache>,
     write_through: bool,
     requests: AtomicU64,
     store_hits: AtomicU64,
@@ -206,6 +226,7 @@ impl SchedCache {
         SchedCache {
             mem: ShardedCache::new(config.shards, config.byte_budget),
             store: config.persist_dir.map(ArtifactStore::new),
+            incremental: config.incremental.map(IncrementalCache::new),
             write_through: config.write_through,
             requests: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
@@ -227,8 +248,13 @@ impl SchedCache {
     }
 
     /// Schedule `com` on `topo` with `entry` at `seed`, served from cache
-    /// when possible. Equal inputs always return an equal schedule — a
-    /// hit returns exactly what the compile would have produced.
+    /// when possible. Without the incremental layer, equal inputs always
+    /// return an equal schedule — a hit returns exactly what the compile
+    /// would have produced. With [`CacheConfig::incremental`] enabled, a
+    /// fingerprint miss may instead be served by *patching* a retained
+    /// base schedule (validated against `com`, falling back to a cold
+    /// compile on any rejection), and every served schedule is retained
+    /// as a future patch base.
     pub fn get_or_schedule(
         &self,
         entry: &dyn Scheduler,
@@ -236,8 +262,22 @@ impl SchedCache {
         topo: &dyn Topology,
         seed: u64,
     ) -> Arc<Schedule> {
-        let fp = Fingerprint::compute(com, topo, entry.name(), seed);
-        self.get_or_compute(fp, || entry.schedule(com, topo, seed))
+        match &self.incremental {
+            None => {
+                let fp = Fingerprint::compute(com, topo, entry.name(), seed);
+                self.get_or_compute(fp, || entry.schedule(com, topo, seed))
+            }
+            Some(inc) => {
+                let key = InstanceKey::compute(com, topo);
+                let fp = key.schedule_key(entry.name(), seed);
+                let schedule = self.get_or_compute_arc(fp, || {
+                    inc.get_patched(entry, key, com, topo, seed)
+                        .unwrap_or_else(|| Arc::new(entry.schedule(com, topo, seed)))
+                });
+                inc.register(key, com, topo, entry.name(), seed, Arc::clone(&schedule));
+                schedule
+            }
+        }
     }
 
     /// The policy core: serve `key` from memory, then the store, then
@@ -247,6 +287,14 @@ impl SchedCache {
         &self,
         key: Fingerprint,
         compile: impl FnOnce() -> Schedule,
+    ) -> Arc<Schedule> {
+        self.get_or_compute_arc(key, || Arc::new(compile()))
+    }
+
+    fn get_or_compute_arc(
+        &self,
+        key: Fingerprint,
+        compile: impl FnOnce() -> Arc<Schedule>,
     ) -> Arc<Schedule> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(schedule) = self.mem.get(key) {
@@ -270,7 +318,7 @@ impl SchedCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let schedule = Arc::new(compile());
+        let schedule = compile();
         self.mem.insert(key, Arc::clone(&schedule));
         if self.write_through {
             if let Some(store) = &self.store {
@@ -285,6 +333,16 @@ impl SchedCache {
             }
         }
         schedule
+    }
+
+    /// The incremental layer, when delta-aware compilation is enabled.
+    pub fn incremental(&self) -> Option<&IncrementalCache> {
+        self.incremental.as_ref()
+    }
+
+    /// Snapshot the incremental counters (`None` when the layer is off).
+    pub fn incremental_stats(&self) -> Option<IncrementalStats> {
+        self.incremental.as_ref().map(IncrementalCache::stats)
     }
 
     /// Snapshot every counter.
@@ -450,6 +508,51 @@ mod tests {
         }
         assert_eq!(reader.stats().store_hits, registry::all().len() as u64);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_cache_patches_drifting_patterns() {
+        let cache = SchedCache::new(CacheConfig::in_memory().incremental_default());
+        let cube = Hypercube::new(5);
+        let entry = registry::find("RS_NL").unwrap();
+        let mut com = CommMatrix::new(32);
+        for i in 0..32 {
+            com.set(i, (i + 1) % 32, 256);
+            com.set(i, (i + 7) % 32, 512);
+        }
+        // Cold compile registers the base.
+        cache.get_or_schedule(entry, &com, &cube, 7);
+        // Drift: each iteration moves one message, and the patched result
+        // must stay a valid schedule of the drifted matrix.
+        for step in 0..5usize {
+            let from = (step * 3) % 32;
+            com.set(from, (from + 1) % 32, 0);
+            com.set(from, (from + 11) % 32, 64);
+            let s = cache.get_or_schedule(entry, &com, &cube, 7);
+            commsched::validate_schedule(&com, &s).unwrap();
+            assert!(s.link_contention_free(&cube));
+        }
+        let inc = cache.incremental_stats().unwrap();
+        assert_eq!(inc.patches, 5, "every drift step patched: {inc:?}");
+        assert_eq!(inc.validation_rejections, 0);
+        assert!(cache.incremental().is_some());
+        // Replaying an already-seen matrix is still an exact memory hit —
+        // the incremental layer only runs on fingerprint misses.
+        cache.get_or_schedule(entry, &com, &cube, 7);
+        assert_eq!(cache.stats().mem_hits, 1);
+    }
+
+    #[test]
+    fn incremental_off_by_default_keeps_exact_semantics() {
+        let config = CacheConfig::in_memory();
+        assert!(config.incremental.is_none());
+        let cache = SchedCache::new(config);
+        assert!(cache.incremental_stats().is_none());
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let entry = registry::find("RS_NL").unwrap();
+        let cached = cache.get_or_schedule(entry, &com, &cube, 7);
+        assert_eq!(*cached, entry.schedule(&com, &cube, 7));
     }
 
     #[test]

@@ -1,0 +1,710 @@
+//! Matrix deltas and schedule patching — the core of the incremental
+//! compilation path.
+//!
+//! Real unstructured workloads re-schedule *near-identical* matrices every
+//! timestep (AMR halo exchanges, iterative solvers with drifting
+//! sparsity). A [`MatrixDelta`] captures exactly what changed between two
+//! [`CommMatrix`] instances of the same size — messages added, removed,
+//! or resized — and [`Scheduler::patch_schedule`](crate::Scheduler::patch_schedule)
+//! turns a previously computed schedule of the base matrix into a schedule
+//! of the perturbed one by editing only the touched phases, instead of
+//! recompiling from scratch.
+//!
+//! Patched schedules are **never presumed valid**: every consumer of the
+//! patching path (the `commcache` incremental layer, the daemon) gates the
+//! result through [`crate::validate_schedule`] and falls back to a full
+//! recompile on rejection. Patching trades *exact schedule reproduction*
+//! (op counts and phase placement may differ from a cold compile) for
+//! compile latency; it never trades correctness.
+//!
+//! # Example
+//!
+//! ```
+//! use commsched::{registry, validate_schedule, CommMatrix, MatrixDelta};
+//! use hypercube::Hypercube;
+//!
+//! let cube = Hypercube::new(4);
+//! let mut base = CommMatrix::new(16);
+//! base.set(0, 5, 1024);
+//! base.set(5, 0, 1024);
+//! let mut drifted = base.clone();
+//! drifted.set(3, 7, 64); // one new message
+//!
+//! let delta = MatrixDelta::diff(&base, &drifted).unwrap();
+//! assert_eq!(delta.change_count(), 1);
+//!
+//! let entry = registry::find("RS_NL").unwrap();
+//! let cold = entry.schedule(&base, &cube, 7);
+//! let patched = entry.patch_schedule(&cold, &delta, &cube, 7).unwrap();
+//! validate_schedule(&drifted, &patched).unwrap();
+//! assert!(patched.link_contention_free(&cube));
+//! ```
+
+use std::collections::HashSet;
+use std::fmt;
+
+use hypercube::{NodeId, Topology};
+
+use crate::{CommMatrix, PartialPermutation, Schedule, ScheduleKind};
+
+/// Why a delta could not be built or applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Delta and matrix disagree on the node count.
+    WrongSize {
+        /// Nodes the delta spans.
+        delta: usize,
+        /// Nodes in the matrix it was applied to.
+        matrix: usize,
+    },
+    /// An endpoint lies outside `0..n`.
+    OutOfRange {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Node count of the delta.
+        n: usize,
+    },
+    /// A delta entry names a self-message.
+    SelfMessage {
+        /// The node sending to itself.
+        node: usize,
+    },
+    /// An added or resized entry carries zero bytes (that is a removal).
+    ZeroBytes {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+    },
+    /// The same `(src, dst)` cell appears in more than one delta entry.
+    DuplicateCell {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+    },
+    /// An added message already exists in the base matrix.
+    AddExisting {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+    },
+    /// A removed or resized message does not exist in the base matrix.
+    MissingMessage {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::WrongSize { delta, matrix } => {
+                write!(f, "delta spans {delta} nodes, matrix {matrix}")
+            }
+            DeltaError::OutOfRange { src, dst, n } => {
+                write!(f, "delta entry {src}->{dst} out of range for {n} nodes")
+            }
+            DeltaError::SelfMessage { node } => {
+                write!(f, "delta entry {node}->{node} is a self-message")
+            }
+            DeltaError::ZeroBytes { src, dst } => {
+                write!(f, "delta entry {src}->{dst} carries zero bytes")
+            }
+            DeltaError::DuplicateCell { src, dst } => {
+                write!(f, "cell {src}->{dst} appears in more than one delta entry")
+            }
+            DeltaError::AddExisting { src, dst } => {
+                write!(f, "added message {src}->{dst} already exists in the base")
+            }
+            DeltaError::MissingMessage { src, dst } => {
+                write!(f, "message {src}->{dst} not present in the base")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The difference between two same-sized communication matrices, as three
+/// disjoint edit lists in row-major cell order:
+///
+/// * **added** — messages present in the target, absent in the base;
+/// * **removed** — messages present in the base, absent in the target;
+/// * **resized** — messages present in both with a different byte count
+///   (the entry records the *target* byte count).
+///
+/// Resizes never change schedule *structure* (phases carry no byte
+/// counts), so a resize-only delta patches for free. A delta built by
+/// [`MatrixDelta::diff`] applied to its base via [`MatrixDelta::apply`]
+/// reproduces the target exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixDelta {
+    n: usize,
+    added: Vec<(NodeId, NodeId, u32)>,
+    removed: Vec<(NodeId, NodeId)>,
+    resized: Vec<(NodeId, NodeId, u32)>,
+}
+
+impl MatrixDelta {
+    /// Diff `target` against `base`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::WrongSize`] when the matrices span different node
+    /// counts — deltas only relate same-sized instances.
+    pub fn diff(base: &CommMatrix, target: &CommMatrix) -> Result<MatrixDelta, DeltaError> {
+        if base.n() != target.n() {
+            return Err(DeltaError::WrongSize {
+                delta: target.n(),
+                matrix: base.n(),
+            });
+        }
+        let n = base.n();
+        let mut delta = MatrixDelta {
+            n,
+            added: Vec::new(),
+            removed: Vec::new(),
+            resized: Vec::new(),
+        };
+        for i in 0..n {
+            for j in 0..n {
+                let (old, new) = (base.get(i, j), target.get(i, j));
+                if old == new {
+                    continue;
+                }
+                let (src, dst) = (NodeId(i as u32), NodeId(j as u32));
+                match (old, new) {
+                    (0, b) => delta.added.push((src, dst, b)),
+                    (_, 0) => delta.removed.push((src, dst)),
+                    (_, b) => delta.resized.push((src, dst, b)),
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Reassemble a delta from its edit lists — the decode path of
+    /// external serializers (the daemon's `SubmitDelta` frame). Unlike
+    /// [`MatrixDelta::diff`] output, hand-assembled lists are checked:
+    /// endpoints must be in range, self-messages and zero-byte
+    /// adds/resizes are rejected, and no cell may appear twice.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed entry found, as a [`DeltaError`].
+    pub fn from_parts(
+        n: usize,
+        added: Vec<(NodeId, NodeId, u32)>,
+        removed: Vec<(NodeId, NodeId)>,
+        resized: Vec<(NodeId, NodeId, u32)>,
+    ) -> Result<MatrixDelta, DeltaError> {
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut check = |src: NodeId, dst: NodeId, bytes: Option<u32>| -> Result<(), DeltaError> {
+            let (s, d) = (src.index(), dst.index());
+            if s >= n || d >= n {
+                return Err(DeltaError::OutOfRange { src: s, dst: d, n });
+            }
+            if s == d {
+                return Err(DeltaError::SelfMessage { node: s });
+            }
+            if bytes == Some(0) {
+                return Err(DeltaError::ZeroBytes { src: s, dst: d });
+            }
+            if !seen.insert((src.0, dst.0)) {
+                return Err(DeltaError::DuplicateCell { src: s, dst: d });
+            }
+            Ok(())
+        };
+        for &(src, dst, bytes) in &added {
+            check(src, dst, Some(bytes))?;
+        }
+        for &(src, dst) in &removed {
+            check(src, dst, None)?;
+        }
+        for &(src, dst, bytes) in &resized {
+            check(src, dst, Some(bytes))?;
+        }
+        Ok(MatrixDelta {
+            n,
+            added,
+            removed,
+            resized,
+        })
+    }
+
+    /// Node count the delta spans.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Messages added by the delta, with their byte counts.
+    pub fn added(&self) -> &[(NodeId, NodeId, u32)] {
+        &self.added
+    }
+
+    /// Messages removed by the delta.
+    pub fn removed(&self) -> &[(NodeId, NodeId)] {
+        &self.removed
+    }
+
+    /// Messages resized by the delta, with their *new* byte counts.
+    pub fn resized(&self) -> &[(NodeId, NodeId, u32)] {
+        &self.resized
+    }
+
+    /// Total edits (added + removed + resized).
+    pub fn change_count(&self) -> usize {
+        self.added.len() + self.removed.len() + self.resized.len()
+    }
+
+    /// Whether the delta edits nothing (base and target are identical).
+    pub fn is_empty(&self) -> bool {
+        self.change_count() == 0
+    }
+
+    /// Edits that change schedule *structure* (added + removed); resizes
+    /// patch for free, so fallback thresholds meter this count.
+    pub fn structural_count(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Apply the delta to `base`, producing the target matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError`] when the delta does not describe an edit of `base`:
+    /// wrong size, an added message that already exists, or a
+    /// removed/resized message that does not. A delta from
+    /// [`MatrixDelta::diff`] applied to its own base never fails.
+    pub fn apply(&self, base: &CommMatrix) -> Result<CommMatrix, DeltaError> {
+        if base.n() != self.n {
+            return Err(DeltaError::WrongSize {
+                delta: self.n,
+                matrix: base.n(),
+            });
+        }
+        let mut out = base.clone();
+        for &(src, dst, bytes) in &self.added {
+            let (s, d) = (src.index(), dst.index());
+            if out.get(s, d) != 0 {
+                return Err(DeltaError::AddExisting { src: s, dst: d });
+            }
+            out.set(s, d, bytes);
+        }
+        for &(src, dst) in &self.removed {
+            let (s, d) = (src.index(), dst.index());
+            if out.get(s, d) == 0 {
+                return Err(DeltaError::MissingMessage { src: s, dst: d });
+            }
+            out.set(s, d, 0);
+        }
+        for &(src, dst, bytes) in &self.resized {
+            let (s, d) = (src.index(), dst.index());
+            if out.get(s, d) == 0 {
+                return Err(DeltaError::MissingMessage { src: s, dst: d });
+            }
+            out.set(s, d, bytes);
+        }
+        Ok(out)
+    }
+}
+
+/// Patch a **phased** base schedule by structural edit — the generic
+/// patcher behind the RS-family and GREEDY
+/// [`Scheduler::patch_schedule`](crate::Scheduler::patch_schedule)
+/// implementations.
+///
+/// * Removed messages vacate their slot in the phase that carried them.
+/// * Resized messages change nothing (phases carry no byte counts).
+/// * Added messages go to the first phase — probed **newest first** — in
+///   which the sender is silent, the receiver is free, and (when
+///   `require_link_free`) the message's route shares no link with the
+///   phase's existing circuits; a fresh phase is appended when no phase
+///   admits the message.
+/// * Phases emptied by removals are dropped.
+///
+/// Newest-first probing is what keeps a patch O(edits), not O(matrix):
+/// dense early phases of a tight base schedule rarely admit a new
+/// message anyway, while the sparse appendix phases earlier patches
+/// created admit cheaply — and their link occupancy, built lazily per
+/// probed phase, costs O(circuits in that phase) instead of a full
+/// O(messages) sweep. The tradeoff is a patched schedule that may carry
+/// a few more phases than a cold compile; the patch contract is
+/// validity, not reproduction.
+///
+/// Op accounting: the base schedule's op count plus one op per slot or
+/// link probed while patching — deterministic, and honest about the
+/// (small) work the patch performed.
+///
+/// Returns `None` when the base is not patchable: an async schedule, a
+/// node-count mismatch, or a removed message the base never scheduled
+/// (the delta does not describe this schedule's matrix). Callers fall
+/// back to a full recompile.
+pub fn patch_phased(
+    base: &Schedule,
+    delta: &MatrixDelta,
+    topo: &dyn Topology,
+    require_link_free: bool,
+) -> Option<Schedule> {
+    if base.kind() != ScheduleKind::Phased || base.n() != delta.n() {
+        return None;
+    }
+    let n = base.n();
+    let mut phases: Vec<Vec<Option<NodeId>>> = base
+        .phases()
+        .iter()
+        .map(|pm| (0..n).map(|i| pm.dest(i)).collect())
+        .collect();
+    let mut probes: u64 = 0;
+
+    // Per-phase occupancy, maintained across edits — probing a phase per
+    // candidate message must be O(route), not O(n), or a patch costs as
+    // much as the compile it replaces.
+    let mut scratch = Vec::with_capacity(topo.diameter());
+    let mut receiver_busy: Vec<Vec<bool>> = phases
+        .iter()
+        .map(|phase| {
+            let mut busy = vec![false; n];
+            for d in phase.iter().flatten() {
+                busy[d.index()] = true;
+            }
+            busy
+        })
+        .collect();
+    // Link maps are built lazily, only for phases the add loop probes past
+    // the sender/receiver checks. Removals all precede adds, so every map
+    // is built from (and reflects) the post-removal phase — no unclaiming
+    // needed.
+    let mut claimed: Vec<Option<Vec<bool>>> = vec![None; phases.len()];
+
+    for &(src, dst) in delta.removed() {
+        let mut found = false;
+        for (k, phase) in phases.iter_mut().enumerate() {
+            probes += 1;
+            if phase[src.index()] == Some(dst) {
+                phase[src.index()] = None;
+                receiver_busy[k][dst.index()] = false;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return None;
+        }
+    }
+
+    let mut route = Vec::with_capacity(topo.diameter());
+    for &(src, dst, _bytes) in delta.added() {
+        if require_link_free {
+            topo.route_into(src, dst, &mut route);
+        }
+        let mut placed = None;
+        for k in (0..phases.len()).rev() {
+            probes += 1;
+            if phases[k][src.index()].is_some() || receiver_busy[k][dst.index()] {
+                continue;
+            }
+            if require_link_free {
+                let map = claimed[k].get_or_insert_with(|| {
+                    claimed_links(&phases[k], topo, &mut scratch, &mut probes)
+                });
+                let free = route.iter().all(|l| !map[l.index()]);
+                probes += route.len() as u64;
+                if !free {
+                    continue;
+                }
+            }
+            placed = Some(k);
+            break;
+        }
+        match placed {
+            Some(k) => {
+                phases[k][src.index()] = Some(dst);
+                receiver_busy[k][dst.index()] = true;
+                if require_link_free {
+                    let map = claimed[k].as_mut().expect("map built during probe");
+                    for l in &route {
+                        probes += 1;
+                        map[l.index()] = true;
+                    }
+                }
+            }
+            None => {
+                let mut fresh = vec![None; n];
+                fresh[src.index()] = Some(dst);
+                let mut busy = vec![false; n];
+                busy[dst.index()] = true;
+                if require_link_free {
+                    let mut c = vec![false; topo.link_count()];
+                    for l in &route {
+                        probes += 1;
+                        c[l.index()] = true;
+                    }
+                    claimed.push(Some(c));
+                } else {
+                    claimed.push(None);
+                }
+                phases.push(fresh);
+                receiver_busy.push(busy);
+            }
+        }
+    }
+
+    phases.retain(|phase| phase.iter().any(|d| d.is_some()));
+    Some(Schedule::from_parts(
+        ScheduleKind::Phased,
+        base.algorithm(),
+        n,
+        phases
+            .into_iter()
+            .map(PartialPermutation::from_dests)
+            .collect(),
+        base.ops() + probes,
+        base.compress_ops(),
+    ))
+}
+
+/// Links claimed by a phase's circuits, as a dense bitmap.
+fn claimed_links(
+    phase: &[Option<NodeId>],
+    topo: &dyn Topology,
+    scratch: &mut Vec<hypercube::LinkId>,
+    probes: &mut u64,
+) -> Vec<bool> {
+    let mut claimed = vec![false; topo.link_count()];
+    for (i, d) in phase.iter().enumerate() {
+        if let Some(d) = d {
+            topo.route_into(NodeId(i as u32), *d, scratch);
+            for l in scratch.iter() {
+                *probes += 1;
+                claimed[l.index()] = true;
+            }
+        }
+    }
+    claimed
+}
+
+/// Patch an LP base schedule **exactly**: in LP, message `i -> j` lives in
+/// phase `(i ^ j) - 1` by construction, so edits land structurally —
+/// removals vacate that slot, additions fill it (the slot is necessarily
+/// free in a valid LP schedule of the base), resizes change nothing. The
+/// result is bit-identical to `lp(target)`: same `n - 1` phases (empties
+/// retained), same op counts.
+///
+/// Returns `None` when the base does not have LP's shape (`n` not a power
+/// of two, phase count not `n - 1`, an edit inconsistent with the base).
+pub fn patch_lp(base: &Schedule, delta: &MatrixDelta) -> Option<Schedule> {
+    let n = base.n();
+    if base.kind() != ScheduleKind::Phased
+        || n != delta.n()
+        || !n.is_power_of_two()
+        || base.num_phases() != n - 1
+    {
+        return None;
+    }
+    let mut phases: Vec<Vec<Option<NodeId>>> = base
+        .phases()
+        .iter()
+        .map(|pm| (0..n).map(|i| pm.dest(i)).collect())
+        .collect();
+    for &(src, dst) in delta.removed() {
+        let k = (src.0 ^ dst.0) as usize - 1;
+        if phases[k][src.index()] != Some(dst) {
+            return None;
+        }
+        phases[k][src.index()] = None;
+    }
+    for &(src, dst, _bytes) in delta.added() {
+        let k = (src.0 ^ dst.0) as usize - 1;
+        if phases[k][src.index()].is_some() {
+            return None;
+        }
+        phases[k][src.index()] = Some(dst);
+    }
+    Some(Schedule::from_parts(
+        ScheduleKind::Phased,
+        base.algorithm(),
+        n,
+        phases
+            .into_iter()
+            .map(PartialPermutation::from_dests)
+            .collect(),
+        base.ops(),
+        base.compress_ops(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lp, registry, rs_nl, validate_schedule};
+    use hypercube::Hypercube;
+
+    fn sample_com(n: usize) -> CommMatrix {
+        let mut com = CommMatrix::new(n);
+        for i in 0..n {
+            com.set(i, (i + 1) % n, 256);
+            com.set(i, (i + 5) % n, 512);
+        }
+        com
+    }
+
+    #[test]
+    fn diff_classifies_and_apply_roundtrips() {
+        let base = sample_com(16);
+        let mut target = base.clone();
+        target.set(0, 1, 0); // removed
+        target.set(0, 5, 999); // resized
+        target.set(2, 9, 64); // added
+        let delta = MatrixDelta::diff(&base, &target).unwrap();
+        assert_eq!(delta.added().len(), 1);
+        assert_eq!(delta.removed().len(), 1);
+        assert_eq!(delta.resized().len(), 1);
+        assert_eq!(delta.change_count(), 3);
+        assert_eq!(delta.structural_count(), 2);
+        assert_eq!(delta.apply(&base).unwrap(), target);
+    }
+
+    #[test]
+    fn empty_delta_between_identical_matrices() {
+        let base = sample_com(8);
+        let delta = MatrixDelta::diff(&base, &base.clone()).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.apply(&base).unwrap(), base);
+    }
+
+    #[test]
+    fn diff_rejects_size_mismatch() {
+        let err = MatrixDelta::diff(&CommMatrix::new(8), &CommMatrix::new(16)).unwrap_err();
+        assert!(matches!(err, DeltaError::WrongSize { .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_entries() {
+        let n = 8;
+        let oob = MatrixDelta::from_parts(n, vec![(NodeId(0), NodeId(9), 5)], vec![], vec![]);
+        assert!(matches!(oob, Err(DeltaError::OutOfRange { .. })));
+        let selfm = MatrixDelta::from_parts(n, vec![], vec![(NodeId(3), NodeId(3))], vec![]);
+        assert!(matches!(selfm, Err(DeltaError::SelfMessage { node: 3 })));
+        let zero = MatrixDelta::from_parts(n, vec![(NodeId(0), NodeId(1), 0)], vec![], vec![]);
+        assert!(matches!(zero, Err(DeltaError::ZeroBytes { .. })));
+        let dup = MatrixDelta::from_parts(
+            n,
+            vec![(NodeId(0), NodeId(1), 5)],
+            vec![(NodeId(0), NodeId(1))],
+            vec![],
+        );
+        assert!(matches!(dup, Err(DeltaError::DuplicateCell { .. })));
+    }
+
+    #[test]
+    fn apply_rejects_inconsistent_edits() {
+        let base = sample_com(8);
+        let add_existing =
+            MatrixDelta::from_parts(8, vec![(NodeId(0), NodeId(1), 5)], vec![], vec![]).unwrap();
+        assert!(matches!(
+            add_existing.apply(&base),
+            Err(DeltaError::AddExisting { src: 0, dst: 1 })
+        ));
+        let remove_missing =
+            MatrixDelta::from_parts(8, vec![], vec![(NodeId(0), NodeId(2))], vec![]).unwrap();
+        assert!(matches!(
+            remove_missing.apply(&base),
+            Err(DeltaError::MissingMessage { src: 0, dst: 2 })
+        ));
+    }
+
+    #[test]
+    fn patch_phased_preserves_validity_and_link_freedom() {
+        let cube = Hypercube::new(5);
+        let base = sample_com(32);
+        let mut target = base.clone();
+        target.set(0, 1, 0);
+        target.set(4, 20, 77);
+        target.set(7, 12, 1);
+        target.set(3, 8, 2048); // resize
+        let delta = MatrixDelta::diff(&base, &target).unwrap();
+        let cold = rs_nl(&base, &cube, 11);
+        let patched = patch_phased(&cold, &delta, &cube, true).expect("patchable");
+        validate_schedule(&target, &patched).unwrap();
+        assert!(patched.link_contention_free(&cube));
+        assert!(patched.ops() > cold.ops(), "probes are accounted");
+    }
+
+    #[test]
+    fn patch_phased_rejects_foreign_deltas() {
+        let cube = Hypercube::new(4);
+        let base = sample_com(16);
+        let cold = rs_nl(&base, &cube, 3);
+        // A removal the base never scheduled: not this schedule's matrix.
+        let foreign =
+            MatrixDelta::from_parts(16, vec![], vec![(NodeId(0), NodeId(9))], vec![]).unwrap();
+        assert!(patch_phased(&cold, &foreign, &cube, true).is_none());
+        // Node-count mismatch.
+        let wrong = MatrixDelta::from_parts(8, vec![], vec![], vec![]).unwrap();
+        assert!(patch_phased(&cold, &wrong, &cube, true).is_none());
+    }
+
+    #[test]
+    fn patch_lp_is_bit_identical_to_cold_lp() {
+        let base = sample_com(16);
+        let mut target = base.clone();
+        target.set(0, 1, 0);
+        target.set(2, 9, 64);
+        target.set(0, 5, 4096);
+        let delta = MatrixDelta::diff(&base, &target).unwrap();
+        let patched = patch_lp(&lp(&base), &delta).expect("patchable");
+        assert_eq!(patched, lp(&target));
+    }
+
+    #[test]
+    fn registry_patches_validate_across_entries() {
+        let cube = Hypercube::new(5);
+        let base = sample_com(32);
+        let mut target = base.clone();
+        target.set(0, 1, 0);
+        target.set(9, 3, 128);
+        target.set(4, 9, 100);
+        let delta = MatrixDelta::diff(&base, &target).unwrap();
+        let mut patchable = 0;
+        for entry in registry::all() {
+            let cold = entry.schedule(&base, &cube, 5);
+            match entry.patch_schedule(&cold, &delta, &cube, 5) {
+                Some(patched) => {
+                    patchable += 1;
+                    validate_schedule(&target, &patched)
+                        .unwrap_or_else(|e| panic!("{}: {e}", entry.name()));
+                    if entry.link_contention_free() {
+                        assert!(patched.link_contention_free(&cube), "{}", entry.name());
+                    }
+                    if entry.node_contention_free() {
+                        for pm in patched.phases() {
+                            assert!(pm.is_partial_permutation(), "{}", entry.name());
+                        }
+                    }
+                }
+                None => assert_eq!(entry.name(), "AC", "only AC declines patching"),
+            }
+        }
+        assert_eq!(patchable, registry::all().len() - 1);
+    }
+
+    #[test]
+    fn resize_only_delta_patches_to_an_identical_structure() {
+        let cube = Hypercube::new(4);
+        let base = sample_com(16);
+        let mut target = base.clone();
+        target.set(0, 5, 9999);
+        let delta = MatrixDelta::diff(&base, &target).unwrap();
+        let cold = rs_nl(&base, &cube, 1);
+        let patched = patch_phased(&cold, &delta, &cube, true).unwrap();
+        assert_eq!(patched.phases(), cold.phases());
+        validate_schedule(&target, &patched).unwrap();
+    }
+}

@@ -58,6 +58,7 @@
 mod algorithms;
 mod compress;
 mod cost;
+pub mod delta;
 mod matrix;
 pub mod nonuniform;
 mod paths_table;
@@ -70,6 +71,7 @@ mod validate;
 pub use algorithms::{ac, greedy, lp, rs_n, rs_n_with, rs_nl, rs_nl_with, RsOptions};
 pub use compress::CompressedMatrix;
 pub use cost::I860CostModel;
+pub use delta::{DeltaError, MatrixDelta};
 pub use matrix::CommMatrix;
 pub use paths_table::PathsTable;
 pub use phase::PartialPermutation;

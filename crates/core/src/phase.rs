@@ -130,8 +130,10 @@ impl PartialPermutation {
     /// `topo` — the *link contention freedom* RS_NL and LP guarantee.
     pub fn is_link_free<T: Topology + ?Sized>(&self, topo: &T) -> bool {
         let mut claimed = vec![false; topo.link_count()];
+        let mut route = Vec::with_capacity(topo.diameter());
         for (src, dst) in self.pairs() {
-            for l in topo.route(src, dst).links() {
+            topo.route_into(src, dst, &mut route);
+            for l in &route {
                 if claimed[l.index()] {
                     return false;
                 }

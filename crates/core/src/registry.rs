@@ -30,7 +30,8 @@
 use hypercube::Topology;
 
 use crate::algorithms::{ac, greedy, lp, rs_n_with, rs_nl_with, RsOptions};
-use crate::{CommMatrix, Schedule, SchedulerKind};
+use crate::delta::{patch_lp, patch_phased};
+use crate::{CommMatrix, MatrixDelta, Schedule, SchedulerKind};
 
 /// A scheduling algorithm, as seen by the runtime and the repro harness.
 ///
@@ -83,6 +84,30 @@ pub trait Scheduler: Sync {
 
     /// Produce the schedule.
     fn schedule(&self, com: &CommMatrix, topo: &dyn Topology, seed: u64) -> Schedule;
+
+    /// Patch `base` — a schedule this entry previously produced for some
+    /// matrix on `topo` with `seed` — into a schedule of that matrix with
+    /// `delta` applied, editing only the touched phases instead of
+    /// recompiling. `None` means the entry cannot patch (no
+    /// implementation, or the delta is inconsistent with `base`); callers
+    /// fall back to a full [`Scheduler::schedule`].
+    ///
+    /// The contract is **validity, not reproduction**: a patched schedule
+    /// must pass [`crate::validate_schedule`] against the patched matrix
+    /// and uphold the entry's registered contention guarantees, but its
+    /// phase placement and op counts may differ from a cold compile.
+    /// Callers that gate on correctness (the cache layers, the daemon)
+    /// re-validate every patched result and fall back on rejection.
+    fn patch_schedule(
+        &self,
+        base: &Schedule,
+        delta: &MatrixDelta,
+        topo: &dyn Topology,
+        seed: u64,
+    ) -> Option<Schedule> {
+        let _ = (base, delta, topo, seed);
+        None
+    }
 }
 
 struct Ac;
@@ -143,6 +168,18 @@ impl Scheduler for Lp {
     fn schedule(&self, com: &CommMatrix, _topo: &dyn Topology, _seed: u64) -> Schedule {
         lp(com)
     }
+    fn patch_schedule(
+        &self,
+        base: &Schedule,
+        delta: &MatrixDelta,
+        _topo: &dyn Topology,
+        _seed: u64,
+    ) -> Option<Schedule> {
+        // LP patches exactly: message `i -> j` lives in phase `(i^j)-1` by
+        // construction, so the patched schedule is bit-identical to a cold
+        // `lp` of the perturbed matrix.
+        patch_lp(base, delta)
+    }
 }
 
 /// An RS-family entry: RS_N or RS_NL under explicit [`RsOptions`]. The
@@ -190,6 +227,15 @@ impl Scheduler for Rs {
             }
         }
     }
+    fn patch_schedule(
+        &self,
+        base: &Schedule,
+        delta: &MatrixDelta,
+        topo: &dyn Topology,
+        _seed: u64,
+    ) -> Option<Schedule> {
+        patch_phased(base, delta, topo, self.link_contention_free())
+    }
 }
 
 struct Greedy;
@@ -215,6 +261,15 @@ impl Scheduler for Greedy {
     }
     fn schedule(&self, com: &CommMatrix, _topo: &dyn Topology, _seed: u64) -> Schedule {
         greedy(com)
+    }
+    fn patch_schedule(
+        &self,
+        base: &Schedule,
+        delta: &MatrixDelta,
+        topo: &dyn Topology,
+        _seed: u64,
+    ) -> Option<Schedule> {
+        patch_phased(base, delta, topo, false)
     }
 }
 

@@ -51,12 +51,13 @@ pub fn bit_reverse(n: usize) -> Vec<NodeId> {
 /// given topology: no two circuits of the phase share a directed channel.
 ///
 /// `dests[i] = Some(j)` means node `i` sends to node `j` in this phase.
-pub fn is_link_free<T: Topology>(topo: &T, dests: &[Option<NodeId>]) -> bool {
+pub fn is_link_free<T: Topology + ?Sized>(topo: &T, dests: &[Option<NodeId>]) -> bool {
     let mut claimed = vec![false; topo.link_count()];
+    let mut route = Vec::with_capacity(topo.diameter());
     for (i, dst) in dests.iter().enumerate() {
         let Some(dst) = dst else { continue };
-        let path = topo.route(NodeId(i as u32), *dst);
-        for link in path.links() {
+        topo.route_into(NodeId(i as u32), *dst, &mut route);
+        for link in &route {
             if claimed[link.index()] {
                 return false;
             }

@@ -144,6 +144,21 @@ impl ExperimentRunner {
         self
     }
 
+    /// Attach a delta-aware schedule cache: fingerprint misses may be
+    /// served by patching a retained base schedule (validated, falling
+    /// back to a cold compile) instead of recompiling — the right cache
+    /// for grids over *drifting* patterns, where consecutive cells
+    /// perturb a persistent matrix. Unlike [`ExperimentRunner::with_cache`],
+    /// patched schedules may differ structurally from cold compiles (while
+    /// always validating), so byte-identical repro grids keep using the
+    /// exact cache.
+    pub fn with_incremental_cache(self, mut config: CacheConfig) -> Self {
+        if config.incremental.is_none() {
+            config.incremental = Some(commcache::IncrementalConfig::default());
+        }
+        self.with_cache(config)
+    }
+
     /// Detach the schedule cache.
     pub fn without_cache(mut self) -> Self {
         self.schedule_cache = None;
@@ -446,6 +461,66 @@ mod tests {
         let stats = cached.schedule_cache().unwrap().stats();
         assert_eq!(stats.misses, entries * 3, "no recompilation");
         assert_eq!(stats.mem_hits, entries * 3);
+    }
+
+    #[test]
+    fn incremental_runner_patches_drifting_cells() {
+        // A grid over a drifting pattern: each cell perturbs the previous
+        // matrix slightly. Under the incremental cache the later cells
+        // are served by patching, and every measurement still comes from
+        // a schedule that validates against its own matrix (the runner's
+        // simulators would reject an invalid decomposition by producing
+        // nonsense; we check the cache counters and determinism here).
+        let cube = Hypercube::new(4);
+        let runner =
+            ExperimentRunner::ipsc860().with_incremental_cache(commcache::CacheConfig::in_memory());
+        let entry = commsched::registry::find("RS_NL").unwrap();
+        let scheme = crate::Scheme::for_scheduler(entry);
+        let set = SampleSet::new(29, 1);
+        let mut base = workloads::random_dregular(16, 4, 1024, 3);
+        let mut results = Vec::new();
+        for step in 0..4usize {
+            let com = base.clone();
+            let r = runner
+                .run_scheduler_cell(&cube, &set, &move |_seed| com.clone(), entry, scheme)
+                .unwrap();
+            results.push(r);
+            let from = (step * 5) % 16;
+            let old_dst = (0..16).find(|&d| base.get(from, d) > 0).unwrap();
+            base.set(from, old_dst, 0);
+            let new_dst = (0..16)
+                .find(|&d| d != from && d != old_dst && base.get(from, d) == 0)
+                .unwrap();
+            base.set(from, new_dst, 1024);
+        }
+        let inc = runner
+            .schedule_cache()
+            .unwrap()
+            .incremental_stats()
+            .unwrap();
+        assert_eq!(inc.patches, 3, "every drifted cell patched: {inc:?}");
+        assert_eq!(inc.validation_rejections, 0);
+        // Re-running the drifted grid from a fresh runner sharing the
+        // cache reproduces the same results (patched schedules are cached
+        // under the exact fingerprint like any compile).
+        let shared = runner.clone();
+        let com = base.clone();
+        let r1 = runner
+            .run_scheduler_cell(
+                &cube,
+                &set,
+                &{
+                    let com = com.clone();
+                    move |_| com.clone()
+                },
+                entry,
+                scheme,
+            )
+            .unwrap();
+        let r2 = shared
+            .run_scheduler_cell(&cube, &set, &move |_| com.clone(), entry, scheme)
+            .unwrap();
+        assert_eq!(r1, r2);
     }
 
     #[test]

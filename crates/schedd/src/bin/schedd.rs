@@ -32,12 +32,15 @@ OPTIONS:
                          the matrix-cell allocation guard stays in force)
     --store <dir>        persistent artifact store for the schedule cache
     --estimate-cache <n> estimate cache entry cap      [default: 65536]
+    --incremental        retain recent base instances and serve drifted
+                         matrices by patching (enables SubmitDelta)
     -h, --help           print this help
 ";
 
 fn parse_args() -> Result<(ServiceConfig, Endpoint), String> {
     let mut endpoint: Option<Endpoint> = None;
     let mut config = ServiceConfig::default();
+    let mut incremental = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -78,6 +81,7 @@ fn parse_args() -> Result<(ServiceConfig, Endpoint), String> {
                     .parse()
                     .map_err(|e| format!("--estimate-cache: {e}"))?
             }
+            "--incremental" => incremental = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -86,6 +90,11 @@ fn parse_args() -> Result<(ServiceConfig, Endpoint), String> {
         }
     }
     let endpoint = endpoint.ok_or("one of --unix/--tcp/--addr is required")?;
+    // Applied last so it composes with `--store` (which replaces the
+    // cache config wholesale).
+    if incremental {
+        config.cache = config.cache.incremental_default();
+    }
     Ok((config, endpoint))
 }
 

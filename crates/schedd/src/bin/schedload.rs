@@ -10,16 +10,28 @@
 //! schedload --addr unix:/tmp/schedd.sock --requests 1000000 --unique 32
 //! ```
 //!
-//! With `--expect-rps` / `--expect-dedup-rate` the process exits
-//! non-zero when the measured numbers fall short — the CI smoke job's
-//! assertion mechanism.
+//! `--perturb <rate>` turns the given fraction of requests into
+//! *drifted* variants shipped as `SubmitDelta` frames against their
+//! pool instance — the drifting-pattern scenario. The daemon must run
+//! with `--incremental` for these to patch; the run records the
+//! daemon-measured patch rate alongside the dedup rate.
+//!
+//! With `--expect-rps` / `--expect-dedup-rate` / `--expect-patch-rate`
+//! the process exits non-zero when the measured numbers fall short —
+//! the CI smoke job's assertion mechanism.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use commcache::InstanceKey;
 use commrt::BackendKind;
-use schedd::{Client, Endpoint, Request, Response, SchemeChoice, SubmitRequest, TopologySpec};
+use commsched::{CommMatrix, MatrixDelta};
+use hypercube::NodeId;
+use schedd::{
+    Client, Endpoint, Request, Response, SchemeChoice, SubmitDeltaRequest, SubmitRequest,
+    TopologySpec,
+};
 use workloads::Generator;
 
 const USAGE: &str = "\
@@ -40,9 +52,12 @@ OPTIONS:
     --scheduler <name>       registry scheduler              [default: RS_NL]
     --backend <des|analytic> estimate backend                [default: analytic]
     --want-schedule          stream schedule payloads back too
+    --perturb <rate>         fraction of requests drifted and shipped as
+                             SubmitDelta frames (0..1)        [default: 0]
     --json <path>            report path    [default: BENCH_schedd_load.json]
     --expect-rps <x>         exit 1 if sustained req/s falls below x
     --expect-dedup-rate <x>  exit 1 if dedup hit rate falls below x (0..1)
+    --expect-patch-rate <x>  exit 1 if delta patch rate falls below x (0..1)
     -h, --help               print this help
 ";
 
@@ -58,9 +73,11 @@ struct Opts {
     scheduler: String,
     backend: BackendKind,
     want_schedule: bool,
+    perturb: f64,
     json: String,
     expect_rps: Option<f64>,
     expect_dedup: Option<f64>,
+    expect_patch: Option<f64>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -76,9 +93,11 @@ fn parse_args() -> Result<Opts, String> {
         scheduler: "RS_NL".into(),
         backend: BackendKind::Analytic,
         want_schedule: false,
+        perturb: 0.0,
         json: "BENCH_schedd_load.json".into(),
         expect_rps: None,
         expect_dedup: None,
+        expect_patch: None,
     };
     let mut saw_addr = false;
     let mut args = std::env::args().skip(1);
@@ -111,10 +130,14 @@ fn parse_args() -> Result<Opts, String> {
                 opts.backend = BackendKind::parse(&v).ok_or(format!("unknown backend `{v}`"))?;
             }
             "--want-schedule" => opts.want_schedule = true,
+            "--perturb" => opts.perturb = num("--perturb", value("--perturb")?)?,
             "--json" => opts.json = value("--json")?,
             "--expect-rps" => opts.expect_rps = Some(num("--expect-rps", value("--expect-rps")?)?),
             "--expect-dedup-rate" => {
                 opts.expect_dedup = Some(num("--expect-dedup-rate", value("--expect-dedup-rate")?)?)
+            }
+            "--expect-patch-rate" => {
+                opts.expect_patch = Some(num("--expect-patch-rate", value("--expect-patch-rate")?)?)
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -129,6 +152,9 @@ fn parse_args() -> Result<Opts, String> {
     if opts.connections == 0 || opts.batch == 0 || opts.unique == 0 || opts.requests == 0 {
         return Err("--requests/--connections/--batch/--unique must be positive".into());
     }
+    if !(0.0..=1.0).contains(&opts.perturb) {
+        return Err("--perturb must be in 0..1".into());
+    }
     Ok(opts)
 }
 
@@ -138,6 +164,28 @@ fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Deterministic one-message drift of `base`: zero one existing
+/// message and redirect its bytes (salt-varied) to a currently-free
+/// destination, expressed as a delta against the unperturbed base.
+fn drifted_delta(base: &CommMatrix, salt: u64) -> MatrixDelta {
+    let msgs: Vec<(NodeId, NodeId, u32)> = base.messages().collect();
+    let (src, old_dst, _) = msgs[mix(salt) as usize % msgs.len()];
+    let n = base.n();
+    let mut target = base.clone();
+    target.set(src.0 as usize, old_dst.0 as usize, 0);
+    let start = mix(salt ^ 0xD1F7) as usize % n;
+    for off in 0..n {
+        let dst = (start + off) % n;
+        if dst != src.0 as usize && dst != old_dst.0 as usize && base.get(src.0 as usize, dst) == 0
+        {
+            let bytes = 64 + (mix(salt ^ 0xB17E) % 4096) as u32;
+            target.set(src.0 as usize, dst, bytes);
+            break;
+        }
+    }
+    MatrixDelta::diff(base, &target).expect("same-dimension matrices always diff")
 }
 
 struct ConnResult {
@@ -150,6 +198,7 @@ struct ConnResult {
 fn run_connection(
     opts: &Opts,
     pool: &[SubmitRequest],
+    keys: &[InstanceKey],
     conn_index: usize,
     count: usize,
 ) -> Result<ConnResult, String> {
@@ -164,13 +213,30 @@ fn run_connection(
     let mut received = 0usize;
     while received < count {
         while sent < count && sent - received < opts.batch {
-            let pick = mix((conn_index as u64) << 32 | sent as u64) as usize % pool.len();
-            let mut req = pool[pick].clone();
-            req.request_id = client.next_request_id();
+            let salt = (conn_index as u64) << 32 | sent as u64;
+            let pick = mix(salt) as usize % pool.len();
+            let drifted =
+                opts.perturb > 0.0 && (mix(salt ^ 0x5EED) as f64 / u64::MAX as f64) < opts.perturb;
+            let request = if drifted {
+                let base = &pool[pick];
+                Request::SubmitDelta(SubmitDeltaRequest {
+                    request_id: client.next_request_id(),
+                    want_schedule: base.want_schedule,
+                    topology: base.topology,
+                    scheduler: base.scheduler.clone(),
+                    scheme: base.scheme,
+                    backend: base.backend,
+                    seed: base.seed,
+                    base: keys[pick],
+                    delta: drifted_delta(&base.matrix, mix(salt ^ 0xDE17A)),
+                })
+            } else {
+                let mut req = pool[pick].clone();
+                req.request_id = client.next_request_id();
+                Request::Submit(req)
+            };
             sent_at.push(Instant::now());
-            client
-                .send(&Request::Submit(req))
-                .map_err(|e| format!("send: {e}"))?;
+            client.send(&request).map_err(|e| format!("send: {e}"))?;
             sent += 1;
         }
         let resp = client.recv().map_err(|e| format!("recv: {e}"))?;
@@ -235,6 +301,11 @@ fn main() -> ExitCode {
             matrix: Generator::dregular(n, opts.degree.min(n - 1), opts.bytes).generate(i as u64),
         })
         .collect();
+    let topo = TopologySpec::Hypercube { dims: opts.dims }.build();
+    let keys: Vec<InstanceKey> = pool
+        .iter()
+        .map(|req| InstanceKey::compute(&req.matrix, topo.as_ref()))
+        .collect();
 
     // Daemon counters before/after bracket exactly this run.
     let mut control = match Client::connect(&opts.addr) {
@@ -244,6 +315,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Drifted requests patch against their pool instance, so seed every
+    // base into the daemon first — outside the measured bracket.
+    if opts.perturb > 0.0 {
+        for req in &pool {
+            if let Err(e) = control.submit(req.clone()) {
+                eprintln!("schedload: seeding base instance failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let before = match control.stats() {
         Ok(stats) => stats,
         Err(e) => {
@@ -261,7 +342,8 @@ fn main() -> ExitCode {
                 let opts = &opts;
                 let pool = &pool;
                 let count = per_conn + usize::from(c < remainder);
-                scope.spawn(move || run_connection(opts, pool, c, count))
+                let keys = &keys;
+                scope.spawn(move || run_connection(opts, pool, keys, c, count))
             })
             .collect();
         handles
@@ -306,6 +388,14 @@ fn main() -> ExitCode {
     } else {
         1.0 - d_compiles as f64 / d_completed as f64
     };
+    let d_delta = after.delta_submits.saturating_sub(before.delta_submits);
+    let d_patches = after.incr_patches.saturating_sub(before.incr_patches);
+    let d_fallbacks = after.incr_fallbacks.saturating_sub(before.incr_fallbacks);
+    let patch_rate = if d_delta == 0 {
+        0.0
+    } else {
+        d_patches as f64 / d_delta as f64
+    };
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
     let max = latencies.last().copied().unwrap_or(0);
@@ -318,9 +408,15 @@ fn main() -> ExitCode {
         "schedload: dedup hit rate {:.2}% ({d_compiles} compiles / {d_completed} completed), latency p50 {p50}us p99 {p99}us max {max}us",
         dedup_rate * 100.0
     );
+    if opts.perturb > 0.0 {
+        println!(
+            "schedload: patch rate {:.2}% ({d_patches} patches / {d_delta} delta submits, {d_fallbacks} fallbacks)",
+            patch_rate * 100.0
+        );
+    }
 
     let json = format!(
-        "{{\n  \"group\": \"schedd_load\",\n  \"config\": {{\n    \"requests\": {},\n    \"connections\": {},\n    \"batch\": {},\n    \"unique\": {},\n    \"dims\": {},\n    \"degree\": {},\n    \"bytes\": {},\n    \"scheduler\": \"{}\",\n    \"backend\": \"{}\",\n    \"want_schedule\": {}\n  }},\n  \"results\": {{\n    \"completed\": {},\n    \"server_errors\": {},\n    \"wall_seconds\": {:.6},\n    \"requests_per_sec\": {:.1},\n    \"dedup_hit_rate\": {:.6},\n    \"compiles\": {},\n    \"coalesced\": {},\n    \"latency_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }}\n  }}\n}}\n",
+        "{{\n  \"group\": \"schedd_load\",\n  \"config\": {{\n    \"requests\": {},\n    \"connections\": {},\n    \"batch\": {},\n    \"unique\": {},\n    \"dims\": {},\n    \"degree\": {},\n    \"bytes\": {},\n    \"scheduler\": \"{}\",\n    \"backend\": \"{}\",\n    \"want_schedule\": {},\n    \"perturb\": {:.6}\n  }},\n  \"results\": {{\n    \"completed\": {},\n    \"server_errors\": {},\n    \"wall_seconds\": {:.6},\n    \"requests_per_sec\": {:.1},\n    \"dedup_hit_rate\": {:.6},\n    \"compiles\": {},\n    \"coalesced\": {},\n    \"delta_submits\": {},\n    \"patches\": {},\n    \"patch_fallbacks\": {},\n    \"patch_rate\": {:.6},\n    \"latency_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }}\n  }}\n}}\n",
         opts.requests,
         opts.connections,
         opts.batch,
@@ -331,6 +427,7 @@ fn main() -> ExitCode {
         opts.scheduler,
         opts.backend.label(),
         opts.want_schedule,
+        opts.perturb,
         completed,
         server_errors,
         wall_s,
@@ -338,6 +435,10 @@ fn main() -> ExitCode {
         dedup_rate,
         d_compiles,
         after.coalesced.saturating_sub(before.coalesced),
+        d_delta,
+        d_patches,
+        d_fallbacks,
+        patch_rate,
         p50,
         p99,
         max,
@@ -360,6 +461,12 @@ fn main() -> ExitCode {
     if let Some(expect) = opts.expect_dedup {
         if dedup_rate < expect {
             eprintln!("schedload: FAIL dedup hit rate {dedup_rate:.3} < expected {expect:.3}");
+            failed = true;
+        }
+    }
+    if let Some(expect) = opts.expect_patch {
+        if patch_rate < expect {
+            eprintln!("schedload: FAIL patch rate {patch_rate:.3} < expected {expect:.3}");
             failed = true;
         }
     }

@@ -13,7 +13,7 @@ use std::io::{self, Write};
 use crate::net::{Endpoint, Stream};
 use crate::protocol::{
     read_frame, write_frame, DaemonStats, DecodeError, ErrorReply, FrameError, Request, Response,
-    SubmitReply, SubmitRequest,
+    SubmitDeltaRequest, SubmitReply, SubmitRequest,
 };
 
 /// Why a client call failed.
@@ -126,6 +126,31 @@ impl Client {
         req.request_id = self.next_request_id();
         let want = req.request_id;
         self.send(&Request::Submit(req))?;
+        match self.recv()? {
+            Response::Schedule(reply) if reply.request_id == want => Ok(reply),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            Response::Schedule(_) => Err(ClientError::Unexpected("schedule for another id")),
+            Response::Stats { .. } => Err(ClientError::Unexpected("stats")),
+            Response::ShutdownAck { .. } => Err(ClientError::Unexpected("shutdown ack")),
+        }
+    }
+
+    /// Submit a delta against a base the daemon retains and block for
+    /// its response. A daemon that no longer holds the base answers
+    /// with a typed `unknown-base` error ([`ClientError::Server`]);
+    /// callers recover by falling back to [`submit`](Self::submit) with
+    /// the full matrix.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`submit`](Self::submit) can raise.
+    pub fn submit_delta(
+        &mut self,
+        mut req: SubmitDeltaRequest,
+    ) -> Result<SubmitReply, ClientError> {
+        req.request_id = self.next_request_id();
+        let want = req.request_id;
+        self.send(&Request::SubmitDelta(req))?;
         match self.recv()? {
             Response::Schedule(reply) if reply.request_id == want => Ok(reply),
             Response::Error(err) => Err(ClientError::Server(err)),

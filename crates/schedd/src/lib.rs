@@ -50,7 +50,8 @@ pub use dedup::{FlightStats, SingleFlight};
 pub use net::{Endpoint, Stream};
 pub use protocol::{
     read_frame, write_frame, DaemonStats, DecodeError, ErrorCode, ErrorReply, FrameError,
-    ProtocolLimits, Request, Response, SchemeChoice, SubmitReply, SubmitRequest, TopologySpec,
+    ProtocolLimits, Request, Response, SchemeChoice, SubmitDeltaRequest, SubmitReply,
+    SubmitRequest, TopologySpec,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerHandle};

@@ -33,10 +33,10 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-use commcache::Fingerprint;
+use commcache::{Fingerprint, InstanceKey};
 use commrt::{BackendKind, BackendReport, ContentionStats, Scheme};
-use commsched::{CommMatrix, Schedule, Scheduler};
-use hypercube::{Hypercube, Mesh2d, Topology};
+use commsched::{CommMatrix, MatrixDelta, Schedule, Scheduler};
+use hypercube::{Hypercube, Mesh2d, NodeId, Topology};
 
 /// Leading magic of every frame; the trailing `1` is the protocol
 /// version, so a future layout change is a new magic, not an ambiguity.
@@ -116,6 +116,7 @@ impl ProtocolLimits {
 const K_SUBMIT: u8 = 0x01;
 const K_STATS_REQ: u8 = 0x02;
 const K_SHUTDOWN_REQ: u8 = 0x03;
+const K_SUBMIT_DELTA: u8 = 0x04;
 const K_SCHEDULE: u8 = 0x81;
 const K_STATS: u8 = 0x82;
 const K_ERROR: u8 = 0x83;
@@ -702,11 +703,184 @@ impl SubmitRequest {
     }
 }
 
+/// A schedule request expressed as an **edit list against a base the
+/// daemon already holds**, instead of a full matrix.
+///
+/// The envelope (id, topology, scheduler, scheme, backend, seed) is the
+/// same as [`SubmitRequest`]; the matrix is replaced by the base's
+/// [`InstanceKey`] plus a [`MatrixDelta`]. The daemon resolves the base
+/// from its incremental cache, applies the delta, and from there the
+/// request is indistinguishable from a full submit of the perturbed
+/// matrix — same fingerprint, same cache, byte-identical reply. A base
+/// the daemon no longer retains is a typed
+/// [`ErrorCode::UnknownBase`]; the client falls back to a full submit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitDeltaRequest {
+    /// Client-chosen id echoed by the matching response (pipelining).
+    pub request_id: u64,
+    /// Stream the compiled schedule back (estimates always come back).
+    pub want_schedule: bool,
+    /// Where the communication happens.
+    pub topology: TopologySpec,
+    /// Registry name of the scheduler ([`commsched::registry::find`]).
+    pub scheduler: String,
+    /// Communication scheme for the estimate.
+    pub scheme: SchemeChoice,
+    /// Simulation backend pricing the estimate.
+    pub backend: BackendKind,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Key of the base matrix this delta edits
+    /// ([`InstanceKey::compute`] over the base).
+    pub base: InstanceKey,
+    /// The edits.
+    pub delta: MatrixDelta,
+}
+
+impl SubmitDeltaRequest {
+    /// Encode into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96 + self.delta.change_count() * 12);
+        out.push(K_SUBMIT_DELTA);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.push(u8::from(self.want_schedule));
+        self.topology.encode(&mut out);
+        put_str(&mut out, &self.scheduler);
+        out.push(self.scheme.code());
+        out.push(backend_code(self.backend));
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.base.to_bytes());
+        out.extend_from_slice(&(self.delta.n() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.delta.added().len() as u64).to_le_bytes());
+        for &(src, dst, bytes) in self.delta.added() {
+            out.extend_from_slice(&src.0.to_le_bytes());
+            out.extend_from_slice(&dst.0.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.delta.removed().len() as u64).to_le_bytes());
+        for &(src, dst) in self.delta.removed() {
+            out.extend_from_slice(&src.0.to_le_bytes());
+            out.extend_from_slice(&dst.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.delta.resized().len() as u64).to_le_bytes());
+        for &(src, dst, bytes) in self.delta.resized() {
+            out.extend_from_slice(&src.0.to_le_bytes());
+            out.extend_from_slice(&dst.0.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(rd: &mut Rd<'_>, limits: &ProtocolLimits) -> Result<SubmitDeltaRequest, DecodeError> {
+        let request_id = rd.u64()?;
+        let want_schedule = match rd.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(DecodeError::BadValue {
+                    field: "flags",
+                    value: other.into(),
+                })
+            }
+        };
+        let topology = TopologySpec::decode(rd, limits)?;
+        let scheduler = rd.str("scheduler", MAX_NAME_LEN)?;
+        let scheme = rd.u8()?;
+        let scheme = SchemeChoice::from_code(scheme).ok_or(DecodeError::BadValue {
+            field: "scheme",
+            value: scheme.into(),
+        })?;
+        let backend = rd.u8()?;
+        let backend = backend_from_code(backend).ok_or(DecodeError::BadValue {
+            field: "backend",
+            value: backend.into(),
+        })?;
+        let seed = rd.u64()?;
+        let mut key = [0u8; 16];
+        key.copy_from_slice(rd.take(16)?);
+        let base = InstanceKey::from_bytes(key);
+        let n = rd.u64()?;
+        if n == 0 {
+            return Err(DecodeError::BadValue {
+                field: "delta.n",
+                value: n,
+            });
+        }
+        if n > limits.max_request_nodes {
+            return Err(DecodeError::LimitExceeded {
+                field: "delta.n",
+                value: n,
+                limit: limits.max_request_nodes,
+            });
+        }
+        let n = n as usize;
+        if n != topology.num_nodes() {
+            return Err(DecodeError::Invalid(format!(
+                "delta spans {n} nodes but the topology {topology} has {}",
+                topology.num_nodes()
+            )));
+        }
+        // Each list bounds its claimed count by the bytes actually
+        // present before allocating anything proportional to it.
+        let added_count = rd.u64()? as usize;
+        if added_count > rd.remaining() / 12 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut added = Vec::with_capacity(added_count);
+        for _ in 0..added_count {
+            let src = rd.u32()?;
+            let dst = rd.u32()?;
+            let bytes = rd.u32()?;
+            added.push((NodeId(src), NodeId(dst), bytes));
+        }
+        let removed_count = rd.u64()? as usize;
+        if removed_count > rd.remaining() / 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut removed = Vec::with_capacity(removed_count);
+        for _ in 0..removed_count {
+            let src = rd.u32()?;
+            let dst = rd.u32()?;
+            removed.push((NodeId(src), NodeId(dst)));
+        }
+        let resized_count = rd.u64()? as usize;
+        if resized_count > rd.remaining() / 12 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut resized = Vec::with_capacity(resized_count);
+        for _ in 0..resized_count {
+            let src = rd.u32()?;
+            let dst = rd.u32()?;
+            let bytes = rd.u32()?;
+            resized.push((NodeId(src), NodeId(dst), bytes));
+        }
+        // `from_parts` re-runs the matrix-level semantic checks
+        // (ranges, self-messages, zero bytes, duplicate cells), so a
+        // hostile delta surfaces as a typed error here, not a panic in
+        // the daemon's apply path.
+        let delta = MatrixDelta::from_parts(n, added, removed, resized)
+            .map_err(|e| DecodeError::Invalid(e.to_string()))?;
+        Ok(SubmitDeltaRequest {
+            request_id,
+            want_schedule,
+            topology,
+            scheduler,
+            scheme,
+            backend,
+            seed,
+            base,
+            delta,
+        })
+    }
+}
+
 /// Every client→server frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Schedule + estimate one request.
     Submit(SubmitRequest),
+    /// Schedule + estimate a delta against a retained base.
+    SubmitDelta(SubmitDeltaRequest),
     /// Snapshot the daemon counters.
     Stats {
         /// Echoed by the response.
@@ -724,6 +898,7 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Request::Submit(req) => req.encode(),
+            Request::SubmitDelta(req) => req.encode(),
             Request::Stats { request_id } => {
                 let mut out = vec![K_STATS_REQ];
                 out.extend_from_slice(&request_id.to_le_bytes());
@@ -756,6 +931,7 @@ impl Request {
         let mut rd = Rd::new(body);
         let req = match rd.u8()? {
             K_SUBMIT => Request::Submit(SubmitRequest::decode(&mut rd, limits)?),
+            K_SUBMIT_DELTA => Request::SubmitDelta(SubmitDeltaRequest::decode(&mut rd, limits)?),
             K_STATS_REQ => Request::Stats {
                 request_id: rd.u64()?,
             },
@@ -796,11 +972,15 @@ pub enum ErrorCode {
     SimFailed = 8,
     /// A daemon-side invariant failure.
     Internal = 9,
+    /// A delta submit named a base the daemon does not retain (evicted,
+    /// never seen, or incremental compilation disabled). Recoverable:
+    /// resubmit the full matrix.
+    UnknownBase = 10,
 }
 
 impl ErrorCode {
     /// Every assigned code, in numeric order.
-    pub fn all() -> [ErrorCode; 9] {
+    pub fn all() -> [ErrorCode; 10] {
         [
             ErrorCode::Malformed,
             ErrorCode::UnknownScheduler,
@@ -811,6 +991,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown,
             ErrorCode::SimFailed,
             ErrorCode::Internal,
+            ErrorCode::UnknownBase,
         ]
     }
 
@@ -830,6 +1011,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::SimFailed => "sim-failed",
             ErrorCode::Internal => "internal",
+            ErrorCode::UnknownBase => "unknown-base",
         }
     }
 }
@@ -1017,11 +1199,24 @@ pub struct DaemonStats {
     pub inflight: u64,
     /// 1 while the daemon is draining.
     pub draining: u64,
+    /// Delta submits received ([`SubmitDeltaRequest`] frames).
+    pub delta_submits: u64,
+    /// Incremental lookups that found a within-threshold retained base.
+    pub incr_base_hits: u64,
+    /// Compiles served by patching a base schedule instead of a full
+    /// recompile (validated patches only).
+    pub incr_patches: u64,
+    /// Incremental lookups that fell back to a full compile (scheduler
+    /// declined, no usable base schedule, or validation rejected).
+    pub incr_fallbacks: u64,
+    /// Patched schedules the validation gate rejected (each is also a
+    /// fallback).
+    pub incr_validation_rejections: u64,
 }
 
 impl DaemonStats {
     /// The wire fields, in layout order.
-    fn fields(&self) -> [u64; 22] {
+    fn fields(&self) -> [u64; 27] {
         [
             self.connections_accepted,
             self.connections_active,
@@ -1045,10 +1240,15 @@ impl DaemonStats {
             self.queue_depth,
             self.inflight,
             self.draining,
+            self.delta_submits,
+            self.incr_base_hits,
+            self.incr_patches,
+            self.incr_fallbacks,
+            self.incr_validation_rejections,
         ]
     }
 
-    fn from_fields(f: [u64; 22]) -> DaemonStats {
+    fn from_fields(f: [u64; 27]) -> DaemonStats {
         DaemonStats {
             connections_accepted: f[0],
             connections_active: f[1],
@@ -1072,6 +1272,22 @@ impl DaemonStats {
             queue_depth: f[19],
             inflight: f[20],
             draining: f[21],
+            delta_submits: f[22],
+            incr_base_hits: f[23],
+            incr_patches: f[24],
+            incr_fallbacks: f[25],
+            incr_validation_rejections: f[26],
+        }
+    }
+
+    /// Fraction of delta submits served by a patched base schedule —
+    /// the drifting-pattern counterpart of
+    /// [`dedup_hit_rate`](Self::dedup_hit_rate).
+    pub fn patch_rate(&self) -> f64 {
+        if self.delta_submits == 0 {
+            0.0
+        } else {
+            self.incr_patches as f64 / self.delta_submits as f64
         }
     }
 
@@ -1158,7 +1374,7 @@ impl Response {
             K_SCHEDULE => Response::Schedule(SubmitReply::decode(&mut rd)?),
             K_STATS => {
                 let request_id = rd.u64()?;
-                let mut fields = [0u64; 22];
+                let mut fields = [0u64; 27];
                 for f in &mut fields {
                     *f = rd.u64()?;
                 }

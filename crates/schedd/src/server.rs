@@ -55,6 +55,7 @@ struct Counters {
     connections_active: AtomicU64,
     disconnects_midstream: AtomicU64,
     submits: AtomicU64,
+    delta_submits: AtomicU64,
     completed: AtomicU64,
     rejected_quota: AtomicU64,
     rejected_overload: AtomicU64,
@@ -93,6 +94,7 @@ impl Shared {
         let cache = self.state.cache_stats();
         let flight = self.state.flight_stats();
         let (estimate_hits, estimate_misses) = self.state.estimate_stats();
+        let incr = self.state.incremental_stats().unwrap_or_default();
         let c = &self.counters;
         DaemonStats {
             connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
@@ -117,6 +119,11 @@ impl Shared {
             queue_depth: self.queue.len() as u64,
             inflight: c.inflight.load(Ordering::Relaxed),
             draining: u64::from(self.is_draining()),
+            delta_submits: c.delta_submits.load(Ordering::Relaxed),
+            incr_base_hits: incr.base_hits,
+            incr_patches: incr.patches,
+            incr_fallbacks: incr.fallbacks,
+            incr_validation_rejections: incr.validation_rejections,
         }
     }
 
@@ -415,6 +422,22 @@ fn handle_request(
             shared.request_drain();
         }
         Request::Submit(req) => handle_submit(req, writer, conn, shared),
+        Request::SubmitDelta(req) => {
+            // Resolve the delta against its retained base, then the
+            // reconstructed full request rides the ordinary submit path —
+            // same fingerprint, same cache, byte-identical replies.
+            shared
+                .counters
+                .delta_submits
+                .fetch_add(1, Ordering::Relaxed);
+            match shared.state.resolve_delta(&req) {
+                Ok(full) => handle_submit(full, writer, conn, shared),
+                Err(e) => {
+                    shared.counters.errors_other.fetch_add(1, Ordering::Relaxed);
+                    shared.write_error(writer, req.request_id, e.code(), e.to_string());
+                }
+            }
+        }
     }
 }
 

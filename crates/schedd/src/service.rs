@@ -12,7 +12,7 @@
 //! Two layers of reuse sit in front of the actual work:
 //!
 //! 1. [`SingleFlight`] coalesces *concurrent* identical requests onto
-//!    one compile (keyed by the commcache [`Fingerprint`], so "identical"
+//!    one compile (keyed by the [`commcache::Fingerprint`], so "identical"
 //!    means identical canonical bytes, not identical frames);
 //! 2. [`commcache::SchedCache`] serves *repeat* requests from memory or
 //!    the artifact store;
@@ -25,13 +25,13 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use commcache::{CacheConfig, CacheStats, Fingerprint, SchedCache};
+use commcache::{CacheConfig, CacheStats, InstanceKey, SchedCache};
 use commrt::BackendReport;
 use commsched::{registry, Schedule};
 use simnet::MachineParams;
 
 use crate::dedup::{FlightStats, SingleFlight};
-use crate::protocol::{ErrorCode, ProtocolLimits, SubmitReply, SubmitRequest};
+use crate::protocol::{ErrorCode, ProtocolLimits, SubmitDeltaRequest, SubmitReply, SubmitRequest};
 
 /// Tunables for a daemon instance.
 #[derive(Clone, Debug)]
@@ -83,6 +83,9 @@ pub enum ServiceError {
     BadRequest(String),
     /// The simulation backend failed (stringified [`simnet::SimError`]).
     Sim(String),
+    /// A delta submit named a base instance the daemon does not retain.
+    /// Recoverable: the client resubmits the full matrix.
+    UnknownBase(String),
 }
 
 impl ServiceError {
@@ -93,6 +96,7 @@ impl ServiceError {
             ServiceError::UnsupportedTopology { .. } => ErrorCode::UnsupportedTopology,
             ServiceError::BadRequest(_) => ErrorCode::BadRequest,
             ServiceError::Sim(_) => ErrorCode::SimFailed,
+            ServiceError::UnknownBase(_) => ErrorCode::UnknownBase,
         }
     }
 }
@@ -109,6 +113,7 @@ impl fmt::Display for ServiceError {
             } => write!(f, "scheduler {scheduler} does not support {topology}"),
             ServiceError::BadRequest(what) => write!(f, "bad request: {what}"),
             ServiceError::Sim(what) => write!(f, "simulation failed: {what}"),
+            ServiceError::UnknownBase(what) => write!(f, "unknown base: {what}"),
         }
     }
 }
@@ -211,6 +216,51 @@ impl ServiceState {
         self.compiles.load(Ordering::Relaxed)
     }
 
+    /// Incremental-layer counters, when the cache has the layer enabled.
+    pub fn incremental_stats(&self) -> Option<commcache::IncrementalStats> {
+        self.cache.incremental_stats()
+    }
+
+    /// Resolve a delta submit into the full request it denotes: fetch
+    /// the retained base matrix, apply the edits, and hand back a
+    /// [`SubmitRequest`] indistinguishable from a full submit of the
+    /// perturbed matrix — which is what makes delta replies
+    /// byte-identical to full-submit replies by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownBase`] when the incremental layer is off
+    /// or the named base is not resident; [`ServiceError::BadRequest`]
+    /// when the delta does not apply to its base.
+    pub fn resolve_delta(&self, req: &SubmitDeltaRequest) -> Result<SubmitRequest, ServiceError> {
+        let inc = self.cache.incremental().ok_or_else(|| {
+            ServiceError::UnknownBase(
+                "incremental compilation is disabled on this daemon (start it with --incremental)"
+                    .into(),
+            )
+        })?;
+        let base = inc.base_matrix(req.base).ok_or_else(|| {
+            ServiceError::UnknownBase(format!(
+                "base instance {} is not retained (evicted or never submitted)",
+                req.base.to_hex()
+            ))
+        })?;
+        let matrix = req
+            .delta
+            .apply(&base)
+            .map_err(|e| ServiceError::BadRequest(format!("delta does not apply to base: {e}")))?;
+        Ok(SubmitRequest {
+            request_id: req.request_id,
+            want_schedule: req.want_schedule,
+            topology: req.topology,
+            scheduler: req.scheduler.clone(),
+            scheme: req.scheme,
+            backend: req.backend,
+            seed: req.seed,
+            matrix,
+        })
+    }
+
     /// Cheap pre-queue validation: the failures worth rejecting before
     /// spending a queue slot. Returns the entry's registry name on
     /// success (needed for nothing else; admission is pure).
@@ -264,20 +314,45 @@ impl ServiceState {
                 topology: req.topology.to_string(),
             });
         }
-        let fp = Fingerprint::compute(&req.matrix, topo.as_ref(), entry.name(), req.seed);
+        let key = InstanceKey::compute(&req.matrix, topo.as_ref());
+        let fp = key.schedule_key(entry.name(), req.seed);
 
         // Dedup stage: concurrent identical fingerprints ride one
         // compile; the cache underneath serves repeats. `compiled_here`
         // distinguishes a true compile from a cache hit inside the led
-        // flight.
+        // flight. With the incremental layer enabled, a fingerprint miss
+        // first tries to patch a retained base schedule; a validated
+        // patch still counts as freshly compiled (this request produced
+        // the schedule rather than being served one).
+        let incremental = self.cache.incremental();
         let compiled_here = std::cell::Cell::new(false);
         let (schedule, led) = self.flight.run(fp.0, || {
             Ok(self.cache.get_or_compute(fp, || {
                 compiled_here.set(true);
-                entry.schedule(&req.matrix, topo.as_ref(), req.seed)
+                let patched = incremental.and_then(|inc| {
+                    inc.get_patched(entry, key, &req.matrix, topo.as_ref(), req.seed)
+                });
+                match patched {
+                    Some(schedule) => {
+                        Arc::try_unwrap(schedule).unwrap_or_else(|arc| (*arc).clone())
+                    }
+                    None => entry.schedule(&req.matrix, topo.as_ref(), req.seed),
+                }
             }))
         });
         let schedule = schedule?;
+        if let Some(inc) = incremental {
+            // Every served request becomes a future patch base, so
+            // drifting patterns chain from iteration to iteration.
+            inc.register(
+                key,
+                &req.matrix,
+                topo.as_ref(),
+                entry.name(),
+                req.seed,
+                Arc::clone(&schedule),
+            );
+        }
         let freshly_compiled = led && compiled_here.get();
         if freshly_compiled {
             self.compiles.fetch_add(1, Ordering::Relaxed);

@@ -4,10 +4,13 @@
 //! schedule (compared as commcache artifact bytes), same estimate, same
 //! fingerprint. The daemon is a transport, never a semantic layer.
 
-use commcache::{encode_artifact, Fingerprint};
+use commcache::{encode_artifact, CacheConfig, Fingerprint, InstanceKey};
 use commrt::{run_schedule, BackendKind, Scheme};
-use commsched::registry;
-use schedd::{Client, Endpoint, SchemeChoice, Server, ServiceConfig, SubmitRequest, TopologySpec};
+use commsched::{registry, MatrixDelta};
+use schedd::{
+    Client, ClientError, Endpoint, ErrorCode, Request, Response, SchemeChoice, Server,
+    ServiceConfig, SubmitDeltaRequest, SubmitRequest, TopologySpec,
+};
 use simnet::MachineParams;
 use workloads::Generator;
 
@@ -132,6 +135,172 @@ fn daemon_responses_are_byte_identical_to_in_process_calls() {
     // the fingerprint, so 5 dims x 8 entries.
     assert_eq!(compiles_after_first_pass, 5 * registry::all().len() as u64);
     handle.shutdown();
+}
+
+#[test]
+fn delta_submits_are_byte_identical_to_full_submits() {
+    // Daemons A and B run identical incremental configurations and are
+    // seeded with the same base. A answers a `SubmitDelta`; B answers a
+    // full submit of the same perturbed matrix. The reply frames must
+    // be **byte-identical**: the delta frame is transport compression,
+    // and patching is deterministic across processes — two daemons
+    // given the same base and the same drift serve the same schedule.
+    let endpoint_a = Endpoint::Unix(
+        std::env::temp_dir().join(format!("schedd-delta-a-{}.sock", std::process::id())),
+    );
+    let endpoint_b = Endpoint::Unix(
+        std::env::temp_dir().join(format!("schedd-delta-b-{}.sock", std::process::id())),
+    );
+    let incremental_config = ServiceConfig {
+        cache: CacheConfig::in_memory().incremental_default(),
+        ..Default::default()
+    };
+    let daemon_a = Server::start(incremental_config.clone(), &endpoint_a).expect("daemon A starts");
+    let daemon_b = Server::start(incremental_config, &endpoint_b).expect("daemon B starts");
+    let mut client_a = Client::connect(&endpoint_a).expect("connect A");
+    let mut client_b = Client::connect(&endpoint_b).expect("connect B");
+
+    let dims = 4u32;
+    let base = Generator::dregular(16, 4, 2048).generate(99);
+    let cube = TopologySpec::Hypercube { dims }.build();
+    let base_key = InstanceKey::compute(&base, cube.as_ref());
+
+    // ~1% perturbation: drop one message, add one elsewhere.
+    let mut target = base.clone();
+    let (src, dst, _) = base.messages().next().expect("non-empty base");
+    target.set(src.index(), dst.index(), 0);
+    let free_dst = (0..16)
+        .find(|&d| d != src.index() && target.get(src.index(), d) == 0)
+        .expect("sparse row has a free cell");
+    target.set(src.index(), free_dst, 512);
+    let delta = MatrixDelta::diff(&base, &target).expect("same size");
+
+    for (i, entry) in registry::all().iter().enumerate() {
+        let request_id = 1000 + i as u64;
+        // Seed both daemons with the base so each has the same schedule
+        // to patch from.
+        for client in [&mut client_a, &mut client_b] {
+            client
+                .submit(SubmitRequest {
+                    request_id: 0,
+                    want_schedule: true,
+                    topology: TopologySpec::Hypercube { dims },
+                    scheduler: entry.name().to_string(),
+                    scheme: SchemeChoice::Default,
+                    backend: BackendKind::Des,
+                    seed: 7,
+                    matrix: base.clone(),
+                })
+                .expect("base submit");
+        }
+
+        // Raw send/recv so both daemons see the same request_id and the
+        // response frames can be compared byte for byte.
+        client_a
+            .send(&Request::SubmitDelta(SubmitDeltaRequest {
+                request_id,
+                want_schedule: true,
+                topology: TopologySpec::Hypercube { dims },
+                scheduler: entry.name().to_string(),
+                scheme: SchemeChoice::Default,
+                backend: BackendKind::Des,
+                seed: 7,
+                base: base_key,
+                delta: delta.clone(),
+            }))
+            .expect("send delta");
+        let via_delta = client_a.recv().expect("delta reply");
+
+        client_b
+            .send(&Request::Submit(SubmitRequest {
+                request_id,
+                want_schedule: true,
+                topology: TopologySpec::Hypercube { dims },
+                scheduler: entry.name().to_string(),
+                scheme: SchemeChoice::Default,
+                backend: BackendKind::Des,
+                seed: 7,
+                matrix: target.clone(),
+            }))
+            .expect("send full");
+        let via_full = client_b.recv().expect("full reply");
+
+        assert!(
+            matches!(via_delta, Response::Schedule(_)),
+            "{}: delta submit failed: {via_delta:?}",
+            entry.name()
+        );
+        assert_eq!(
+            via_delta.encode(),
+            via_full.encode(),
+            "{}: delta and full replies differ",
+            entry.name()
+        );
+    }
+
+    // The patching schedulers served their deltas by patching; AC (and
+    // any validation reject) fell back — but every delta was answered.
+    let stats = daemon_a.stats();
+    assert_eq!(stats.delta_submits, registry::all().len() as u64);
+    assert!(
+        stats.incr_patches >= 6,
+        "expected most registry entries to patch, got {}",
+        stats.incr_patches
+    );
+    assert_eq!(stats.incr_validation_rejections, 0);
+    assert!(stats.patch_rate() > 0.5);
+
+    // A delta against a base the daemon never saw is a typed
+    // unknown-base error, and the client-side fallback (full submit)
+    // then succeeds.
+    let bogus = InstanceKey::from_bytes([0xAB; 16]);
+    let err = client_a
+        .submit_delta(SubmitDeltaRequest {
+            request_id: 0,
+            want_schedule: false,
+            topology: TopologySpec::Hypercube { dims },
+            scheduler: "RS_NL".into(),
+            scheme: SchemeChoice::Default,
+            backend: BackendKind::Des,
+            seed: 7,
+            base: bogus,
+            delta: delta.clone(),
+        })
+        .expect_err("unknown base must not be served");
+    match err {
+        ClientError::Server(reply) => assert_eq!(reply.code, ErrorCode::UnknownBase),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+
+    // A daemon without the incremental layer declines every delta with
+    // the same recoverable code.
+    let endpoint_plain = Endpoint::Unix(
+        std::env::temp_dir().join(format!("schedd-delta-plain-{}.sock", std::process::id())),
+    );
+    let daemon_plain =
+        Server::start(ServiceConfig::default(), &endpoint_plain).expect("plain daemon starts");
+    let err = Client::connect(&endpoint_plain)
+        .expect("connect plain")
+        .submit_delta(SubmitDeltaRequest {
+            request_id: 0,
+            want_schedule: false,
+            topology: TopologySpec::Hypercube { dims },
+            scheduler: "RS_NL".into(),
+            scheme: SchemeChoice::Default,
+            backend: BackendKind::Des,
+            seed: 7,
+            base: base_key,
+            delta,
+        })
+        .expect_err("non-incremental daemon must decline deltas");
+    match err {
+        ClientError::Server(reply) => assert_eq!(reply.code, ErrorCode::UnknownBase),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+
+    daemon_a.shutdown();
+    daemon_b.shutdown();
+    daemon_plain.shutdown();
 }
 
 #[test]

@@ -7,13 +7,14 @@
 
 use std::sync::Arc;
 
-use commcache::Fingerprint;
+use commcache::{Fingerprint, InstanceKey};
 use commrt::{BackendKind, BackendReport, ContentionStats};
-use commsched::{registry, CommMatrix};
+use commsched::{registry, CommMatrix, MatrixDelta};
 use proptest::prelude::*;
 use schedd::{
     read_frame, write_frame, DaemonStats, DecodeError, ErrorCode, ErrorReply, FrameError,
-    ProtocolLimits, Request, Response, SchemeChoice, SubmitReply, SubmitRequest, TopologySpec,
+    ProtocolLimits, Request, Response, SchemeChoice, SubmitDeltaRequest, SubmitReply,
+    SubmitRequest, TopologySpec,
 };
 
 /// Sparse matrix on `n = 2^dim` nodes from raw triples.
@@ -113,6 +114,48 @@ proptest! {
     }
 
     #[test]
+    fn delta_requests_roundtrip_and_truncations_are_typed(
+        dim in 2u32..6,
+        base_cells in proptest::collection::vec((0usize..32, 0usize..32, 1u32..65_536), 1..64),
+        target_cells in proptest::collection::vec((0usize..32, 0usize..32, 1u32..65_536), 1..64),
+        seed in 0u64..10_000,
+        request_id in 0u64..u64::MAX,
+        scheme_idx in 0usize..3,
+        want_flag in 0u8..2,
+        cut_pct in 0usize..100,
+    ) {
+        // A delta between two arbitrary sparse matrices exercises all
+        // three edit lists (added/removed/resized) in one frame.
+        let base = matrix_from(dim, &base_cells);
+        let target = matrix_from(dim, &target_cells);
+        let delta = MatrixDelta::diff(&base, &target).expect("same size");
+        let cube = TopologySpec::Hypercube { dims: dim }.build();
+        let key = InstanceKey::compute(&base, cube.as_ref());
+        for entry in registry::all() {
+            let req = Request::SubmitDelta(SubmitDeltaRequest {
+                request_id,
+                want_schedule: want_flag == 1,
+                topology: TopologySpec::Hypercube { dims: dim },
+                scheduler: entry.name().to_string(),
+                scheme: scheme_from(scheme_idx),
+                backend: BackendKind::all()[scheme_idx % 2],
+                seed,
+                base: key,
+                delta: delta.clone(),
+            });
+            let wire = frame(&req.encode());
+            let body = read_frame(&mut wire.as_slice())
+                .expect("well-formed frame")
+                .expect("not EOF");
+            prop_assert_eq!(Request::decode(&body).expect("decode"), req);
+            // Cutting the body at any offset must be a typed error,
+            // never a panic and never a silently-shorter delta.
+            let cut = (body.len() - 1) * cut_pct / 100;
+            prop_assert!(Request::decode(&body[..cut]).is_err());
+        }
+    }
+
+    #[test]
     fn raised_limits_roundtrip_large_dims(
         dim in 11u32..13,
         cells in proptest::collection::vec((0usize..4096, 0usize..4096, 1u32..65_536), 0..64),
@@ -144,7 +187,7 @@ proptest! {
 
     #[test]
     fn stats_and_error_frames_roundtrip(
-        fields in proptest::collection::vec(0u64..u64::MAX, 22..23),
+        fields in proptest::collection::vec(0u64..u64::MAX, 27..28),
         request_id in 0u64..u64::MAX,
         detail_seed in 0u64..u64::MAX,
     ) {
@@ -172,6 +215,11 @@ proptest! {
             queue_depth: fields[19],
             inflight: fields[20],
             draining: fields[21],
+            delta_submits: fields[22],
+            incr_base_hits: fields[23],
+            incr_patches: fields[24],
+            incr_fallbacks: fields[25],
+            incr_validation_rejections: fields[26],
         };
         let resp = Response::Stats { request_id, stats };
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -315,6 +363,79 @@ fn hostile_and_oversized_headers_are_typed_errors() {
     assert!(matches!(
         Request::decode(&body),
         Err(DecodeError::Truncated)
+    ));
+}
+
+#[test]
+fn delta_semantic_garbage_is_invalid_not_panic() {
+    // One added message (0 -> 1, 64 bytes), nothing removed or resized:
+    // the encoded tail is added_count(8) + triple(12) + removed_count(8)
+    // + resized_count(8), which makes the offsets below exact.
+    let base = CommMatrix::new(8);
+    let mut target = CommMatrix::new(8);
+    target.set(0, 1, 64);
+    let delta = MatrixDelta::diff(&base, &target).unwrap();
+    let cube = TopologySpec::Hypercube { dims: 3 }.build();
+    let req = SubmitDeltaRequest {
+        request_id: 5,
+        want_schedule: false,
+        topology: TopologySpec::Hypercube { dims: 3 },
+        scheduler: "RS_NL".into(),
+        scheme: SchemeChoice::Default,
+        backend: BackendKind::Des,
+        seed: 0,
+        base: InstanceKey::compute(&base, cube.as_ref()),
+        delta,
+    };
+    let body = req.encode();
+    assert_eq!(
+        Request::decode(&body).unwrap(),
+        Request::SubmitDelta(req.clone())
+    );
+
+    // Zero-byte added message: matrix semantics rejected at decode.
+    let mut zero_bytes = body.clone();
+    let at = body.len() - 20; // the triple's `bytes` field
+    zero_bytes[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        Request::decode(&zero_bytes),
+        Err(DecodeError::Invalid(_))
+    ));
+
+    // Self-message: dst patched to equal src.
+    let mut self_msg = body.clone();
+    let at = body.len() - 24; // the triple's `dst` field
+    self_msg[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        Request::decode(&self_msg),
+        Err(DecodeError::Invalid(_))
+    ));
+
+    // Out-of-range endpoint on an 8-node topology.
+    let mut out_of_range = body.clone();
+    let at = body.len() - 28; // the triple's `src` field
+    out_of_range[at..at + 4].copy_from_slice(&100u32.to_le_bytes());
+    assert!(matches!(
+        Request::decode(&out_of_range),
+        Err(DecodeError::Invalid(_))
+    ));
+
+    // An added-count claim far past the body's end must be caught by
+    // the bytes-remaining bound before any allocation.
+    let mut count_bomb = body.clone();
+    let at = body.len() - 36; // added_count
+    count_bomb[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        Request::decode(&count_bomb),
+        Err(DecodeError::Truncated)
+    ));
+
+    // A delta whose node count disagrees with its topology.
+    let mut mismatched = req;
+    mismatched.topology = TopologySpec::Hypercube { dims: 4 };
+    assert!(matches!(
+        Request::decode(&mismatched.encode()),
+        Err(DecodeError::Invalid(_))
     ));
 }
 

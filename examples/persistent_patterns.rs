@@ -9,6 +9,15 @@
 //! persistent artifact store, where even the first iteration of the new
 //! process skips compilation.
 //!
+//! The final section drops the "same halo every iteration" assumption:
+//! the pattern *drifts* (1% of messages retarget per iteration, as under
+//! adaptive refinement), so every iteration misses the fingerprint cache.
+//! A plain cache pays a cold compile per iteration; a cache with the
+//! incremental layer enabled diffs each drifted matrix against the
+//! previous iteration's retained base and **patches** its schedule
+//! instead — the example prints both per-iteration costs and the patch
+//! statistics.
+//!
 //! Run: `cargo run --release --example persistent_patterns`
 
 use std::time::Instant;
@@ -111,4 +120,86 @@ fn main() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+    println!();
+
+    // --- Drifting patterns: the incremental layer. --------------------
+    // Under adaptive refinement the halo is not persistent: ~1% of its
+    // messages retarget every iteration, and any changed cell changes the
+    // fingerprint. The plain cache recompiles from scratch each time; a
+    // cache with the incremental layer retains each served schedule as a
+    // patch base and serves the next iteration by diffing + patching it
+    // (validated before release, cold fallback on any rejection).
+    // A denser exchange than the halo — 32 neighbors per node, as after
+    // aggressive refinement — where a cold RS_NL compile actually hurts.
+    let drift_iters = 20u64;
+    let plain = SchedCache::new(CacheConfig::in_memory());
+    let incremental = SchedCache::new(CacheConfig::in_memory().incremental_default());
+
+    let mut current = workloads::random_dregular(64, 32, 2048, seed);
+    let (mut cold_total, mut incr_total) = (0.0f64, 0.0f64);
+    for it in 0..drift_iters {
+        let t = Instant::now();
+        plain.get_or_schedule(entry, &current, &cube, seed);
+        cold_total += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let served = incremental.get_or_schedule(entry, &current, &cube, seed);
+        incr_total += t.elapsed().as_secs_f64();
+        validate_schedule(&current, &served).expect("served schedules are always valid");
+
+        current = drift(&current, 0.01, it);
+    }
+    let inc_stats = incremental.incremental_stats().expect("layer enabled");
+    println!("drifting pattern (1% of messages retarget per iteration, {drift_iters} iterations):");
+    println!(
+        "  plain cache (cold recompile)   : {:>10.1} µs / iteration",
+        cold_total / drift_iters as f64 * 1e6
+    );
+    println!(
+        "  incremental cache (delta patch): {:>10.1} µs / iteration",
+        incr_total / drift_iters as f64 * 1e6
+    );
+    println!(
+        "  patches: {} of {} lookups ({:.0}% patch rate), {} fallback(s), \
+         {} validation rejection(s)",
+        inc_stats.patches,
+        inc_stats.lookups,
+        inc_stats.patch_rate() * 100.0,
+        inc_stats.fallbacks,
+        inc_stats.validation_rejections
+    );
+}
+
+/// splitmix64 — deterministic drift, so the example replays identically.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Retarget ~`rate` of `com`'s messages to currently-free destinations —
+/// the halo after one adaptive-refinement step.
+fn drift(com: &CommMatrix, rate: f64, salt: u64) -> CommMatrix {
+    let msgs: Vec<_> = com.messages().collect();
+    let moves = ((msgs.len() as f64 * rate).round() as usize).max(1);
+    let n = com.n();
+    let mut out = com.clone();
+    for m in 0..moves {
+        let s = mix(salt.wrapping_mul(1_000_003).wrapping_add(m as u64));
+        let (src, old_dst, bytes) = msgs[s as usize % msgs.len()];
+        if out.get(src.index(), old_dst.index()) == 0 {
+            continue; // already retargeted by an earlier move
+        }
+        out.set(src.index(), old_dst.index(), 0);
+        let start = mix(s ^ 0xD1F7) as usize % n;
+        for off in 0..n {
+            let dst = (start + off) % n;
+            if dst != src.index() && out.get(src.index(), dst) == 0 {
+                out.set(src.index(), dst, bytes);
+                break;
+            }
+        }
+    }
+    out
 }
