@@ -44,7 +44,10 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use commcache::{decode_artifact, ArtifactStore, CacheConfig, Fingerprint, SchedCache, StoreError};
+use commcache::{
+    decode_artifact_full, ArtifactStore, CacheConfig, Fingerprint, SchedCache, StoreError,
+    TopologyMeta,
+};
 use commrt::grid::paper_base_seed;
 use commrt::BackendKind;
 use commsched::{registry, Scheduler};
@@ -85,6 +88,10 @@ OPTIONS:
                        the store — asserts a previous warm is being reused
   --fingerprint <hex>  (inspect) only this artifact
   --scheduler <name>   (submit/bench) registry entry      [default: RS_NL]
+  --topo <kind>        (submit/bench) schedule on this fabric instead of
+                       the --n hypercube: cube:d=N, mesh:RxC,
+                       torus:AxBx..., or fattree:k=N (node count follows
+                       the kind; traffic stays --d-regular)
   --seed <s>           (submit/bench) scheduler seed           [default: 0]
   --scheme <s>         (submit/bench) s1|s2|default      [default: default]
   --backend <b>        (submit/bench) des|analytic   [default: IPSC_BACKEND]
@@ -316,8 +323,10 @@ fn warm(opts: &[String]) -> Result<ExitCode, String> {
 /// Decode every artifact under `dir`, returning per-entry details plus
 /// skip/error tallies.
 struct Scan {
-    /// `(fingerprint, file bytes, schedule)` of each trusted artifact.
-    decoded: Vec<(Fingerprint, u64, commsched::Schedule)>,
+    /// `(fingerprint, file bytes, schedule, fabric)` of each trusted
+    /// artifact; the fabric is `None` for version-1 files and artifacts
+    /// written without topology metadata.
+    decoded: Vec<(Fingerprint, u64, commsched::Schedule, Option<TopologyMeta>)>,
     version_skips: usize,
     errors: Vec<(Fingerprint, StoreError)>,
 }
@@ -340,8 +349,12 @@ fn scan(store: &ArtifactStore) -> Result<Scan, String> {
                 continue;
             }
         };
-        match decode_artifact(&bytes) {
-            Ok((_, schedule)) => result.decoded.push((fp, bytes.len() as u64, schedule)),
+        match decode_artifact_full(&bytes) {
+            Ok((_, schedule, topology)) => {
+                result
+                    .decoded
+                    .push((fp, bytes.len() as u64, schedule, topology))
+            }
             Err(StoreError::UnsupportedVersion(_)) => result.version_skips += 1,
             Err(e) => result.errors.push((fp, e)),
         }
@@ -364,11 +377,11 @@ fn stats(opts: &[String]) -> Result<ExitCode, String> {
         scan.version_skips,
         scan.errors.len()
     );
-    let total_bytes: u64 = scan.decoded.iter().map(|(_, b, _)| b).sum();
+    let total_bytes: u64 = scan.decoded.iter().map(|(_, b, _, _)| b).sum();
     println!("store size: {total_bytes} bytes");
     // Per-family tallies, in the paper's column order.
     let mut families: Vec<(&str, usize, usize)> = Vec::new();
-    for (_, _, schedule) in &scan.decoded {
+    for (_, _, schedule, _) in &scan.decoded {
         let label = schedule.algorithm().label();
         match families.iter_mut().find(|(l, _, _)| *l == label) {
             Some((_, count, phases)) => {
@@ -403,13 +416,17 @@ fn inspect(opts: &[String]) -> Result<ExitCode, String> {
     };
     let scan = scan(&store)?;
     let mut shown = 0;
-    for (fp, file_bytes, schedule) in &scan.decoded {
+    for (fp, file_bytes, schedule, topology) in &scan.decoded {
         if filter.is_some_and(|f| f != *fp) {
             continue;
         }
         shown += 1;
+        let fabric = topology.as_ref().map_or_else(
+            || "-".to_string(),
+            |t| format!("{} nodes={} links={}", t.kind, t.nodes, t.links),
+        );
         println!(
-            "{fp}  {:<6} n={:<4} phases={:<4} messages={:<5} ops={:<8} file={file_bytes}B",
+            "{fp}  {:<6} n={:<4} phases={:<4} messages={:<5} ops={:<8} file={file_bytes}B  topo: {fabric}",
             schedule.algorithm().label(),
             schedule.n(),
             schedule.num_phases(),
@@ -444,6 +461,21 @@ fn connect(opts: &[String]) -> Result<Client, String> {
 
 /// Build one request from the shared submit/bench flags.
 fn request_from(opts: &[String]) -> Result<SubmitRequest, String> {
+    if let Some(spec) = opt_value(opts, "--topo")? {
+        let kind = topo::TopologyKind::parse(spec).map_err(|e| format!("--topo: {e}"))?;
+        let topology = match &kind {
+            topo::TopologyKind::Cube { dims } => TopologySpec::Hypercube { dims: *dims },
+            topo::TopologyKind::Mesh { rows, cols } => TopologySpec::Mesh2d {
+                rows: *rows,
+                cols: *cols,
+            },
+            topo::TopologyKind::Torus { extents } => TopologySpec::Torus {
+                extents: extents.clone(),
+            },
+            topo::TopologyKind::FatTree { k } => TopologySpec::FatTree { k: *k },
+        };
+        return request_on(opts, topology, kind.num_nodes());
+    }
     let n: usize = opt_parsed(opts, "--n", 16)?;
     if !n.is_power_of_two() {
         return Err(format!("--n {n} is not a power of two (hypercube size)"));
@@ -454,6 +486,16 @@ fn request_from(opts: &[String]) -> Result<SubmitRequest, String> {
 /// [`request_from`] with the machine size fixed by the caller (the
 /// `--dims` sweep overrides `--n` per dimension).
 fn request_with_n(opts: &[String], n: usize) -> Result<SubmitRequest, String> {
+    request_on(
+        opts,
+        TopologySpec::Hypercube {
+            dims: n.trailing_zeros(),
+        },
+        n,
+    )
+}
+
+fn request_on(opts: &[String], topology: TopologySpec, n: usize) -> Result<SubmitRequest, String> {
     let d: usize = opt_parsed(opts, "--d", 4.min(n - 1))?;
     let bytes: u32 = opt_parsed(opts, "--bytes", 1024)?;
     let seed: u64 = opt_parsed(opts, "--seed", 0)?;
@@ -474,9 +516,7 @@ fn request_with_n(opts: &[String], n: usize) -> Result<SubmitRequest, String> {
     Ok(SubmitRequest {
         request_id: 0,
         want_schedule: opt_flag(opts, "--want-schedule"),
-        topology: TopologySpec::Hypercube {
-            dims: n.trailing_zeros(),
-        },
+        topology,
         scheduler,
         scheme,
         backend,
@@ -492,6 +532,7 @@ const DAEMON_FLAGS: &[&str] = &[
     "--bytes",
     "--seed",
     "--scheduler",
+    "--topo",
     "--scheme",
     "--backend",
     "--requests",
@@ -587,6 +628,9 @@ fn bench(opts: &[String]) -> Result<ExitCode, String> {
 /// The daemon must have been started with a `--max-nodes` admitting the
 /// largest dimension.
 fn bench_dims(opts: &[String], spec: &str, requests: usize) -> Result<ExitCode, String> {
+    if opt_value(opts, "--topo")?.is_some() {
+        return Err("--dims sweeps hypercubes; it cannot be combined with --topo".into());
+    }
     let (lo, hi) = spec
         .split_once("..")
         .and_then(|(a, b)| Some((a.trim().parse::<u32>().ok()?, b.trim().parse::<u32>().ok()?)))

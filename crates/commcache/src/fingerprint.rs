@@ -159,7 +159,7 @@ impl InstanceKey {
         let mut h = Fnv128::new();
         h.write(b"CCFP");
         h.write(&[LAYOUT_VERSION]);
-        h.write_str(&topo.name());
+        h.write_str(topo.name());
         h.write_u64(topo.num_nodes() as u64);
         h.write_u64(topo.link_count() as u64);
         h.write_u64(com.n() as u64);

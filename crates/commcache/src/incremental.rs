@@ -364,7 +364,7 @@ impl IncrementalCache {
                     raw,
                     BaseEntry {
                         com: Arc::new(com.clone()),
-                        topo_name: topo.name(),
+                        topo_name: topo.name().to_string(),
                         topo_nodes: topo.num_nodes(),
                         schedules,
                         weight,

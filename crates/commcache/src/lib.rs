@@ -61,7 +61,8 @@ pub use cache::{schedule_weight_bytes, ShardedCache};
 pub use fingerprint::{canonical_bytes, Fingerprint, InstanceKey, LAYOUT_VERSION};
 pub use incremental::{IncrementalCache, IncrementalConfig, IncrementalStats};
 pub use store::{
-    decode_artifact, encode_artifact, ArtifactStore, StoreError, EXTENSION, FORMAT_VERSION, MAGIC,
+    decode_artifact, decode_artifact_full, encode_artifact, encode_artifact_with, ArtifactStore,
+    StoreError, TopologyMeta, EXTENSION, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
 };
 
 /// Configuration of a [`SchedCache`].
@@ -265,12 +266,12 @@ impl SchedCache {
         match &self.incremental {
             None => {
                 let fp = Fingerprint::compute(com, topo, entry.name(), seed);
-                self.get_or_compute(fp, || entry.schedule(com, topo, seed))
+                self.get_or_compute_on(fp, topo, || entry.schedule(com, topo, seed))
             }
             Some(inc) => {
                 let key = InstanceKey::compute(com, topo);
                 let fp = key.schedule_key(entry.name(), seed);
-                let schedule = self.get_or_compute_arc(fp, || {
+                let schedule = self.get_or_compute_arc(fp, Some(topo), || {
                     inc.get_patched(entry, key, com, topo, seed)
                         .unwrap_or_else(|| Arc::new(entry.schedule(com, topo, seed)))
                 });
@@ -283,17 +284,32 @@ impl SchedCache {
     /// The policy core: serve `key` from memory, then the store, then
     /// `compile` (caching and write-through on the way out). Exposed for
     /// callers that derive keys themselves (e.g. via [`InstanceKey`]).
+    /// Artifacts written through this path carry no topology section;
+    /// callers that know the fabric use [`SchedCache::get_or_compute_on`].
     pub fn get_or_compute(
         &self,
         key: Fingerprint,
         compile: impl FnOnce() -> Schedule,
     ) -> Arc<Schedule> {
-        self.get_or_compute_arc(key, || Arc::new(compile()))
+        self.get_or_compute_arc(key, None, || Arc::new(compile()))
+    }
+
+    /// [`SchedCache::get_or_compute`] for callers that know the topology:
+    /// write-through artifacts record the fabric (`schedctl inspect`
+    /// renders it).
+    pub fn get_or_compute_on(
+        &self,
+        key: Fingerprint,
+        topo: &dyn Topology,
+        compile: impl FnOnce() -> Schedule,
+    ) -> Arc<Schedule> {
+        self.get_or_compute_arc(key, Some(topo), || Arc::new(compile()))
     }
 
     fn get_or_compute_arc(
         &self,
         key: Fingerprint,
+        topo: Option<&dyn Topology>,
         compile: impl FnOnce() -> Arc<Schedule>,
     ) -> Arc<Schedule> {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -322,7 +338,8 @@ impl SchedCache {
         self.mem.insert(key, Arc::clone(&schedule));
         if self.write_through {
             if let Some(store) = &self.store {
-                match store.store(key, &schedule) {
+                let meta = topo.map(TopologyMeta::of);
+                match store.store_with(key, &schedule, meta.as_ref()) {
                     Ok(_) => {
                         self.store_writes.fetch_add(1, Ordering::Relaxed);
                     }

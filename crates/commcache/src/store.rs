@@ -9,14 +9,14 @@
 //! files written by an unknown format version are **skipped, not
 //! trusted**.
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2)
 //!
 //! All integers little-endian.
 //!
 //! | offset | size | field |
 //! |--------|------|-------|
 //! | 0 | 8 | magic `b"CCSCHED\0"` |
-//! | 8 | 4 | format version `u32` = 1 |
+//! | 8 | 4 | format version `u32` = 2 |
 //! | 12 | 16 | fingerprint (`u128`, LE) |
 //! | 28 | 8 | payload length `u64` |
 //! | 36 | len | payload (below) |
@@ -25,7 +25,11 @@
 //! Payload: `u8` schedule kind (0 async, 1 phased), `u8` algorithm family
 //! (0 AC, 1 LP, 2 RS_N, 3 RS_NL), `u64` node count `n`, `u64` scheduling
 //! ops, `u64` compression ops, `u64` phase count, then per phase `n`
-//! destination words (`u32`; `0xffff_ffff` encodes "silent").
+//! destination words (`u32`; `0xffff_ffff` encodes "silent"), then a
+//! topology section: `u8` presence flag — when 1, the topology kind
+//! string (`u32` length + bytes), `u64` node count, and `u64` link count
+//! of the fabric the schedule was compiled for. Version-1 artifacts (no
+//! topology section) still decode; their topology reads back as `None`.
 //!
 //! Writes go through a same-directory temp file plus rename, so a crashed
 //! writer leaves no half-written `.sched` file behind.
@@ -34,7 +38,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use commsched::{PartialPermutation, Schedule, ScheduleKind, SchedulerKind};
-use hypercube::NodeId;
+use hypercube::{NodeId, Topology};
 
 use crate::Fingerprint;
 
@@ -42,7 +46,36 @@ use crate::Fingerprint;
 pub const MAGIC: [u8; 8] = *b"CCSCHED\0";
 
 /// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version [`decode_artifact`] still reads (version 1
+/// lacks the topology section; everything else is identical).
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// The topology section of an artifact: which fabric a schedule was
+/// compiled for, at-a-glance (`schedctl inspect`) without rebuilding the
+/// topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyMeta {
+    /// The topology's report name (e.g. `torus(4x4)`), exactly the string
+    /// hashed into the fingerprint.
+    pub kind: String,
+    /// Compute-node count.
+    pub nodes: u64,
+    /// Directed-link id space size.
+    pub links: u64,
+}
+
+impl TopologyMeta {
+    /// Snapshot the identifying fields of a live topology.
+    pub fn of(topo: &dyn Topology) -> TopologyMeta {
+        TopologyMeta {
+            kind: topo.name().to_string(),
+            nodes: topo.num_nodes() as u64,
+            links: topo.link_count() as u64,
+        }
+    }
+}
 
 /// Artifact file extension (without the dot).
 pub const EXTENSION: &str = "sched";
@@ -155,9 +188,21 @@ fn family_from_code(code: u8) -> Option<SchedulerKind> {
 }
 
 /// Serialize one schedule into a complete artifact (header + payload +
-/// checksum) keyed by `fp`.
+/// checksum) keyed by `fp`, without a topology section. This is the wire
+/// encoding the daemon streams; the store's write path attaches topology
+/// metadata via [`encode_artifact_with`].
 pub fn encode_artifact(fp: Fingerprint, schedule: &Schedule) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(34 + schedule.phases().len() * schedule.n() * 4);
+    encode_artifact_with(fp, schedule, None)
+}
+
+/// [`encode_artifact`] with an optional topology section describing the
+/// fabric the schedule was compiled for.
+pub fn encode_artifact_with(
+    fp: Fingerprint,
+    schedule: &Schedule,
+    topology: Option<&TopologyMeta>,
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(35 + schedule.phases().len() * schedule.n() * 4);
     payload.push(kind_code(schedule.kind()));
     payload.push(family_code(schedule.algorithm()));
     payload.extend_from_slice(&(schedule.n() as u64).to_le_bytes());
@@ -168,6 +213,16 @@ pub fn encode_artifact(fp: Fingerprint, schedule: &Schedule) -> Vec<u8> {
         for i in 0..schedule.n() {
             let word = phase.dest(i).map_or(SILENT, |d| d.0);
             payload.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    match topology {
+        None => payload.push(0),
+        Some(meta) => {
+            payload.push(1);
+            payload.extend_from_slice(&(meta.kind.len() as u32).to_le_bytes());
+            payload.extend_from_slice(meta.kind.as_bytes());
+            payload.extend_from_slice(&meta.nodes.to_le_bytes());
+            payload.extend_from_slice(&meta.links.to_le_bytes());
         }
     }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
@@ -214,13 +269,27 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parse a complete artifact back into its fingerprint and schedule.
+/// Parse a complete artifact back into its fingerprint and schedule,
+/// discarding the topology section ([`decode_artifact_full`] keeps it).
 ///
 /// # Errors
 ///
 /// Every malformation maps to a typed [`StoreError`]; this function never
 /// panics on untrusted bytes.
 pub fn decode_artifact(bytes: &[u8]) -> Result<(Fingerprint, Schedule), StoreError> {
+    decode_artifact_full(bytes).map(|(fp, schedule, _)| (fp, schedule))
+}
+
+/// Parse a complete artifact, including its topology section (`None` for
+/// version-1 files and wire artifacts, which carry none).
+///
+/// # Errors
+///
+/// Every malformation maps to a typed [`StoreError`]; this function never
+/// panics on untrusted bytes.
+pub fn decode_artifact_full(
+    bytes: &[u8],
+) -> Result<(Fingerprint, Schedule, Option<TopologyMeta>), StoreError> {
     if bytes.len() < MAGIC.len() {
         return Err(StoreError::Truncated);
     }
@@ -232,7 +301,7 @@ pub fn decode_artifact(bytes: &[u8]) -> Result<(Fingerprint, Schedule), StoreErr
         at: MAGIC.len(),
     };
     let version = header.u32()?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion(version));
     }
     let fp = Fingerprint::from_bytes(header.take(16)?.try_into().expect("16 bytes"));
@@ -283,12 +352,36 @@ pub fn decode_artifact(bytes: &[u8]) -> Result<(Fingerprint, Schedule), StoreErr
         }
         phases.push(PartialPermutation::from_dests(dests));
     }
+    let topology = if version >= 2 {
+        match p.u8()? {
+            0 => None,
+            1 => {
+                let name_len = p.u32()? as usize;
+                let name = std::str::from_utf8(p.take(name_len)?)
+                    .map_err(|_| StoreError::Corrupt("topology kind not UTF-8".into()))?
+                    .to_string();
+                Some(TopologyMeta {
+                    kind: name,
+                    nodes: p.u64()?,
+                    links: p.u64()?,
+                })
+            }
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "topology presence flag {other}"
+                )))
+            }
+        }
+    } else {
+        None
+    };
     if p.at != payload.len() {
         return Err(StoreError::Corrupt("trailing payload bytes".into()));
     }
     Ok((
         fp,
         Schedule::from_parts(kind, family, n, phases, ops, compress_ops),
+        topology,
     ))
 }
 
@@ -326,6 +419,21 @@ impl ArtifactStore {
     ///
     /// [`StoreError::Io`] on filesystem failure.
     pub fn store(&self, fp: Fingerprint, schedule: &Schedule) -> Result<PathBuf, StoreError> {
+        self.store_with(fp, schedule, None)
+    }
+
+    /// [`ArtifactStore::store`] with a topology section, so the cache
+    /// directory records which fabric each schedule was compiled for.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn store_with(
+        &self,
+        fp: Fingerprint,
+        schedule: &Schedule,
+        topology: Option<&TopologyMeta>,
+    ) -> Result<PathBuf, StoreError> {
         use std::sync::atomic::{AtomicU64, Ordering};
         // Process id + process-wide counter: concurrent writers of one key
         // — other processes *or* sibling threads (the cache documents that
@@ -340,7 +448,7 @@ impl ArtifactStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, encode_artifact(fp, schedule))?;
+        std::fs::write(&tmp, encode_artifact_with(fp, schedule, topology))?;
         if let Err(e) = std::fs::rename(&tmp, &path) {
             std::fs::remove_file(&tmp).ok();
             return Err(e.into());
@@ -485,5 +593,87 @@ mod tests {
         let store = tmp_store("missing");
         assert!(store.entries().unwrap().is_empty());
         assert!(store.load(Fingerprint(3)).unwrap().is_none());
+    }
+
+    #[test]
+    fn topology_section_roundtrips() {
+        let s = sample_schedule();
+        let cube = Hypercube::new(3);
+        let meta = TopologyMeta::of(&cube);
+        assert_eq!(meta.kind, "hypercube(dims=3, nodes=8)");
+        assert_eq!(meta.nodes, 8);
+        assert_eq!(meta.links, 24);
+        let bytes = encode_artifact_with(Fingerprint(77), &s, Some(&meta));
+        let (fp, got, topo) = decode_artifact_full(&bytes).unwrap();
+        assert_eq!(fp, Fingerprint(77));
+        assert_eq!(got, s);
+        assert_eq!(topo, Some(meta));
+        // The wire encoding carries no section and reads back as None.
+        let wire = encode_artifact(Fingerprint(77), &s);
+        let (_, _, none) = decode_artifact_full(&wire).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn version_1_artifacts_still_decode_without_topology() {
+        // Hand-build a v1 file: v2 wire bytes minus the trailing presence
+        // byte, with version, length, and checksum rewritten to match.
+        let s = sample_schedule();
+        let v2 = encode_artifact(Fingerprint(5), &s);
+        let payload = &v2[HEADER_LEN..v2.len() - 8];
+        let v1_payload = &payload[..payload.len() - 1];
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&Fingerprint(5).to_bytes());
+        v1.extend_from_slice(&(v1_payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(v1_payload);
+        v1.extend_from_slice(&fnv1a64(v1_payload).to_le_bytes());
+        let (fp, got, topo) = decode_artifact_full(&v1).unwrap();
+        assert_eq!(fp, Fingerprint(5));
+        assert_eq!(got, s);
+        assert_eq!(topo, None);
+    }
+
+    #[test]
+    fn corrupt_topology_section_is_typed() {
+        let s = sample_schedule();
+        let meta = TopologyMeta {
+            kind: "torus(4x4)".into(),
+            nodes: 16,
+            links: 64,
+        };
+        // A presence flag outside {0, 1} is Corrupt (after fixing the
+        // checksum so the flag itself is what the decoder sees).
+        let mut bytes = encode_artifact_with(Fingerprint(8), &s, Some(&meta));
+        let payload_start = HEADER_LEN;
+        let payload_end = bytes.len() - 8;
+        let flag_at = payload_end - (4 + meta.kind.len() + 8 + 8) - 1;
+        bytes[flag_at] = 7;
+        let sum = fnv1a64(&bytes[payload_start..payload_end]);
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_artifact_full(&bytes),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn store_with_persists_the_fabric() {
+        let store = tmp_store("fabric");
+        let s = sample_schedule();
+        let meta = TopologyMeta {
+            kind: "fattree(k=4, hosts=16)".into(),
+            nodes: 16,
+            links: 96,
+        };
+        let path = store.store_with(Fingerprint(21), &s, Some(&meta)).unwrap();
+        let bytes = std::fs::read(path).unwrap();
+        let (_, got, topo) = decode_artifact_full(&bytes).unwrap();
+        assert_eq!(got, s);
+        assert_eq!(topo, Some(meta));
+        assert_eq!(store.load(Fingerprint(21)).unwrap().unwrap(), s);
+        std::fs::remove_dir_all(store.dir()).ok();
     }
 }

@@ -117,3 +117,38 @@ fn cube_name_len() -> usize {
     use hypercube::Topology;
     Hypercube::new(3).name().len()
 }
+
+/// Golden keys across every topology kind: one pinned 16-node matrix on
+/// four distinct 16-node fabrics (plus the 16-node mesh). Each kind's
+/// report name feeds the hash, so each digest is a cross-process contract
+/// — a drift here invalidates every persisted artifact for that fabric.
+#[test]
+fn golden_fingerprints_per_topology_kind() {
+    let mut com = CommMatrix::new(16);
+    com.set(0, 5, 64);
+    com.set(5, 0, 64);
+    com.set(3, 12, 4096);
+    com.set(9, 2, 1);
+    let golden = [
+        ("cube:d=4", "318239ece48ae8c4310714ec7b09d00b"),
+        ("mesh:4x4", "ec285f1949d726484e7aca8cb9dc4340"),
+        ("torus:4x4", "ffcb0d17dcf156e246fbf36a8b606427"),
+        ("torus:2x2x2x2", "3ee92d496a09e387632728755bd1e31b"),
+        ("fattree:k=4", "06264410a45349579b2a2cd2fb018ef4"),
+    ];
+    for (spec, hex) in golden {
+        let kind: topo::TopologyKind = spec.parse().unwrap();
+        let t = kind.build();
+        let fp = Fingerprint::compute(&com, t.as_ref(), "RS_NL", 7);
+        assert_eq!(
+            fp.to_hex(),
+            hex,
+            "fingerprint for {spec} drifted — bump LAYOUT_VERSION if intentional"
+        );
+    }
+    // All five are distinct: same matrix, five incompatible machines.
+    let mut keys: Vec<&str> = golden.iter().map(|(_, h)| *h).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), golden.len());
+}

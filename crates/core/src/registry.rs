@@ -73,10 +73,13 @@ pub trait Scheduler: Sync {
     fn ordinal(&self) -> u64;
 
     /// Whether the algorithm can schedule for `topo` with its registered
-    /// guarantees intact (LP requires an e-cube-routed hypercube: the
-    /// `i ^ k` pairing needs the power-of-two address space and its
-    /// link-freedom argument is e-cube-specific). Enumeration-driven
-    /// consumers skip entries that decline the topology at hand.
+    /// guarantees intact. Entries answer honestly from the topology's
+    /// [`hypercube::RoutingProperties`] report (`topo.routing()`): the RS
+    /// families run on any deterministic-routing topology, while LP
+    /// requires an e-cube-routed hypercube (the `i ^ k` pairing needs the
+    /// power-of-two address space and its link-freedom argument is
+    /// e-cube-specific). Enumeration-driven consumers skip entries that
+    /// decline the topology at hand.
     fn supports_topology(&self, topo: &dyn Topology) -> bool {
         let _ = topo;
         true
@@ -161,9 +164,9 @@ impl Scheduler for Lp {
         // LP's `i ^ k` pairing needs the full power-of-two address space,
         // and its link-freedom guarantee is an e-cube argument — the paper
         // defines LP on the hypercube only, so the entry declines
-        // everything else (a mesh with a power-of-two node count would
-        // run, but with the registry's guarantee silently broken).
-        topo.num_nodes().is_power_of_two() && topo.is_ecube_hypercube()
+        // everything else (a mesh or torus with a power-of-two node count
+        // would run, but with the registry's guarantee silently broken).
+        topo.num_nodes().is_power_of_two() && topo.routing().ecube_hypercube
     }
     fn schedule(&self, com: &CommMatrix, _topo: &dyn Topology, _seed: u64) -> Schedule {
         lp(com)
@@ -217,6 +220,14 @@ impl Scheduler for Rs {
     }
     fn ordinal(&self) -> u64 {
         self.ordinal
+    }
+    fn supports_topology(&self, topo: &dyn Topology) -> bool {
+        // RS_N only resolves node contention and never routes; RS_NL
+        // reserves links in its shadow PATHS table ahead of time, which
+        // is sound exactly when the route is a pure function of the
+        // endpoints. Torus and fat-tree qualify; an adaptive router
+        // would not.
+        !self.link_contention_free() || topo.routing().deterministic
     }
     fn schedule(&self, com: &CommMatrix, topo: &dyn Topology, seed: u64) -> Schedule {
         match self.family {

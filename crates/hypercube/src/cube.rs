@@ -14,6 +14,7 @@ use crate::{LinkId, NodeId, Path, Topology};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Hypercube {
     dims: u32,
+    name: String,
 }
 
 impl Hypercube {
@@ -28,7 +29,10 @@ impl Hypercube {
             (1..=20).contains(&dims),
             "hypercube dimension must be in 1..=20, got {dims}"
         );
-        Hypercube { dims }
+        // This string is hashed into cache fingerprints; it must never
+        // change shape.
+        let name = format!("hypercube(dims={}, nodes={})", dims, 1usize << dims);
+        Hypercube { dims, name }
     }
 
     /// A hypercube sized for (at least) `n` nodes.
@@ -106,6 +110,7 @@ impl Topology for Hypercube {
     fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
         out.clear();
         self.for_each_hop(src, dst, |_, _, link| out.push(link));
+        debug_assert_eq!(out.len(), self.hops(src, dst));
     }
 
     fn is_ecube_hypercube(&self) -> bool {
@@ -116,8 +121,8 @@ impl Topology for Hypercube {
         self.dims as usize
     }
 
-    fn name(&self) -> String {
-        format!("hypercube(dims={}, nodes={})", self.dims, self.num_nodes())
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 

@@ -53,4 +53,4 @@ pub use link::LinkId;
 pub use mesh::Mesh2d;
 pub use node::NodeId;
 pub use path::Path;
-pub use topology::Topology;
+pub use topology::{RoutingProperties, Topology};

@@ -16,6 +16,7 @@ use crate::{LinkId, NodeId, Path, Topology};
 pub struct Mesh2d {
     rows: usize,
     cols: usize,
+    name: String,
 }
 
 /// Direction encoding for mesh channels.
@@ -37,7 +38,10 @@ impl Mesh2d {
                 .is_some_and(|n| n <= u32::MAX as usize),
             "mesh too large"
         );
-        Mesh2d { rows, cols }
+        // This string is hashed into cache fingerprints; it must never
+        // change shape.
+        let name = format!("mesh2d({rows}x{cols})");
+        Mesh2d { rows, cols, name }
     }
 
     /// Number of rows.
@@ -74,6 +78,41 @@ impl Mesh2d {
     fn channel(&self, node: u32, dir: u32) -> LinkId {
         LinkId(node * 4 + dir)
     }
+
+    /// Append the XY route to `out` without intermediate allocation —
+    /// shared by `route` and the allocation-free `route_into` override.
+    fn route_into_vec(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        let (sr, sc) = self.coords(src);
+        let (dr, dc) = self.coords(dst);
+        let mut cur = src.0;
+        // X first: walk the column coordinate toward dc.
+        let mut c = sc;
+        while c != dc {
+            if c < dc {
+                out.push(self.channel(cur, EAST));
+                cur += 1;
+                c += 1;
+            } else {
+                out.push(self.channel(cur, WEST));
+                cur -= 1;
+                c -= 1;
+            }
+        }
+        // Then Y: walk the row coordinate toward dr.
+        let mut r = sr;
+        while r != dr {
+            if r < dr {
+                out.push(self.channel(cur, SOUTH));
+                cur += self.cols as u32;
+                r += 1;
+            } else {
+                out.push(self.channel(cur, NORTH));
+                cur -= self.cols as u32;
+                r -= 1;
+            }
+        }
+        debug_assert_eq!(cur, dst.0);
+    }
 }
 
 impl Topology for Mesh2d {
@@ -86,37 +125,8 @@ impl Topology for Mesh2d {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Path {
-        let (sr, sc) = self.coords(src);
-        let (dr, dc) = self.coords(dst);
-        let mut links = Vec::with_capacity(sr.abs_diff(dr) + sc.abs_diff(dc));
-        let mut cur = src.0;
-        // X first: walk the column coordinate toward dc.
-        let mut c = sc;
-        while c != dc {
-            if c < dc {
-                links.push(self.channel(cur, EAST));
-                cur += 1;
-                c += 1;
-            } else {
-                links.push(self.channel(cur, WEST));
-                cur -= 1;
-                c -= 1;
-            }
-        }
-        // Then Y: walk the row coordinate toward dr.
-        let mut r = sr;
-        while r != dr {
-            if r < dr {
-                links.push(self.channel(cur, SOUTH));
-                cur += self.cols as u32;
-                r += 1;
-            } else {
-                links.push(self.channel(cur, NORTH));
-                cur -= self.cols as u32;
-                r -= 1;
-            }
-        }
-        debug_assert_eq!(cur, dst.0);
+        let mut links = Vec::with_capacity(self.hops(src, dst));
+        self.route_into_vec(src, dst, &mut links);
         Path::new(src, dst, links)
     }
 
@@ -126,12 +136,18 @@ impl Topology for Mesh2d {
         sr.abs_diff(dr) + sc.abs_diff(dc)
     }
 
+    fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        out.clear();
+        self.route_into_vec(src, dst, out);
+        debug_assert_eq!(out.len(), self.hops(src, dst));
+    }
+
     fn diameter(&self) -> usize {
         (self.rows - 1) + (self.cols - 1)
     }
 
-    fn name(&self) -> String {
-        format!("mesh2d({}x{})", self.rows, self.cols)
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -200,6 +216,19 @@ mod tests {
                 for l in m.route(NodeId(a as u32), NodeId(b as u32)).links() {
                     assert!(l.index() < m.link_count());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn route_into_override_matches_route() {
+        let m = Mesh2d::new(3, 4);
+        let mut buf = Vec::new();
+        for a in 0..m.num_nodes() {
+            for b in 0..m.num_nodes() {
+                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                m.route_into(a, b, &mut buf);
+                assert_eq!(buf, m.route(a, b).links());
             }
         }
     }

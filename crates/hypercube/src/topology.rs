@@ -1,5 +1,28 @@
 use crate::{LinkId, NodeId, Path};
 
+/// What a topology's routing function guarantees, as data.
+///
+/// Schedulers probe this report instead of downcasting: RS_NL only needs
+/// `deterministic` (its shadow `PATHS` reservation table requires the
+/// route to be a pure function of the endpoints), while LP's XOR phases
+/// are contention-free only on an `ecube_hypercube`. New topologies
+/// describe themselves here and every scheduler's `supports_topology`
+/// answer follows without naming any concrete type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutingProperties {
+    /// The circuit between two nodes is a pure function of the endpoints.
+    pub deterministic: bool,
+    /// Every route is a shortest path (hop count equals the graph
+    /// distance).
+    pub minimal: bool,
+    /// The network is a binary hypercube routed e-cube (LSB-first
+    /// bit-fixing) — the structure LP's pairing argument relies on.
+    pub ecube_hypercube: bool,
+    /// Links wrap around at the boundary (torus rings), so routes may
+    /// take either direction around a dimension.
+    pub wraparound: bool,
+}
+
 /// A point-to-point interconnection network with **deterministic, oblivious
 /// routing**: the circuit between two nodes is a pure function of the
 /// endpoints.
@@ -36,6 +59,12 @@ pub trait Topology: Send + Sync {
     fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
         out.clear();
         out.extend_from_slice(self.route(src, dst).links());
+        debug_assert_eq!(
+            out.len(),
+            self.hops(src, dst),
+            "hops() disagrees with route() length for {}",
+            self.name()
+        );
     }
 
     /// Whether this topology is a hypercube under e-cube routing.
@@ -43,16 +72,34 @@ pub trait Topology: Send + Sync {
     /// Some scheduling guarantees are e-cube-specific — LP's XOR phases
     /// are link-contention-free *only* under e-cube routing on a cube —
     /// so schedulers that rely on that structure probe it here instead of
-    /// guessing from the node count. Defaults to `false`.
+    /// guessing from the node count. Defaults to `false`. Prefer the
+    /// richer [`Topology::routing`] report in new code.
     fn is_ecube_hypercube(&self) -> bool {
         false
+    }
+
+    /// The capability report of this topology's routing function.
+    ///
+    /// The default describes the common case for this workspace — a
+    /// deterministic minimal router without wraparound — and derives the
+    /// e-cube flag from [`Topology::is_ecube_hypercube`]. Topologies with
+    /// wraparound links or non-minimal routing override this.
+    fn routing(&self) -> RoutingProperties {
+        RoutingProperties {
+            deterministic: true,
+            minimal: true,
+            ecube_hypercube: self.is_ecube_hypercube(),
+            wraparound: false,
+        }
     }
 
     /// Network diameter: the maximum hop distance over all node pairs.
     fn diameter(&self) -> usize;
 
-    /// Human-readable topology name for reports.
-    fn name(&self) -> String;
+    /// Human-readable topology name for reports. Borrowed from the
+    /// topology — implementations precompute it at construction so report
+    /// rows and fingerprints never allocate a fresh `String` per call.
+    fn name(&self) -> &str;
 }
 
 #[cfg(test)]
@@ -67,5 +114,21 @@ mod tests {
         assert_eq!(cube.num_nodes(), 16);
         assert_eq!(cube.hops(NodeId(0), NodeId(0b1011)), 3);
         assert_eq!(cube.diameter(), 4);
+    }
+
+    #[test]
+    fn default_routing_report_follows_ecube_probe() {
+        let cube = Hypercube::new(3);
+        let props = cube.routing();
+        assert!(props.deterministic);
+        assert!(props.minimal);
+        assert!(props.ecube_hypercube, "derived from is_ecube_hypercube");
+        assert!(!props.wraparound);
+
+        let mesh = crate::Mesh2d::new(2, 3);
+        let props = mesh.routing();
+        assert!(props.deterministic);
+        assert!(!props.ecube_hypercube);
+        assert!(!props.wraparound);
     }
 }

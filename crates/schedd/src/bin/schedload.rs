@@ -222,7 +222,7 @@ fn run_connection(
                 Request::SubmitDelta(SubmitDeltaRequest {
                     request_id: client.next_request_id(),
                     want_schedule: base.want_schedule,
-                    topology: base.topology,
+                    topology: base.topology.clone(),
                     scheduler: base.scheduler.clone(),
                     scheme: base.scheme,
                     backend: base.backend,

@@ -403,7 +403,11 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 // ---------------------------------------------------------------------------
 
 /// The topology a request schedules on, as named on the wire.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// Wire kind bytes: 0 hypercube, 1 mesh, 2 torus, 3 fat-tree. Old peers
+/// reject the new kinds with `topology.kind` — a typed decode error, not
+/// a protocol break.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TopologySpec {
     /// `dims`-dimensional hypercube under e-cube routing.
     Hypercube {
@@ -417,28 +421,51 @@ pub enum TopologySpec {
         /// Mesh columns (≥ 1).
         cols: u32,
     },
+    /// k-ary n-cube torus under dimension-ordered shortest-direction
+    /// routing.
+    Torus {
+        /// Per-dimension ring extents (1–8 dims, each ≥ 2).
+        extents: Vec<u32>,
+    },
+    /// k-ary fat-tree under deterministic up-down routing.
+    FatTree {
+        /// Switch arity (even, 2 ≤ k ≤ 64); hosts = k³/4.
+        k: u32,
+    },
 }
 
 impl TopologySpec {
     /// Number of nodes the spec describes.
-    pub fn num_nodes(self) -> usize {
+    pub fn num_nodes(&self) -> usize {
         match self {
             TopologySpec::Hypercube { dims } => 1usize << dims,
-            TopologySpec::Mesh2d { rows, cols } => rows as usize * cols as usize,
-        }
-    }
-
-    /// Materialize the topology.
-    pub fn build(self) -> Box<dyn Topology> {
-        match self {
-            TopologySpec::Hypercube { dims } => Box::new(Hypercube::new(dims)),
-            TopologySpec::Mesh2d { rows, cols } => {
-                Box::new(Mesh2d::new(rows as usize, cols as usize))
+            TopologySpec::Mesh2d { rows, cols } => *rows as usize * *cols as usize,
+            TopologySpec::Torus { extents } => {
+                extents.iter().map(|&k| k as usize).product::<usize>()
+            }
+            TopologySpec::FatTree { k } => {
+                let k = *k as usize;
+                k * k * k / 4
             }
         }
     }
 
-    fn encode(self, out: &mut Vec<u8>) {
+    /// Materialize the topology.
+    pub fn build(&self) -> Box<dyn Topology> {
+        match self {
+            TopologySpec::Hypercube { dims } => Box::new(Hypercube::new(*dims)),
+            TopologySpec::Mesh2d { rows, cols } => {
+                Box::new(Mesh2d::new(*rows as usize, *cols as usize))
+            }
+            TopologySpec::Torus { extents } => {
+                let extents: Vec<usize> = extents.iter().map(|&k| k as usize).collect();
+                Box::new(topo::Torus::new(&extents))
+            }
+            TopologySpec::FatTree { k } => Box::new(topo::FatTree::new(*k as usize)),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
         match self {
             TopologySpec::Hypercube { dims } => {
                 out.push(0);
@@ -448,6 +475,17 @@ impl TopologySpec {
                 out.push(1);
                 out.extend_from_slice(&rows.to_le_bytes());
                 out.extend_from_slice(&cols.to_le_bytes());
+            }
+            TopologySpec::Torus { extents } => {
+                out.push(2);
+                out.extend_from_slice(&(extents.len() as u32).to_le_bytes());
+                for &k in extents {
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+            }
+            TopologySpec::FatTree { k } => {
+                out.push(3);
+                out.extend_from_slice(&k.to_le_bytes());
             }
         }
     }
@@ -490,6 +528,56 @@ impl TopologySpec {
                 }
                 Ok(TopologySpec::Mesh2d { rows, cols })
             }
+            2 => {
+                let ndims = rd.u32()?;
+                // The torus builder caps at 8 dimensions; reject before
+                // allocating anything proportional to the claimed count.
+                if ndims == 0 || ndims > 8 {
+                    return Err(DecodeError::BadValue {
+                        field: "topology.torus.ndims",
+                        value: ndims.into(),
+                    });
+                }
+                let mut extents = Vec::with_capacity(ndims as usize);
+                let mut nodes: u64 = 1;
+                for _ in 0..ndims {
+                    let k = rd.u32()?;
+                    if k < 2 {
+                        return Err(DecodeError::BadValue {
+                            field: "topology.torus.extent",
+                            value: k.into(),
+                        });
+                    }
+                    nodes = nodes.saturating_mul(u64::from(k));
+                    extents.push(k);
+                }
+                if nodes > limits.max_request_nodes {
+                    return Err(DecodeError::LimitExceeded {
+                        field: "topology.torus",
+                        value: nodes,
+                        limit: limits.max_request_nodes,
+                    });
+                }
+                Ok(TopologySpec::Torus { extents })
+            }
+            3 => {
+                let k = rd.u32()?;
+                if !(2..=64).contains(&k) || !k.is_multiple_of(2) {
+                    return Err(DecodeError::BadValue {
+                        field: "topology.fattree.k",
+                        value: k.into(),
+                    });
+                }
+                let hosts = u64::from(k) * u64::from(k) * u64::from(k) / 4;
+                if hosts > limits.max_request_nodes {
+                    return Err(DecodeError::LimitExceeded {
+                        field: "topology.fattree",
+                        value: hosts,
+                        limit: limits.max_request_nodes,
+                    });
+                }
+                Ok(TopologySpec::FatTree { k })
+            }
             other => Err(DecodeError::BadValue {
                 field: "topology.kind",
                 value: other.into(),
@@ -503,6 +591,17 @@ impl fmt::Display for TopologySpec {
         match self {
             TopologySpec::Hypercube { dims } => write!(f, "hypercube(d={dims})"),
             TopologySpec::Mesh2d { rows, cols } => write!(f, "mesh({rows}x{cols})"),
+            TopologySpec::Torus { extents } => {
+                write!(f, "torus(")?;
+                for (i, k) in extents.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "x")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(f, ")")
+            }
+            TopologySpec::FatTree { k } => write!(f, "fattree(k={k})"),
         }
     }
 }
@@ -1631,5 +1730,103 @@ mod tests {
         assert_eq!(mesh.num_nodes(), 12);
         assert_eq!(mesh.build().num_nodes(), 12);
         assert_eq!(format!("{mesh}"), "mesh(3x4)");
+        let torus = TopologySpec::Torus {
+            extents: vec![4, 4, 2],
+        };
+        assert_eq!(torus.num_nodes(), 32);
+        assert_eq!(torus.build().num_nodes(), 32);
+        assert_eq!(format!("{torus}"), "torus(4x4x2)");
+        let ft = TopologySpec::FatTree { k: 4 };
+        assert_eq!(ft.num_nodes(), 16);
+        assert_eq!(ft.build().num_nodes(), 16);
+        assert_eq!(format!("{ft}"), "fattree(k=4)");
+    }
+
+    #[test]
+    fn torus_and_fattree_specs_roundtrip_on_the_wire() {
+        let limits = ProtocolLimits::default();
+        for topology in [
+            TopologySpec::Torus {
+                extents: vec![4, 4],
+            },
+            TopologySpec::Torus {
+                extents: vec![2, 2, 2, 2],
+            },
+            TopologySpec::FatTree { k: 4 },
+        ] {
+            let mut com = CommMatrix::new(topology.num_nodes());
+            com.set(0, 1, 64);
+            let req = Request::Submit(SubmitRequest {
+                request_id: 9,
+                want_schedule: true,
+                topology: topology.clone(),
+                scheduler: "RS_N".into(),
+                scheme: SchemeChoice::Default,
+                backend: BackendKind::Analytic,
+                seed: 0,
+                matrix: com,
+            });
+            let body = req.encode();
+            assert_eq!(Request::decode_with(&body, &limits).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn hostile_topology_specs_are_typed_decode_errors() {
+        let limits = ProtocolLimits::default();
+        // (kind bytes, expected field) — each is the topology prefix of a
+        // Submit body; decode must fail before reading further fields.
+        let cases: Vec<(Vec<u8>, &str)> = vec![
+            // Torus claiming 2^32-ish dims: bounded before allocation.
+            {
+                let mut b = vec![2u8];
+                b.extend_from_slice(&u32::MAX.to_le_bytes());
+                (b, "topology.torus.ndims")
+            },
+            // Torus with a 1-extent (degenerate ring).
+            {
+                let mut b = vec![2u8];
+                b.extend_from_slice(&2u32.to_le_bytes());
+                b.extend_from_slice(&4u32.to_le_bytes());
+                b.extend_from_slice(&1u32.to_le_bytes());
+                (b, "topology.torus.extent")
+            },
+            // Torus over the node budget.
+            {
+                let mut b = vec![2u8];
+                b.extend_from_slice(&3u32.to_le_bytes());
+                for _ in 0..3 {
+                    b.extend_from_slice(&1024u32.to_le_bytes());
+                }
+                (b, "topology.torus")
+            },
+            // Odd fat-tree arity.
+            {
+                let mut b = vec![3u8];
+                b.extend_from_slice(&5u32.to_le_bytes());
+                (b, "topology.fattree.k")
+            },
+            // Fat-tree over the node budget (k=34 → 9826 hosts).
+            {
+                let mut b = vec![3u8];
+                b.extend_from_slice(&34u32.to_le_bytes());
+                (b, "topology.fattree")
+            },
+            // Unknown kind byte.
+            (vec![9u8], "topology.kind"),
+        ];
+        for (topo_bytes, want_field) in cases {
+            let mut body = vec![0x01u8]; // Submit
+            body.extend_from_slice(&1u64.to_le_bytes()); // request_id
+            body.push(0); // want_schedule
+            body.extend_from_slice(&topo_bytes);
+            match Request::decode_with(&body, &limits) {
+                Err(DecodeError::BadValue { field, .. })
+                | Err(DecodeError::LimitExceeded { field, .. }) => {
+                    assert_eq!(field, want_field);
+                }
+                other => panic!("expected typed error for {want_field}, got {other:?}"),
+            }
+        }
     }
 }

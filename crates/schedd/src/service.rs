@@ -252,7 +252,7 @@ impl ServiceState {
         Ok(SubmitRequest {
             request_id: req.request_id,
             want_schedule: req.want_schedule,
-            topology: req.topology,
+            topology: req.topology.clone(),
             scheduler: req.scheduler.clone(),
             scheme: req.scheme,
             backend: req.backend,
@@ -327,7 +327,7 @@ impl ServiceState {
         let incremental = self.cache.incremental();
         let compiled_here = std::cell::Cell::new(false);
         let (schedule, led) = self.flight.run(fp.0, || {
-            Ok(self.cache.get_or_compute(fp, || {
+            Ok(self.cache.get_or_compute_on(fp, topo.as_ref(), || {
                 compiled_here.set(true);
                 let patched = incremental.and_then(|inc| {
                     inc.get_patched(entry, key, &req.matrix, topo.as_ref(), req.seed)

@@ -304,6 +304,110 @@ fn delta_submits_are_byte_identical_to_full_submits() {
 }
 
 #[test]
+fn torus_and_fattree_submits_conform_too() {
+    // The new wire kinds inherit the transport contract: replies for
+    // torus and fat-tree submits are byte-identical (as artifact bytes)
+    // to in-process compiles, estimates match on both backends, and a
+    // scheduler that declines the fabric declines with the same typed
+    // code through the socket as in-process.
+    let endpoint = Endpoint::Unix(
+        std::env::temp_dir().join(format!("schedd-conf-topo-{}.sock", std::process::id())),
+    );
+    let handle = Server::start(ServiceConfig::default(), &endpoint).expect("daemon starts");
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let params = MachineParams::ipsc860();
+
+    let specs = [
+        TopologySpec::Torus {
+            extents: vec![4, 4],
+        },
+        TopologySpec::Torus {
+            extents: vec![2, 2, 2, 2],
+        },
+        TopologySpec::FatTree { k: 4 },
+    ];
+    let matrix = Generator::dregular(16, 3, 2048).generate(41);
+    let mut served = 0u32;
+    let mut declined = 0u32;
+    for spec in &specs {
+        let topo = spec.build();
+        for entry in registry::all() {
+            let supported = entry.supports_topology(topo.as_ref());
+            for backend in BackendKind::all() {
+                let req = SubmitRequest {
+                    request_id: 0,
+                    want_schedule: true,
+                    topology: spec.clone(),
+                    scheduler: entry.name().to_string(),
+                    scheme: SchemeChoice::Default,
+                    backend,
+                    seed: 7,
+                    matrix: matrix.clone(),
+                };
+                if !supported {
+                    let err = client
+                        .submit(req)
+                        .expect_err("unsupported fabric must decline");
+                    match err {
+                        ClientError::Server(reply) => {
+                            assert_eq!(
+                                reply.code,
+                                ErrorCode::UnsupportedTopology,
+                                "{} on {spec}",
+                                entry.name()
+                            );
+                        }
+                        other => panic!("expected a typed decline, got {other:?}"),
+                    }
+                    declined += 1;
+                    continue;
+                }
+                let reply = client
+                    .submit(req.clone())
+                    .unwrap_or_else(|e| panic!("{} on {spec}: {e}", entry.name()));
+                let expect_schedule = entry.schedule(&req.matrix, topo.as_ref(), req.seed);
+                let expect_fp =
+                    Fingerprint::compute(&req.matrix, topo.as_ref(), entry.name(), req.seed);
+                let scheme = Scheme::for_scheduler(*entry);
+                let expect_estimate = backend
+                    .backend()
+                    .estimate(
+                        &params,
+                        topo.as_ref(),
+                        &req.matrix,
+                        &expect_schedule,
+                        scheme,
+                    )
+                    .expect("in-process estimate succeeds");
+                assert_eq!(reply.fingerprint, expect_fp, "{} on {spec}", entry.name());
+                assert_eq!(
+                    reply.estimate,
+                    expect_estimate,
+                    "{} on {spec}",
+                    entry.name()
+                );
+                assert_eq!(
+                    encode_artifact(reply.fingerprint, reply.schedule.as_ref().unwrap()),
+                    encode_artifact(expect_fp, &expect_schedule),
+                    "{} on {spec}",
+                    entry.name()
+                );
+                served += 1;
+            }
+        }
+    }
+    // LP declines all three non-cube fabrics on both backends; everyone
+    // else serves them.
+    assert_eq!(declined, 3 * 2);
+    assert_eq!(
+        served,
+        3 * (registry::all().len() as u32 - 1) * 2,
+        "every deterministic-routing scheduler serves every fabric"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn explicit_scheme_choices_conform_too() {
     // S1 and S2 forced explicitly (not the per-scheduler default) must
     // also match in-process estimates — the scheme byte travels intact.

@@ -1,0 +1,321 @@
+use std::fmt;
+use std::sync::Arc;
+
+use hypercube::{Hypercube, Mesh2d, Topology};
+
+use crate::{FatTree, Torus};
+
+/// A topology as *data*: a parsed, validated description that can be
+/// stored, printed, compared, sent over a wire, and built into a live
+/// [`Topology`] on demand.
+///
+/// The string grammar (one kind tag, a colon, a kind-specific spec):
+///
+/// | string | builds |
+/// |--------|--------|
+/// | `cube:d=6` | [`Hypercube::new`]`(6)` — 64 nodes |
+/// | `mesh:4x8` | [`Mesh2d::new`]`(4, 8)` — 32 nodes |
+/// | `torus:4x4x4x4` | [`Torus::new`]`(&[4, 4, 4, 4])` — 256 nodes |
+/// | `fattree:k=8` | [`FatTree::new`]`(8)` — 128 hosts |
+///
+/// [`TopologyKind::parse`] validates eagerly (the same bounds the
+/// constructors enforce), so a parsed kind always builds without
+/// panicking. [`fmt::Display`] renders the canonical string back, and
+/// parse ∘ display is the identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Binary hypercube of `dims` dimensions.
+    Cube {
+        /// Number of dimensions (`2^dims` nodes), 1..=20.
+        dims: u32,
+    },
+    /// 2-D mesh, XY-routed.
+    Mesh {
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// k-ary n-cube torus.
+    Torus {
+        /// Per-dimension ring sizes, each >= 2, 1..=8 dimensions.
+        extents: Vec<u32>,
+    },
+    /// k-ary fat-tree.
+    FatTree {
+        /// Arity (even, 2..=64); `k^3/4` hosts.
+        k: u32,
+    },
+}
+
+/// Why a kind string failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KindError {
+    /// The text before the colon names no known kind.
+    UnknownKind(String),
+    /// The kind is known but its spec is malformed or out of bounds.
+    BadSpec {
+        /// The kind tag that was recognized.
+        kind: &'static str,
+        /// What is wrong with the spec.
+        detail: String,
+    },
+}
+
+impl fmt::Display for KindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KindError::UnknownKind(s) => write!(
+                f,
+                "unknown topology kind {s:?} (expected cube:d=N, mesh:RxC, torus:AxBx..., or fattree:k=N)"
+            ),
+            KindError::BadSpec { kind, detail } => write!(f, "bad {kind} spec: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for KindError {}
+
+impl std::str::FromStr for TopologyKind {
+    type Err = KindError;
+
+    fn from_str(s: &str) -> Result<TopologyKind, KindError> {
+        TopologyKind::parse(s)
+    }
+}
+
+fn parse_u32(kind: &'static str, s: &str) -> Result<u32, KindError> {
+    s.parse().map_err(|_| KindError::BadSpec {
+        kind,
+        detail: format!("expected a number, got {s:?}"),
+    })
+}
+
+impl TopologyKind {
+    /// Parse a kind string (see the type-level grammar table).
+    ///
+    /// # Errors
+    ///
+    /// [`KindError::UnknownKind`] for an unrecognized tag,
+    /// [`KindError::BadSpec`] for a malformed or out-of-bounds spec.
+    pub fn parse(s: &str) -> Result<TopologyKind, KindError> {
+        let (kind, spec) = s
+            .split_once(':')
+            .ok_or_else(|| KindError::UnknownKind(s.to_string()))?;
+        match kind {
+            "cube" => {
+                let dims = spec
+                    .strip_prefix("d=")
+                    .ok_or_else(|| KindError::BadSpec {
+                        kind: "cube",
+                        detail: format!("expected d=N, got {spec:?}"),
+                    })
+                    .and_then(|d| parse_u32("cube", d))?;
+                if !(1..=20).contains(&dims) {
+                    return Err(KindError::BadSpec {
+                        kind: "cube",
+                        detail: format!("dimension must be in 1..=20, got {dims}"),
+                    });
+                }
+                Ok(TopologyKind::Cube { dims })
+            }
+            "mesh" => {
+                let (rows, cols) = spec.split_once('x').ok_or_else(|| KindError::BadSpec {
+                    kind: "mesh",
+                    detail: format!("expected RxC, got {spec:?}"),
+                })?;
+                let (rows, cols) = (parse_u32("mesh", rows)?, parse_u32("mesh", cols)?);
+                if rows == 0 || cols == 0 {
+                    return Err(KindError::BadSpec {
+                        kind: "mesh",
+                        detail: "extents must be positive".to_string(),
+                    });
+                }
+                if rows.checked_mul(cols).is_none_or(|n| n > 1 << 20) {
+                    return Err(KindError::BadSpec {
+                        kind: "mesh",
+                        detail: format!("mesh larger than 2^20 nodes: {rows}x{cols}"),
+                    });
+                }
+                Ok(TopologyKind::Mesh { rows, cols })
+            }
+            "torus" => {
+                let extents = spec
+                    .split('x')
+                    .map(|e| parse_u32("torus", e))
+                    .collect::<Result<Vec<u32>, _>>()?;
+                if !(1..=8).contains(&extents.len()) {
+                    return Err(KindError::BadSpec {
+                        kind: "torus",
+                        detail: format!("must have 1..=8 dimensions, got {}", extents.len()),
+                    });
+                }
+                if extents.iter().any(|&k| k < 2) {
+                    return Err(KindError::BadSpec {
+                        kind: "torus",
+                        detail: "every extent must be >= 2".to_string(),
+                    });
+                }
+                let nodes = extents
+                    .iter()
+                    .try_fold(1u64, |n, &k| {
+                        n.checked_mul(u64::from(k)).filter(|&n| n <= 1 << 20)
+                    })
+                    .ok_or_else(|| KindError::BadSpec {
+                        kind: "torus",
+                        detail: format!("torus larger than 2^20 nodes: {spec}"),
+                    })?;
+                debug_assert!(nodes >= 2);
+                Ok(TopologyKind::Torus { extents })
+            }
+            "fattree" => {
+                let k = spec
+                    .strip_prefix("k=")
+                    .ok_or_else(|| KindError::BadSpec {
+                        kind: "fattree",
+                        detail: format!("expected k=N, got {spec:?}"),
+                    })
+                    .and_then(|k| parse_u32("fattree", k))?;
+                if !(2..=64).contains(&k) || k % 2 != 0 {
+                    return Err(KindError::BadSpec {
+                        kind: "fattree",
+                        detail: format!("arity must be even and in 2..=64, got {k}"),
+                    });
+                }
+                Ok(TopologyKind::FatTree { k })
+            }
+            other => Err(KindError::UnknownKind(other.to_string())),
+        }
+    }
+
+    /// Node count without building the topology.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            TopologyKind::Cube { dims } => 1 << dims,
+            TopologyKind::Mesh { rows, cols } => (rows * cols) as usize,
+            TopologyKind::Torus { extents } => extents.iter().map(|&k| k as usize).product(),
+            TopologyKind::FatTree { k } => (k * k * k / 4) as usize,
+        }
+    }
+
+    /// Build the live topology this kind describes. A parsed kind never
+    /// panics here — `parse` enforces the constructors' bounds.
+    pub fn build(&self) -> Box<dyn Topology> {
+        match self {
+            TopologyKind::Cube { dims } => Box::new(Hypercube::new(*dims)),
+            TopologyKind::Mesh { rows, cols } => {
+                Box::new(Mesh2d::new(*rows as usize, *cols as usize))
+            }
+            TopologyKind::Torus { extents } => {
+                let extents: Vec<usize> = extents.iter().map(|&k| k as usize).collect();
+                Box::new(Torus::new(&extents))
+            }
+            TopologyKind::FatTree { k } => Box::new(FatTree::new(*k as usize)),
+        }
+    }
+
+    /// [`TopologyKind::build`], shared — the shape grid axes want.
+    pub fn build_arc(&self) -> Arc<dyn Topology> {
+        Arc::from(self.build())
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::Cube { dims } => write!(f, "cube:d={dims}"),
+            TopologyKind::Mesh { rows, cols } => write!(f, "mesh:{rows}x{cols}"),
+            TopologyKind::Torus { extents } => {
+                write!(f, "torus:")?;
+                for (i, k) in extents.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "x")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                Ok(())
+            }
+            TopologyKind::FatTree { k } => write!(f, "fattree:k={k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_what_it_names() {
+        for (s, nodes, name) in [
+            ("cube:d=4", 16, "hypercube(dims=4, nodes=16)"),
+            ("mesh:3x5", 15, "mesh2d(3x5)"),
+            ("torus:4x4", 16, "torus(4x4)"),
+            ("torus:2x2x2x2", 16, "torus(2x2x2x2)"),
+            ("fattree:k=4", 16, "fattree(k=4, hosts=16)"),
+        ] {
+            let kind = TopologyKind::parse(s).unwrap();
+            assert_eq!(kind.num_nodes(), nodes, "{s}");
+            let topo = kind.build();
+            assert_eq!(topo.num_nodes(), nodes, "{s}");
+            assert_eq!(topo.name(), name, "{s}");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["cube:d=6", "mesh:4x8", "torus:4x4x4x4", "fattree:k=8"] {
+            let kind = TopologyKind::parse(s).unwrap();
+            assert_eq!(kind.to_string(), s);
+            assert_eq!(TopologyKind::parse(&kind.to_string()).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn typed_errors_never_panics() {
+        for (s, want_unknown) in [
+            ("ring:8", true),
+            ("cube", true),
+            ("cube:d=0", false),
+            ("cube:d=21", false),
+            ("cube:n=6", false),
+            ("mesh:0x4", false),
+            ("mesh:4", false),
+            ("torus:4x1", false),
+            ("torus:", false),
+            ("torus:4x4x4x4x4x4x4x4x4", false),
+            ("torus:1024x1024x1024", false),
+            ("fattree:k=5", false),
+            ("fattree:k=66", false),
+            ("fattree:8", false),
+        ] {
+            match TopologyKind::parse(s) {
+                Err(KindError::UnknownKind(_)) => assert!(want_unknown, "{s}"),
+                Err(KindError::BadSpec { .. }) => assert!(!want_unknown, "{s}"),
+                Ok(k) => panic!("{s} parsed as {k:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_display_is_actionable() {
+        let e = TopologyKind::parse("ring:8").unwrap_err();
+        assert!(e.to_string().contains("unknown topology kind"));
+        let e = TopologyKind::parse("fattree:k=5").unwrap_err();
+        assert!(e.to_string().contains("even"));
+    }
+
+    #[test]
+    fn equal_node_count_family() {
+        // The fig_topo comparison set: 16 nodes under four fabrics.
+        let kinds = [
+            "cube:d=4",
+            "mesh:4x4",
+            "torus:4x4",
+            "torus:2x2x2x2",
+            "fattree:k=4",
+        ];
+        for s in kinds {
+            assert_eq!(TopologyKind::parse(s).unwrap().num_nodes(), 16, "{s}");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+use hypercube::{LinkId, NodeId, Path, RoutingProperties, Topology};
+
+/// Direction encoding for torus channels: around the ring toward higher
+/// coordinates.
+const PLUS: u32 = 0;
+/// Toward lower coordinates.
+const MINUS: u32 = 1;
+
+/// A k-ary n-cube: `n` dimensions, each a wraparound ring of `k` nodes
+/// (extents may differ per dimension — `4x4x2` is legal).
+///
+/// Nodes are numbered mixed-radix with dimension 0 fastest: node id
+/// `= Σ coordᵢ · strideᵢ` where `stride₀ = 1` and
+/// `strideᵢ₊₁ = strideᵢ · extentᵢ`.
+///
+/// Routing is **dimension-ordered** (dimension 0 first, like the mesh's
+/// XY order) and walks each ring in the *shorter* direction; when both
+/// directions are equally long (an even extent, distance exactly `k/2`)
+/// the tie breaks toward the positive direction, keeping the route a
+/// pure function of the endpoints. Every route is therefore minimal and
+/// `hops`/`diameter` have closed forms: the per-dimension ring distance
+/// `min(Δ, k−Δ)` sums across dimensions, and the diameter is
+/// `Σ ⌊extentᵢ/2⌋`.
+///
+/// Every node owns two directed channels per dimension, one per
+/// direction: `LinkId = node · 2n + 2·dim + dir`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Torus {
+    extents: Vec<u32>,
+    /// Mixed-radix strides; `strides[d]` is the id delta of one positive
+    /// step in dimension `d` (before wraparound).
+    strides: Vec<u32>,
+    nodes: u32,
+    name: String,
+}
+
+impl Torus {
+    /// A torus with the given per-dimension ring sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no dimensions, more than 8 of them, an
+    /// extent is below 2 (a 1-ring has no links), or the node count
+    /// exceeds `2^20` (a million-node torus is assumed to be a bug in
+    /// the caller, mirroring the hypercube's cap).
+    pub fn new(extents: &[usize]) -> Self {
+        assert!(
+            (1..=8).contains(&extents.len()),
+            "torus must have 1..=8 dimensions, got {}",
+            extents.len()
+        );
+        let mut nodes: usize = 1;
+        let mut strides = Vec::with_capacity(extents.len());
+        for &k in extents {
+            assert!(
+                (2..=1 << 20).contains(&k),
+                "torus extent must be >= 2, got {k}"
+            );
+            strides.push(nodes as u32);
+            nodes = nodes.checked_mul(k).expect("torus node count overflow");
+            assert!(nodes <= 1 << 20, "torus larger than 2^20 nodes");
+        }
+        // This string is hashed into cache fingerprints; it must never
+        // change shape.
+        let name = format!(
+            "torus({})",
+            extents
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        );
+        Torus {
+            extents: extents.iter().map(|&k| k as u32).collect(),
+            strides,
+            nodes: nodes as u32,
+            name,
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Per-dimension ring sizes.
+    #[inline]
+    pub fn extents(&self) -> &[u32] {
+        &self.extents
+    }
+
+    /// Coordinate of `node` along `dim`.
+    #[inline]
+    pub fn coord(&self, node: NodeId, dim: usize) -> u32 {
+        (node.0 / self.strides[dim]) % self.extents[dim]
+    }
+
+    /// The directed channel leaving `node` along `dim` in `dir`
+    /// (0 = positive, 1 = negative).
+    #[inline]
+    fn channel(&self, node: u32, dim: usize, dir: u32) -> LinkId {
+        LinkId(node * (2 * self.extents.len() as u32) + 2 * dim as u32 + dir)
+    }
+
+    /// Decode a [`LinkId`] back into `(source node, dimension, direction)`.
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, usize, u32) {
+        let per_node = 2 * self.extents.len() as u32;
+        (
+            NodeId(link.0 / per_node),
+            ((link.0 % per_node) / 2) as usize,
+            link.0 % 2,
+        )
+    }
+
+    /// The ring neighbour of `node` along `dim` in `dir`.
+    pub fn neighbor(&self, node: NodeId, dim: usize, dir: u32) -> NodeId {
+        let k = self.extents[dim];
+        let stride = self.strides[dim];
+        let c = self.coord(node, dim);
+        NodeId(match dir {
+            PLUS if c + 1 < k => node.0 + stride,
+            PLUS => node.0 - (k - 1) * stride,
+            _ if c > 0 => node.0 - stride,
+            _ => node.0 + (k - 1) * stride,
+        })
+    }
+
+    /// Append the dimension-ordered route to `out` without intermediate
+    /// allocation — shared by `route` and the `route_into` override.
+    fn route_into_vec(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        debug_assert!(
+            src.0 < self.nodes && dst.0 < self.nodes,
+            "nodes outside torus"
+        );
+        let mut cur = src;
+        for dim in 0..self.ndims() {
+            let k = self.extents[dim];
+            let s = self.coord(cur, dim);
+            let d = self.coord(dst, dim);
+            let fwd = (d + k - s) % k;
+            if fwd == 0 {
+                continue;
+            }
+            let bwd = k - fwd;
+            let (steps, dir) = if fwd <= bwd {
+                (fwd, PLUS)
+            } else {
+                (bwd, MINUS)
+            };
+            for _ in 0..steps {
+                out.push(self.channel(cur.0, dim, dir));
+                cur = self.neighbor(cur, dim, dir);
+            }
+        }
+        debug_assert_eq!(cur, dst);
+    }
+}
+
+impl Topology for Torus {
+    fn num_nodes(&self) -> usize {
+        self.nodes as usize
+    }
+
+    fn link_count(&self) -> usize {
+        self.nodes as usize * 2 * self.ndims()
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Path {
+        let mut links = Vec::with_capacity(self.hops(src, dst));
+        self.route_into_vec(src, dst, &mut links);
+        Path::new(src, dst, links)
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        (0..self.ndims())
+            .map(|dim| {
+                let k = self.extents[dim];
+                let fwd = (self.coord(dst, dim) + k - self.coord(src, dim)) % k;
+                fwd.min(k - fwd) as usize
+            })
+            .sum()
+    }
+
+    fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        out.clear();
+        self.route_into_vec(src, dst, out);
+        debug_assert_eq!(out.len(), self.hops(src, dst));
+    }
+
+    fn routing(&self) -> RoutingProperties {
+        RoutingProperties {
+            deterministic: true,
+            minimal: true,
+            ecube_hypercube: false,
+            wraparound: true,
+        }
+    }
+
+    fn diameter(&self) -> usize {
+        self.extents.iter().map(|&k| (k / 2) as usize).sum()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "extent must be >= 2")]
+    fn unit_ring_rejected() {
+        Torus::new(&[4, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8 dimensions")]
+    fn zero_dims_rejected() {
+        Torus::new(&[]);
+    }
+
+    #[test]
+    fn name_nodes_and_links() {
+        let t = Torus::new(&[4, 4, 2]);
+        assert_eq!(t.name(), "torus(4x4x2)");
+        assert_eq!(t.num_nodes(), 32);
+        assert_eq!(t.link_count(), 32 * 6);
+        assert_eq!(t.diameter(), 2 + 2 + 1);
+    }
+
+    #[test]
+    fn wraparound_is_one_hop() {
+        let t = Torus::new(&[5]);
+        assert_eq!(t.hops(NodeId(0), NodeId(4)), 1);
+        let p = t.route(NodeId(0), NodeId(4));
+        assert_eq!(p.links(), &[t.channel(0, 0, MINUS)]);
+    }
+
+    #[test]
+    fn even_ring_tie_breaks_positive() {
+        // Distance exactly k/2: both directions are 2 hops; the route
+        // must deterministically take the positive one.
+        let t = Torus::new(&[4]);
+        let p = t.route(NodeId(0), NodeId(2));
+        assert_eq!(p.links(), &[t.channel(0, 0, PLUS), t.channel(1, 0, PLUS)]);
+    }
+
+    #[test]
+    fn routes_are_dimension_ordered_and_endpoint_correct() {
+        let t = Torus::new(&[3, 4, 2]);
+        for s in 0..t.num_nodes() as u32 {
+            for d in 0..t.num_nodes() as u32 {
+                let p = t.route(NodeId(s), NodeId(d));
+                // Walk the path link by link; dimensions never decrease.
+                let mut cur = NodeId(s);
+                let mut last_dim = 0usize;
+                for &l in p.links() {
+                    let (from, dim, dir) = t.link_endpoints(l);
+                    assert_eq!(from, cur, "link leaves the current node");
+                    assert!(dim >= last_dim, "dimension order violated");
+                    last_dim = dim;
+                    cur = t.neighbor(cur, dim, dir);
+                }
+                assert_eq!(cur, NodeId(d), "route ends at the destination");
+                assert_eq!(p.hops(), t.hops(NodeId(s), NodeId(d)));
+                assert!(p.hops() <= t.diameter());
+            }
+        }
+    }
+
+    #[test]
+    fn hops_is_symmetric_and_bounded() {
+        let t = Torus::new(&[4, 4]);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                assert_eq!(t.hops(NodeId(s), NodeId(d)), t.hops(NodeId(d), NodeId(s)));
+            }
+        }
+        // Opposite corners of a 4x4 torus are 4 apart (2 per dimension).
+        assert_eq!(t.hops(NodeId(0), NodeId(10)), 4);
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn route_into_override_matches_route() {
+        let t = Torus::new(&[4, 3]);
+        let mut buf = Vec::new();
+        for s in 0..12u32 {
+            for d in 0..12u32 {
+                t.route_into(NodeId(s), NodeId(d), &mut buf);
+                assert_eq!(buf, t.route(NodeId(s), NodeId(d)).links());
+            }
+        }
+    }
+
+    #[test]
+    fn links_in_range_and_unique_per_route() {
+        let t = Torus::new(&[4, 4]);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                let p = t.route(NodeId(s), NodeId(d));
+                let mut seen = std::collections::HashSet::new();
+                for l in p.links() {
+                    assert!(l.index() < t.link_count());
+                    assert!(seen.insert(*l), "minimal routes never revisit a link");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_endpoints_roundtrip() {
+        let t = Torus::new(&[3, 5]);
+        for v in 0..15u32 {
+            for dim in 0..2 {
+                for dir in [PLUS, MINUS] {
+                    let l = t.channel(v, dim, dir);
+                    assert_eq!(t.link_endpoints(l), (NodeId(v), dim, dir));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_report() {
+        let t = Torus::new(&[4, 4]);
+        let props = t.routing();
+        assert!(props.deterministic && props.minimal && props.wraparound);
+        assert!(!props.ecube_hypercube);
+        assert!(!t.is_ecube_hypercube());
+    }
+}

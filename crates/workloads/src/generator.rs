@@ -77,6 +77,34 @@ impl Generator {
         let com = Arc::new(com);
         Generator::new(name, move |_seed| (*com).clone())
     }
+
+    /// [`crate::structured::torus_halo`] at fixed `(extents, bytes)` — a
+    /// concrete pattern, so the seed is ignored.
+    pub fn torus_halo(extents: &[usize], bytes: u32) -> Self {
+        let spec = extents
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        Generator::fixed(
+            format!("torus_halo({spec},M={bytes})"),
+            crate::structured::torus_halo(extents, bytes),
+        )
+    }
+
+    /// [`crate::structured::torus_neighborhood`] at fixed
+    /// `(extents, w, bytes)` — a concrete pattern, so the seed is ignored.
+    pub fn torus_neighborhood(extents: &[usize], w: usize, bytes: u32) -> Self {
+        let spec = extents
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        Generator::fixed(
+            format!("torus_hood({spec},w={w},M={bytes})"),
+            crate::structured::torus_neighborhood(extents, w, bytes),
+        )
+    }
 }
 
 impl fmt::Debug for Generator {

@@ -2,7 +2,7 @@
 //! hypercubes; useful as baselines and stress cases for the schedulers.
 
 use commsched::CommMatrix;
-use hypercube::perm;
+use hypercube::{perm, NodeId, Topology};
 
 /// Matrix transpose: node `i` of an implicit `sqrt(n) x sqrt(n)` grid sends
 /// to its transposed peer.
@@ -113,6 +113,51 @@ pub fn ring_halo(n: usize, w: usize, bytes: u32) -> CommMatrix {
     com
 }
 
+/// Torus nearest-neighbour halo: every node exchanges with its ±1 ring
+/// neighbour in each dimension of the `extents` torus — the wraparound
+/// stencil traffic of a domain-decomposed grid code (the QCDSP workload).
+/// Density is `2·ndims` (less where a 2-ring folds both directions onto
+/// one neighbour). Node numbering matches [`topo::Torus`].
+///
+/// # Panics
+///
+/// Panics on invalid torus extents (see [`topo::Torus::new`]) or
+/// `bytes == 0`.
+pub fn torus_halo(extents: &[usize], bytes: u32) -> CommMatrix {
+    torus_neighborhood(extents, 1, bytes)
+}
+
+/// Torus neighbourhood of width `w`: every node exchanges with the nodes
+/// up to `w` steps away along each axis (both directions, wrapping) — the
+/// axis-aligned generalization of [`ring_halo`] to k-ary n-cubes.
+/// Self-sends that arise when `2w` reaches an extent are skipped.
+///
+/// # Panics
+///
+/// Panics on invalid torus extents, `w == 0`, or `bytes == 0`.
+pub fn torus_neighborhood(extents: &[usize], w: usize, bytes: u32) -> CommMatrix {
+    assert!(w > 0, "neighbourhood width must be positive");
+    assert!(bytes > 0);
+    let torus = topo::Torus::new(extents);
+    let n = torus.num_nodes();
+    let mut com = CommMatrix::new(n);
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        for dim in 0..torus.ndims() {
+            for dir in 0..2u32 {
+                let mut cur = node;
+                for _ in 0..w {
+                    cur = torus.neighbor(cur, dim, dir);
+                    if cur != node {
+                        com.set(i, cur.index(), bytes);
+                    }
+                }
+            }
+        }
+    }
+    com
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +180,43 @@ mod tests {
     #[should_panic(expected = "square")]
     fn transpose_rejects_non_square() {
         transpose(12, 64);
+    }
+
+    #[test]
+    fn torus_halo_is_symmetric_with_2ndims_density() {
+        let com = torus_halo(&[4, 4, 4], 256);
+        assert_eq!(com.n(), 64);
+        assert!(com.is_symmetric_pattern());
+        for i in 0..64 {
+            assert_eq!(com.out_degree(i), 6, "node {i}");
+        }
+    }
+
+    #[test]
+    fn torus_halo_folds_on_2_rings() {
+        // On a 2-ring both directions reach the same neighbour: density 3,
+        // not 4, on a 2x4 torus's first dimension.
+        let com = torus_halo(&[2, 4], 64);
+        assert!(com.is_symmetric_pattern());
+        for i in 0..8 {
+            assert_eq!(com.out_degree(i), 3, "node {i}");
+        }
+    }
+
+    #[test]
+    fn torus_neighborhood_widens_and_skips_self() {
+        let com = torus_neighborhood(&[4, 4], 2, 128);
+        assert!(com.is_symmetric_pattern());
+        // w=2 on a 4-ring reaches ±1 and ±2; ±2 coincide (distance k/2),
+        // so each dimension contributes 3 neighbours.
+        for i in 0..16 {
+            assert_eq!(com.out_degree(i), 6, "node {i}");
+        }
+        // Width big enough to lap the ring never self-sends.
+        let lapped = torus_neighborhood(&[2, 2], 3, 16);
+        for (s, d, _) in lapped.messages() {
+            assert_ne!(s, d);
+        }
     }
 
     #[test]

@@ -7,7 +7,13 @@
 //!
 //! This facade crate re-exports the whole stack:
 //!
-//! * [`hypercube`] — topologies and deterministic routing (e-cube, XY).
+//! * [`hypercube`] — the topology abstraction and the paper's machines:
+//!   hypercubes under e-cube routing and 2-D meshes under XY routing.
+//! * [`topo`] — the pluggable fabric family beyond the paper: k-ary
+//!   n-cube tori (dimension-ordered shortest-direction routing) and
+//!   k-ary fat-trees (deterministic up-down routing), plus the
+//!   [`topo::TopologyKind`] kind-string grammar (`"torus:4x4x4"`,
+//!   `"fattree:k=8"`) used by CLIs and the daemon.
 //! * [`simnet`] — a discrete-event simulator of the iPSC/860's
 //!   circuit-switched network (the hardware substitute).
 //! * [`commsched`] — the paper's contribution: decomposing a communication
@@ -49,6 +55,7 @@ pub use commsched;
 pub use hypercube;
 pub use schedd;
 pub use simnet;
+pub use topo;
 pub use workloads;
 
 /// Everything a typical user needs, in one import.
@@ -62,8 +69,9 @@ pub mod prelude {
         ac, greedy, lp, rs_n, rs_nl, validate_schedule, CommMatrix, Schedule, ScheduleQuality,
         SchedulerKind,
     };
-    pub use hypercube::{Hypercube, Mesh2d, NodeId, Topology};
+    pub use hypercube::{Hypercube, Mesh2d, NodeId, RoutingProperties, Topology};
     pub use simnet::{simulate, MachineParams, SimReport};
+    pub use topo::{FatTree, TopologyKind, Torus};
     pub use workloads;
     pub use workloads::Generator;
 }

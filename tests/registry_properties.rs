@@ -216,6 +216,100 @@ proptest! {
     }
 
     #[test]
+    fn every_entry_on_every_kind_serves_or_declines(
+        cells in proptest::collection::vec((0usize..16, 0usize..16, 1u32..16_384), 0..96),
+        seed in 0u64..1000,
+    ) {
+        // The full support matrix: every registry entry × every
+        // TopologyKind either produces a valid schedule whose claimed
+        // guarantees hold *on that fabric*, or declines via
+        // `supports_topology` — never a panic, never a silent downgrade.
+        for spec in ["cube:d=3", "mesh:2x4", "torus:2x4", "torus:2x2x2", "fattree:k=4"] {
+            let topo = TopologyKind::parse(spec).expect("pinned kind").build();
+            let n = topo.num_nodes();
+            let mut com = CommMatrix::new(n);
+            for &(s, d, bytes) in &cells {
+                let (s, d) = (s % n, d % n);
+                if s != d {
+                    com.set(s, d, bytes);
+                }
+            }
+            for &entry in commsched::registry::all() {
+                if !entry.supports_topology(topo.as_ref()) {
+                    // Declines must be capability-shaped: only the LP
+                    // family (whose phase bound is e-cube specific)
+                    // declines, and only off the hypercube-equivalent
+                    // fabrics.
+                    prop_assert!(
+                        !topo.routing().ecube_hypercube,
+                        "{} declined the e-cube fabric {spec}",
+                        entry.name()
+                    );
+                    continue;
+                }
+                let s = entry.schedule(&com, topo.as_ref(), seed);
+                prop_assert!(
+                    validate_schedule(&com, &s).is_ok(),
+                    "{} invalid on {spec}",
+                    entry.name()
+                );
+                if entry.node_contention_free() {
+                    for pm in s.phases() {
+                        prop_assert!(
+                            pm.is_partial_permutation(),
+                            "{} node contention on {spec}",
+                            entry.name()
+                        );
+                    }
+                }
+                if entry.link_contention_free() {
+                    prop_assert!(
+                        s.link_contention_free(topo.as_ref()),
+                        "{} link contention on {spec}",
+                        entry.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_sound_on_every_kind(
+        pairs in proptest::collection::vec((0usize..4096, 0usize..4096), 1..48),
+    ) {
+        // Route soundness across the whole kind family: endpoints match,
+        // hop counts agree between the closed form and the materialized
+        // path, no route exceeds the diameter, every link id is in range,
+        // and routing is deterministic.
+        for spec in ["cube:d=4", "mesh:3x4", "torus:4x4", "torus:3x2x2", "fattree:k=4"] {
+            let topo = TopologyKind::parse(spec).expect("pinned kind").build();
+            let n = topo.num_nodes();
+            let diameter = topo.diameter();
+            let links = topo.link_count();
+            for &(a, b) in &pairs {
+                let (src, dst) = (NodeId((a % n) as u32), NodeId((b % n) as u32));
+                let path = topo.route(src, dst);
+                prop_assert!(path.src() == src, "{spec}: wrong route source");
+                prop_assert!(path.dst() == dst, "{spec}: wrong route destination");
+                prop_assert!(
+                    path.hops() == topo.hops(src, dst),
+                    "{spec}: hops() disagrees with the materialized route"
+                );
+                prop_assert!(path.hops() <= diameter, "{spec}: route beyond diameter");
+                for link in path.links() {
+                    prop_assert!(
+                        (link.0 as usize) < links,
+                        "{spec}: link id {} out of {links}",
+                        link.0
+                    );
+                }
+                let again = topo.route(src, dst);
+                prop_assert!(again.links() == path.links(), "{spec}: nondeterministic route");
+            }
+        }
+    }
+
+    #[test]
     fn seeded_entries_are_deterministic(
         dim in 3u32..5,
         cells in proptest::collection::vec((0usize..16, 0usize..16, 1u32..4096), 0..64),
