@@ -95,6 +95,9 @@ OPTIONS:
   --seed <s>           (submit/bench) scheduler seed           [default: 0]
   --scheme <s>         (submit/bench) s1|s2|default      [default: default]
   --backend <b>        (submit/bench) des|analytic   [default: IPSC_BACKEND]
+  --costmodel <m>      (submit/bench) link-cost model: uniform,
+                       loggp:o=..,g=..,G=.., hetero:factor=..,frac=..,
+                       or faulty:p=..,seed=..  [default: IPSC_COSTMODEL]
   --want-schedule      (submit) stream the compiled schedule summary too
   --requests <k>       (bench) how many requests to replay   [default: 200]
   --dims <lo>..<hi>    (bench) sweep hypercube dimensions instead of one
@@ -513,6 +516,10 @@ fn request_on(opts: &[String], topology: TopologySpec, n: usize) -> Result<Submi
         Some(v) => BackendKind::parse(v).ok_or_else(|| format!("unknown backend `{v}`"))?,
         None => BackendKind::from_env()?,
     };
+    let cost_model = match opt_value(opts, "--costmodel")? {
+        Some(v) => v.parse().map_err(|e| format!("--costmodel: {e}"))?,
+        None => schedd::LinkCostModel::from_env().map_err(|e| e.to_string())?,
+    };
     Ok(SubmitRequest {
         request_id: 0,
         want_schedule: opt_flag(opts, "--want-schedule"),
@@ -522,6 +529,7 @@ fn request_on(opts: &[String], topology: TopologySpec, n: usize) -> Result<Submi
         backend,
         seed,
         matrix: Generator::dregular(n, d.min(n - 1), bytes).generate(seed),
+        cost_model,
     })
 }
 
@@ -535,6 +543,7 @@ const DAEMON_FLAGS: &[&str] = &[
     "--topo",
     "--scheme",
     "--backend",
+    "--costmodel",
     "--requests",
     "--dims",
 ];
@@ -547,12 +556,17 @@ fn submit(opts: &[String]) -> Result<ExitCode, String> {
     let reply = client.submit(req.clone()).map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
     println!(
-        "{}  {} on {} seed={} backend={}",
+        "{}  {} on {} seed={} backend={}{}",
         reply.fingerprint,
         req.scheduler,
         req.topology,
         req.seed,
-        req.backend.label()
+        req.backend.label(),
+        if req.cost_model.is_uniform() {
+            String::new()
+        } else {
+            format!(" cost={}", req.cost_model)
+        }
     );
     println!(
         "makespan: {:.3} ms over {} phase(s)  ({})",

@@ -96,13 +96,28 @@ pub fn backend_from_env() -> commrt::BackendKind {
     commrt::BackendKind::from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// The repro binaries' link-cost-model selection, from the
+/// `IPSC_COSTMODEL` environment variable: unset/empty/`uniform` = the
+/// paper's uniform machine (byte-identical to every pre-cost-model
+/// output), otherwise a model string like `loggp:o=75000,g=10000,G=1.5`
+/// or `faulty:p=0.05,seed=42` (see [`commrt::LinkCostModel::parse`]).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo'd model must not silently
+/// price a sweep on the wrong machine.
+pub fn cost_model_from_env() -> commrt::LinkCostModel {
+    commrt::LinkCostModel::from_env().unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// The paper's sweep as a declarative grid: `entries` as scheduler
 /// columns, one pre-grid-compatible [`WorkloadPoint`] per `(d, M)` pair
 /// (densities outermost), `samples` samples per cell, on the 64-node
 /// hypercube. Each binary narrows the axes to its figure and renders from
 /// the executed [`commrt::GridResult`]. Honours the `IPSC_CACHE` schedule
-/// cache opt-in ([`cache_config_from_env`]) and the `IPSC_BACKEND`
-/// simulation-backend selection ([`backend_from_env`]).
+/// cache opt-in ([`cache_config_from_env`]), the `IPSC_BACKEND`
+/// simulation-backend selection ([`backend_from_env`]), and the
+/// `IPSC_COSTMODEL` link-cost model ([`cost_model_from_env`]).
 pub fn paper_grid(
     entries: impl IntoIterator<Item = &'static dyn Scheduler>,
     densities: &[usize],
@@ -114,7 +129,8 @@ pub fn paper_grid(
         .topology("hypercube(6)", paper_cube())
         .schedulers(entries)
         .samples(samples)
-        .with_backend(backend_from_env());
+        .with_backend(backend_from_env())
+        .with_link_costs(cost_model_from_env());
     if let Some(config) = cache_config_from_env() {
         grid = grid.with_cache(config);
     }

@@ -78,6 +78,7 @@ impl Fnv128 {
 /// | messages | per message, row-major: `u32` src, `u32` dst, `u32` bytes |
 /// | scheduler name | `u32` length + bytes ([`commsched::Scheduler::name`]) |
 /// | seed | `u64` |
+/// | cost section | *only for non-uniform link costs*: the 4 bytes `b"COST"`, then `u32` length + canonical cost string |
 ///
 /// Everything up to and including the messages is the **instance
 /// section** — hashed alone it yields an [`InstanceKey`]. The scheduler
@@ -119,6 +120,28 @@ impl Fingerprint {
             return None;
         }
         u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+
+    /// Extend this fingerprint with a link-cost-model section: the bytes
+    /// `b"COST"` followed by the canonical cost string (length-prefixed),
+    /// continued through the same streaming FNV-1a-128.
+    ///
+    /// The `"uniform"` model returns the fingerprint **unchanged** — by
+    /// construction, every key (and thus every persisted artifact and
+    /// daemon cache entry) computed before cost models existed stays
+    /// valid, and only non-uniform requests branch into fresh keys.
+    ///
+    /// `canonical` must be the model's canonical rendering (its `Display`
+    /// output, which its parser round-trips), never raw user input — two
+    /// spellings of one model must share a key.
+    pub fn with_cost_model(self, canonical: &str) -> Fingerprint {
+        if canonical == "uniform" {
+            return self;
+        }
+        let mut h = Fnv128::resume(self.0);
+        h.write(b"COST");
+        h.write_str(canonical);
+        Fingerprint(h.finish())
     }
 
     /// The 16 little-endian bytes (artifact header field).
@@ -309,6 +332,35 @@ mod tests {
         assert!(Fingerprint::from_hex("xyz").is_none());
         assert!(Fingerprint::from_hex(&hex[1..]).is_none());
         assert_eq!(Fingerprint::from_bytes(fp.to_bytes()), fp);
+    }
+
+    #[test]
+    fn uniform_cost_section_is_the_identity() {
+        // Keys computed before cost models existed must stay valid: the
+        // uniform model adds nothing to the stream.
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let base = Fingerprint::compute(&com, &cube, "RS_NL", 9);
+        assert_eq!(base.with_cost_model("uniform"), base);
+    }
+
+    #[test]
+    fn non_uniform_cost_models_branch_the_key() {
+        let com = sample_com();
+        let cube = Hypercube::new(4);
+        let base = Fingerprint::compute(&com, &cube, "RS_NL", 9);
+        let faulty = base.with_cost_model("faulty:p=0.05,seed=7");
+        let loggp = base.with_cost_model("loggp:o=2000,g=500,G=1.25");
+        assert_ne!(faulty, base);
+        assert_ne!(loggp, base);
+        assert_ne!(faulty, loggp);
+        // Different parameters of one preset also diverge.
+        assert_ne!(faulty, base.with_cost_model("faulty:p=0.05,seed=8"));
+        // And the extension matches the documented byte stream.
+        let mut h = Fnv128::resume(base.0);
+        h.write(b"COST");
+        h.write_str("faulty:p=0.05,seed=7");
+        assert_eq!(faulty.0, h.finish());
     }
 
     #[test]

@@ -61,8 +61,9 @@ pub use cache::{schedule_weight_bytes, ShardedCache};
 pub use fingerprint::{canonical_bytes, Fingerprint, InstanceKey, LAYOUT_VERSION};
 pub use incremental::{IncrementalCache, IncrementalConfig, IncrementalStats};
 pub use store::{
-    decode_artifact, decode_artifact_full, encode_artifact, encode_artifact_with, ArtifactStore,
-    StoreError, TopologyMeta, EXTENSION, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
+    decode_artifact, decode_artifact_full, decode_artifact_meta, encode_artifact,
+    encode_artifact_meta, encode_artifact_with, ArtifactStore, StoreError, TopologyMeta, EXTENSION,
+    FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
 };
 
 /// Configuration of a [`SchedCache`].

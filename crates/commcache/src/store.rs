@@ -9,14 +9,14 @@
 //! files written by an unknown format version are **skipped, not
 //! trusted**.
 //!
-//! # On-disk format (version 2)
+//! # On-disk format (version 3)
 //!
 //! All integers little-endian.
 //!
 //! | offset | size | field |
 //! |--------|------|-------|
 //! | 0 | 8 | magic `b"CCSCHED\0"` |
-//! | 8 | 4 | format version `u32` = 2 |
+//! | 8 | 4 | format version `u32` = 3 |
 //! | 12 | 16 | fingerprint (`u128`, LE) |
 //! | 28 | 8 | payload length `u64` |
 //! | 36 | len | payload (below) |
@@ -28,8 +28,15 @@
 //! destination words (`u32`; `0xffff_ffff` encodes "silent"), then a
 //! topology section: `u8` presence flag — when 1, the topology kind
 //! string (`u32` length + bytes), `u64` node count, and `u64` link count
-//! of the fabric the schedule was compiled for. Version-1 artifacts (no
-//! topology section) still decode; their topology reads back as `None`.
+//! of the fabric the schedule was compiled for — then (version 3) a
+//! link-cost section: `u8` presence flag — when 1, the canonical
+//! cost-model string (`u32` length + bytes) the request carried. The
+//! uniform model is always encoded as *absent* (flag 0), so uniform
+//! artifacts are byte-identical to a version bump of their v2 selves.
+//!
+//! Older artifacts still decode: version-1 files (no topology, no cost
+//! section) read back `None` for both, version-2 files (no cost section)
+//! read back `None` for the cost model.
 //!
 //! Writes go through a same-directory temp file plus rename, so a crashed
 //! writer leaves no half-written `.sched` file behind.
@@ -46,10 +53,11 @@ use crate::Fingerprint;
 pub const MAGIC: [u8; 8] = *b"CCSCHED\0";
 
 /// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest format version [`decode_artifact`] still reads (version 1
-/// lacks the topology section; everything else is identical).
+/// lacks the topology section, version 2 the link-cost section; the rest
+/// is identical).
 pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// The topology section of an artifact: which fabric a schedule was
@@ -202,6 +210,19 @@ pub fn encode_artifact_with(
     schedule: &Schedule,
     topology: Option<&TopologyMeta>,
 ) -> Vec<u8> {
+    encode_artifact_meta(fp, schedule, topology, None)
+}
+
+/// [`encode_artifact_with`] plus an optional link-cost section: the
+/// canonical cost-model string the request carried. `"uniform"` (or
+/// `None`) is always encoded as absent — the canonical form of "no cost
+/// model", so uniform artifacts never fork on this field.
+pub fn encode_artifact_meta(
+    fp: Fingerprint,
+    schedule: &Schedule,
+    topology: Option<&TopologyMeta>,
+    cost_model: Option<&str>,
+) -> Vec<u8> {
     let mut payload = Vec::with_capacity(35 + schedule.phases().len() * schedule.n() * 4);
     payload.push(kind_code(schedule.kind()));
     payload.push(family_code(schedule.algorithm()));
@@ -223,6 +244,14 @@ pub fn encode_artifact_with(
             payload.extend_from_slice(meta.kind.as_bytes());
             payload.extend_from_slice(&meta.nodes.to_le_bytes());
             payload.extend_from_slice(&meta.links.to_le_bytes());
+        }
+    }
+    match cost_model.filter(|&s| s != "uniform") {
+        None => payload.push(0),
+        Some(s) => {
+            payload.push(1);
+            payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            payload.extend_from_slice(s.as_bytes());
         }
     }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
@@ -290,6 +319,20 @@ pub fn decode_artifact(bytes: &[u8]) -> Result<(Fingerprint, Schedule), StoreErr
 pub fn decode_artifact_full(
     bytes: &[u8],
 ) -> Result<(Fingerprint, Schedule, Option<TopologyMeta>), StoreError> {
+    decode_artifact_meta(bytes).map(|(fp, schedule, topo, _)| (fp, schedule, topo))
+}
+
+/// Parse a complete artifact, including its topology and link-cost
+/// sections (`None` where a section is absent or predates the format
+/// version that introduced it).
+///
+/// # Errors
+///
+/// Every malformation maps to a typed [`StoreError`]; this function never
+/// panics on untrusted bytes.
+pub fn decode_artifact_meta(
+    bytes: &[u8],
+) -> Result<(Fingerprint, Schedule, Option<TopologyMeta>, Option<String>), StoreError> {
     if bytes.len() < MAGIC.len() {
         return Err(StoreError::Truncated);
     }
@@ -375,6 +418,26 @@ pub fn decode_artifact_full(
     } else {
         None
     };
+    let cost_model = if version >= 3 {
+        match p.u8()? {
+            0 => None,
+            1 => {
+                let len = p.u32()? as usize;
+                Some(
+                    std::str::from_utf8(p.take(len)?)
+                        .map_err(|_| StoreError::Corrupt("cost model not UTF-8".into()))?
+                        .to_string(),
+                )
+            }
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "cost-model presence flag {other}"
+                )))
+            }
+        }
+    } else {
+        None
+    };
     if p.at != payload.len() {
         return Err(StoreError::Corrupt("trailing payload bytes".into()));
     }
@@ -382,6 +445,7 @@ pub fn decode_artifact_full(
         fp,
         Schedule::from_parts(kind, family, n, phases, ops, compress_ops),
         topology,
+        cost_model,
     ))
 }
 
@@ -614,25 +678,77 @@ mod tests {
         assert_eq!(none, None);
     }
 
+    fn reversioned(version: u32, fp: Fingerprint, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&version.to_le_bytes());
+        out.extend_from_slice(&fp.to_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        out
+    }
+
     #[test]
     fn version_1_artifacts_still_decode_without_topology() {
-        // Hand-build a v1 file: v2 wire bytes minus the trailing presence
-        // byte, with version, length, and checksum rewritten to match.
+        // Hand-build a v1 file: current wire bytes minus the trailing
+        // topology and cost presence bytes, with version, length, and
+        // checksum rewritten to match.
         let s = sample_schedule();
-        let v2 = encode_artifact(Fingerprint(5), &s);
-        let payload = &v2[HEADER_LEN..v2.len() - 8];
-        let v1_payload = &payload[..payload.len() - 1];
-        let mut v1 = Vec::new();
-        v1.extend_from_slice(&MAGIC);
-        v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&Fingerprint(5).to_bytes());
-        v1.extend_from_slice(&(v1_payload.len() as u64).to_le_bytes());
-        v1.extend_from_slice(v1_payload);
-        v1.extend_from_slice(&fnv1a64(v1_payload).to_le_bytes());
-        let (fp, got, topo) = decode_artifact_full(&v1).unwrap();
+        let v3 = encode_artifact(Fingerprint(5), &s);
+        let payload = &v3[HEADER_LEN..v3.len() - 8];
+        let v1 = reversioned(1, Fingerprint(5), &payload[..payload.len() - 2]);
+        let (fp, got, topo, cost) = decode_artifact_meta(&v1).unwrap();
         assert_eq!(fp, Fingerprint(5));
         assert_eq!(got, s);
         assert_eq!(topo, None);
+        assert_eq!(cost, None);
+    }
+
+    #[test]
+    fn version_2_artifacts_still_decode_without_cost_model() {
+        // A v2 file is the current payload minus the trailing cost
+        // presence byte. Its topology section survives; the cost model
+        // reads back as None.
+        let s = sample_schedule();
+        let cube = Hypercube::new(3);
+        let meta = TopologyMeta::of(&cube);
+        let v3 = encode_artifact_with(Fingerprint(6), &s, Some(&meta));
+        let payload = &v3[HEADER_LEN..v3.len() - 8];
+        let v2 = reversioned(2, Fingerprint(6), &payload[..payload.len() - 1]);
+        let (fp, got, topo, cost) = decode_artifact_meta(&v2).unwrap();
+        assert_eq!(fp, Fingerprint(6));
+        assert_eq!(got, s);
+        assert_eq!(topo, Some(meta));
+        assert_eq!(cost, None);
+    }
+
+    #[test]
+    fn cost_model_section_roundtrips_and_uniform_is_absent() {
+        let s = sample_schedule();
+        let bytes = encode_artifact_meta(Fingerprint(31), &s, None, Some("faulty:p=0.05,seed=7"));
+        let (_, got, _, cost) = decode_artifact_meta(&bytes).unwrap();
+        assert_eq!(got, s);
+        assert_eq!(cost.as_deref(), Some("faulty:p=0.05,seed=7"));
+        // "uniform" normalizes to an absent section: byte-identical to
+        // passing no cost model at all.
+        let explicit = encode_artifact_meta(Fingerprint(31), &s, None, Some("uniform"));
+        let implicit = encode_artifact_meta(Fingerprint(31), &s, None, None);
+        assert_eq!(explicit, implicit);
+        let (_, _, _, cost) = decode_artifact_meta(&explicit).unwrap();
+        assert_eq!(cost, None);
+        // A presence flag outside {0, 1} is typed corruption.
+        let mut bad = encode_artifact(Fingerprint(31), &s);
+        let payload_start = HEADER_LEN;
+        let payload_end = bad.len() - 8;
+        bad[payload_end - 1] = 9;
+        let sum = fnv1a64(&bad[payload_start..payload_end]);
+        let at = bad.len() - 8;
+        bad[at..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_artifact_meta(&bad),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -648,7 +764,9 @@ mod tests {
         let mut bytes = encode_artifact_with(Fingerprint(8), &s, Some(&meta));
         let payload_start = HEADER_LEN;
         let payload_end = bytes.len() - 8;
-        let flag_at = payload_end - (4 + meta.kind.len() + 8 + 8) - 1;
+        // The topology flag sits before the topology body and the trailing
+        // cost presence byte.
+        let flag_at = payload_end - 1 - (4 + meta.kind.len() + 8 + 8) - 1;
         bytes[flag_at] = 7;
         let sum = fnv1a64(&bytes[payload_start..payload_end]);
         let at = bytes.len() - 8;

@@ -93,6 +93,29 @@ pub trait Topology: Send + Sync {
         }
     }
 
+    /// An alternative `src -> dst` circuit that avoids every link for
+    /// which `down` returns `true`, or `None` when the router cannot
+    /// offer one.
+    ///
+    /// This is the fault-tolerance escape hatch for link-cost models
+    /// with dead links: fabrics whose routing admits a detour (torus
+    /// rings can run the long way around a dimension —
+    /// [`RoutingProperties::wraparound`]) override this; strictly
+    /// deterministic single-path routers keep the default `None`, and a
+    /// down link on their route surfaces as a typed error upstream.
+    ///
+    /// Implementations must return a path whose links all pass `down ==
+    /// false`; the detour need not be minimal.
+    fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Path> {
+        let _ = (src, dst, down);
+        None
+    }
+
     /// Network diameter: the maximum hop distance over all node pairs.
     fn diameter(&self) -> usize;
 

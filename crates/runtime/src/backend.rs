@@ -31,8 +31,11 @@
 use std::fmt;
 
 use commsched::{CommMatrix, Schedule, ScheduleKind};
-use hypercube::{NodeId, Topology};
-use simnet::{ExecMode, LoadModel, MachineParams, PoolMode, SimError, TraceKind, TransferSpec};
+use hypercube::{NodeId, Path, Topology};
+use simnet::cost::resolve_route;
+use simnet::{
+    ExecMode, LinkCostModel, LoadModel, MachineParams, PoolMode, SimError, TraceKind, TransferSpec,
+};
 
 use crate::compile::compile;
 use crate::Scheme;
@@ -119,6 +122,37 @@ pub trait SimBackend: Send + Sync {
         schedule: &Schedule,
         scheme: Scheme,
     ) -> Result<BackendReport, SimError>;
+
+    /// [`SimBackend::estimate`] under a [`LinkCostModel`]: per-link
+    /// latency/bandwidth costs ride on every transfer price, and routes
+    /// crossing a down link detour or fail with [`SimError::LinkDown`].
+    ///
+    /// `LinkCostModel::Uniform` must be byte-identical to `estimate` —
+    /// the default implementation guarantees that by delegating, and
+    /// rejects every other model so third-party backends that never
+    /// learned about link costs cannot silently misprice them.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SimBackend::estimate`] reports, plus
+    /// [`SimError::LinkDown`] for stranded transfers.
+    fn estimate_costed(
+        &self,
+        params: &MachineParams,
+        cost: &LinkCostModel,
+        topo: &dyn Topology,
+        com: &CommMatrix,
+        schedule: &Schedule,
+        scheme: Scheme,
+    ) -> Result<BackendReport, SimError> {
+        if cost.is_uniform() {
+            return self.estimate(params, topo, com, schedule, scheme);
+        }
+        Err(SimError::BadParams(format!(
+            "backend {:?} does not support link-cost model {cost}",
+            self.name()
+        )))
+    }
 }
 
 /// Shared input validation: the schedule must belong to the matrix and
@@ -143,6 +177,32 @@ fn check_shapes<T: Topology + ?Sized>(
         )));
     }
     Ok(())
+}
+
+/// Price one message under `cost`: the uniform fast path is *exactly*
+/// the legacy `transfer_ns(bytes, hops)` arithmetic (no route
+/// materialized, `None`), the costed path resolves the route (detouring
+/// around down links where the fabric permits) and returns it so the
+/// caller can claim the actual links travelled.
+///
+/// # Errors
+///
+/// [`SimError::LinkDown`] when the route crosses a down link with no
+/// detour.
+fn priced_route<T: Topology + ?Sized>(
+    params: &MachineParams,
+    cost: &LinkCostModel,
+    topo: &T,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u32,
+) -> Result<(u64, Option<Path>), SimError> {
+    if cost.is_uniform() {
+        return Ok((params.transfer_ns(bytes, topo.hops(src, dst)), None));
+    }
+    let path = resolve_route(topo, cost, src, dst)?;
+    let busy = cost.transfer_ns(params, bytes, path.links());
+    Ok((busy, Some(path)))
 }
 
 // ---------------------------------------------------------------------------
@@ -182,9 +242,22 @@ impl SimBackend for DesBackend {
         schedule: &Schedule,
         scheme: Scheme,
     ) -> Result<BackendReport, SimError> {
+        self.estimate_costed(params, &LinkCostModel::Uniform, topo, com, schedule, scheme)
+    }
+
+    fn estimate_costed(
+        &self,
+        params: &MachineParams,
+        cost: &LinkCostModel,
+        topo: &dyn Topology,
+        com: &CommMatrix,
+        schedule: &Schedule,
+        scheme: Scheme,
+    ) -> Result<BackendReport, SimError> {
         check_shapes(topo, com, schedule)?;
         let programs = compile(com, schedule, scheme);
-        let (report, trace) = simnet::simulate_traced_with(topo, params, programs, self.exec)?;
+        let (report, trace) =
+            simnet::simulate_traced_costed_with(topo, params, cost, programs, self.exec)?;
         let phases = schedule.num_phases().max(1);
         let mut phase_end_ns = vec![0u64; phases];
         // Requested/Started per (src, dst, tag): blocked-start detection.
@@ -316,11 +389,12 @@ impl AnalyticBackend {
     fn estimate_pool<T: Topology + ?Sized>(
         &self,
         params: &MachineParams,
+        cost: &LinkCostModel,
         topo: &T,
         com: &CommMatrix,
         phases: &[Vec<(NodeId, NodeId)>],
         ramped: bool,
-    ) -> BackendReport {
+    ) -> Result<BackendReport, SimError> {
         let n = com.n();
         // Posts precede sends in both the AC and the S2 program shape:
         // the first send is requested at in_degree * recv_post +
@@ -338,18 +412,24 @@ impl AnalyticBackend {
             let mut phase_contended = false;
             for &(src, dst) in phase {
                 let bytes = com.get(src.index(), dst.index());
-                let hops = topo.hops(src, dst);
+                let (busy_ns, path) = priced_route(params, cost, topo, src, dst, bytes)?;
                 let j = if ramped { sends_before[src.index()] } else { 0 };
                 sends_before[src.index()] += 1;
                 let spec = TransferSpec {
                     src,
                     dst,
-                    busy_ns: params.transfer_ns(bytes, hops),
+                    busy_ns,
                     lead_ns: in_degree[src.index()] * params.recv_post_ns
                         + (j + 1) * params.send_overhead_ns,
                     fused: false,
                 };
-                if pool.add(topo, spec) {
+                // Costed transfers claim the links they actually travel
+                // (a detour is longer than the nominal route).
+                let shared = match &path {
+                    None => pool.add(topo, spec),
+                    Some(p) => pool.add_with_route(spec, p.links()),
+                };
+                if shared {
                     contended_transfers += 1;
                     phase_contended = true;
                 }
@@ -357,7 +437,7 @@ impl AnalyticBackend {
             contended_phases += usize::from(phase_contended);
             phase_end_ns.push(pool.makespan_ns());
         }
-        BackendReport {
+        Ok(BackendReport {
             makespan_ns: pool.makespan_ns(),
             phase_end_ns,
             contention: ContentionStats {
@@ -366,7 +446,7 @@ impl AnalyticBackend {
                 contended_transfers,
                 contended_phases,
             },
-        }
+        })
     }
 
     /// Phased-S1 estimate: a max-plus recurrence over node and link
@@ -400,10 +480,11 @@ impl AnalyticBackend {
     fn estimate_s1<T: Topology + ?Sized>(
         &self,
         params: &MachineParams,
+        cost: &LinkCostModel,
         topo: &T,
         com: &CommMatrix,
         schedule: &Schedule,
-    ) -> BackendReport {
+    ) -> Result<BackendReport, SimError> {
         let first_active = schedule.phases().iter().position(|pm| !pm.is_empty());
         let n = com.n();
         let mut node_free = vec![0u64; n];
@@ -424,16 +505,31 @@ impl AnalyticBackend {
             phase_model.reset();
             let mut phase_contended = false;
             for (src, dst) in pm.pairs() {
+                claims.clear();
                 let spec = if pm.is_exchange_pair(src) {
                     // Each reciprocal pair fuses into one rendezvous
                     // transfer; account it once, from its lower endpoint.
                     if src.0 > dst.0 {
                         continue;
                     }
-                    let fwd =
-                        params.transfer_ns(com.get(src.index(), dst.index()), topo.hops(src, dst));
-                    let rev =
-                        params.transfer_ns(com.get(dst.index(), src.index()), topo.hops(dst, src));
+                    let ab = com.get(src.index(), dst.index());
+                    let ba = com.get(dst.index(), src.index());
+                    let busy_ns = if cost.is_uniform() {
+                        let fwd = params.transfer_ns(ab, topo.hops(src, dst));
+                        let rev = params.transfer_ns(ba, topo.hops(dst, src));
+                        params.exchange_sync_ns + fwd.max(rev)
+                    } else {
+                        // Costed routes may detour around dead links, so
+                        // both directions resolve explicitly and their
+                        // actual circuits become the claims.
+                        let fwd_path = resolve_route(topo, cost, src, dst)?;
+                        let rev_path = resolve_route(topo, cost, dst, src)?;
+                        claims.extend_from_slice(fwd_path.links());
+                        claims.extend_from_slice(rev_path.links());
+                        let fwd = cost.transfer_ns(params, ab, fwd_path.links());
+                        let rev = cost.transfer_ns(params, ba, rev_path.links());
+                        params.exchange_sync_ns + fwd.max(rev)
+                    };
                     // One fused spec covers both port models: the engine
                     // fuses the pair into a single rendezvous transfer
                     // under unified ports, and runs the directions as two
@@ -445,7 +541,7 @@ impl AnalyticBackend {
                     TransferSpec {
                         src,
                         dst,
-                        busy_ns: params.exchange_sync_ns + fwd.max(rev),
+                        busy_ns,
                         lead_ns: 0,
                         fused: true,
                     }
@@ -455,26 +551,46 @@ impl AnalyticBackend {
                     // signal. The handshake of phase k+1 is prepared
                     // during phase k (double buffering), so only the
                     // first active phase pays it in full.
-                    let lead = if Some(k) == first_active {
-                        params.recv_post_ns
-                            + 2 * params.send_overhead_ns
-                            + params.transfer_ns(0, topo.hops(dst, src))
+                    let bytes = com.get(src.index(), dst.index());
+                    let (busy_ns, lead_ns) = if cost.is_uniform() {
+                        let lead = if Some(k) == first_active {
+                            params.recv_post_ns
+                                + 2 * params.send_overhead_ns
+                                + params.transfer_ns(0, topo.hops(dst, src))
+                        } else {
+                            params.send_overhead_ns
+                        };
+                        (params.transfer_ns(bytes, topo.hops(src, dst)), lead)
                     } else {
-                        params.send_overhead_ns
+                        let path = resolve_route(topo, cost, src, dst)?;
+                        claims.extend_from_slice(path.links());
+                        let lead = if Some(k) == first_active {
+                            // The zero-byte ready signal travels the
+                            // reverse circuit at its costed price.
+                            let rev_path = resolve_route(topo, cost, dst, src)?;
+                            params.recv_post_ns
+                                + 2 * params.send_overhead_ns
+                                + cost.transfer_ns(params, 0, rev_path.links())
+                        } else {
+                            params.send_overhead_ns
+                        };
+                        (cost.transfer_ns(params, bytes, path.links()), lead)
                     };
                     TransferSpec {
                         src,
                         dst,
-                        busy_ns: params
-                            .transfer_ns(com.get(src.index(), dst.index()), topo.hops(src, dst)),
-                        lead_ns: lead,
+                        busy_ns,
+                        lead_ns,
                         fused: false,
                     }
                 };
 
                 // One routing pass covers the max-plus step, the phase
-                // pool, and the busy totals.
-                simnet::analytic::route_claims(topo, &spec, &mut claims, &mut rev_scratch);
+                // pool, and the busy totals. (Costed specs filled their
+                // claims while resolving routes above.)
+                if cost.is_uniform() {
+                    simnet::analytic::route_claims(topo, &spec, &mut claims, &mut rev_scratch);
+                }
 
                 // The max-plus step.
                 let mut start = node_free[spec.src.index()].max(node_free[spec.dst.index()]);
@@ -506,7 +622,7 @@ impl AnalyticBackend {
             phase_end_ns.push(chain_ns.min(sum_ns));
         }
         let makespan_ns = chain_ns.min(sum_ns);
-        BackendReport {
+        Ok(BackendReport {
             makespan_ns,
             phase_end_ns,
             contention: ContentionStats {
@@ -515,7 +631,7 @@ impl AnalyticBackend {
                 contended_transfers,
                 contended_phases,
             },
-        }
+        })
     }
 }
 
@@ -535,15 +651,38 @@ impl AnalyticBackend {
         schedule: &Schedule,
         scheme: Scheme,
     ) -> Result<BackendReport, SimError> {
+        self.estimate_on_costed(params, &LinkCostModel::Uniform, topo, com, schedule, scheme)
+    }
+
+    /// [`AnalyticBackend::estimate_on`] under a [`LinkCostModel`]: the
+    /// analytic model prices every pool occupancy per-link, routing
+    /// around dead links where the topology offers a detour.
+    ///
+    /// The `uniform` model takes the exact legacy arithmetic path, so
+    /// its estimates are byte-identical to [`AnalyticBackend::estimate_on`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimBackend::estimate`]; additionally [`SimError::LinkDown`]
+    /// when a transfer's route crosses a dead link and no detour exists.
+    pub fn estimate_on_costed<T: Topology + ?Sized>(
+        &self,
+        params: &MachineParams,
+        cost: &LinkCostModel,
+        topo: &T,
+        com: &CommMatrix,
+        schedule: &Schedule,
+        scheme: Scheme,
+    ) -> Result<BackendReport, SimError> {
         params.validate().map_err(SimError::BadParams)?;
         check_shapes(topo, com, schedule)?;
         Self::check_phases(schedule)?;
-        Ok(match schedule.kind() {
+        match schedule.kind() {
             ScheduleKind::Async => {
                 // All messages form one pool (the AC program blasts them
                 // without ordering constraints).
                 let all: Vec<(NodeId, NodeId)> = com.messages().map(|(s, d, _)| (s, d)).collect();
-                self.estimate_pool(params, topo, com, &[all], false)
+                self.estimate_pool(params, cost, topo, com, &[all], false)
             }
             ScheduleKind::Phased => match scheme {
                 Scheme::S2 => {
@@ -552,11 +691,11 @@ impl AnalyticBackend {
                         .iter()
                         .map(|pm| pm.pairs().collect())
                         .collect();
-                    self.estimate_pool(params, topo, com, &phases, true)
+                    self.estimate_pool(params, cost, topo, com, &phases, true)
                 }
-                Scheme::S1 => self.estimate_s1(params, topo, com, schedule),
+                Scheme::S1 => self.estimate_s1(params, cost, topo, com, schedule),
             },
-        })
+        }
     }
 }
 
@@ -574,6 +713,18 @@ impl SimBackend for AnalyticBackend {
         scheme: Scheme,
     ) -> Result<BackendReport, SimError> {
         self.estimate_on(params, topo, com, schedule, scheme)
+    }
+
+    fn estimate_costed(
+        &self,
+        params: &MachineParams,
+        cost: &LinkCostModel,
+        topo: &dyn Topology,
+        com: &CommMatrix,
+        schedule: &Schedule,
+        scheme: Scheme,
+    ) -> Result<BackendReport, SimError> {
+        self.estimate_on_costed(params, cost, topo, com, schedule, scheme)
     }
 }
 

@@ -1,7 +1,7 @@
 use commcache::{CacheConfig, SchedCache};
 use commsched::{CommMatrix, I860CostModel, Schedule, Scheduler};
 use hypercube::Topology;
-use simnet::{MachineParams, SimError};
+use simnet::{LinkCostModel, MachineParams, SimError};
 use std::sync::{Arc, Mutex};
 use workloads::SampleSet;
 
@@ -80,6 +80,11 @@ pub struct ExperimentRunner {
     pub params: MachineParams,
     /// Cost model converting scheduler op counts to i860 milliseconds.
     pub cost_model: I860CostModel,
+    /// Per-link cost model pricing the fabric itself
+    /// ([`simnet::LinkCostModel`]): `uniform` (the default) reproduces
+    /// the historical numbers byte-for-byte; other presets add latency,
+    /// throttle bandwidth, or take links down per directed link.
+    pub link_costs: LinkCostModel,
     /// Simulation backend pricing every sample: the exact discrete-event
     /// engine (default) or the fast analytic model
     /// ([`crate::backend::BackendKind`]).
@@ -112,10 +117,20 @@ impl ExperimentRunner {
         ExperimentRunner {
             params: MachineParams::ipsc860(),
             cost_model: I860CostModel::default(),
+            link_costs: LinkCostModel::Uniform,
             backend: BackendKind::Des,
             threads: default_threads(),
             schedule_cache: None,
         }
+    }
+
+    /// Select the per-link cost model for every subsequent measurement.
+    /// [`LinkCostModel::Uniform`] (the default) is byte-identical to the
+    /// historical pricing; see [`LinkCostModel::parse`] for the preset
+    /// grammar (`loggp:...`, `hetero:...`, `faulty:...`).
+    pub fn with_link_costs(mut self, link_costs: LinkCostModel) -> Self {
+        self.link_costs = link_costs;
+        self
     }
 
     /// Select the simulation backend for every subsequent measurement.
@@ -285,15 +300,29 @@ impl ExperimentRunner {
         let com = gen(seed);
         let schedule = sched(&com, seed);
         measure_sample(
-            &self.params,
-            &self.cost_model,
-            self.backend,
+            &Pricing {
+                params: &self.params,
+                cost_model: &self.cost_model,
+                link_costs: &self.link_costs,
+                backend: self.backend,
+            },
             topo,
             &com,
             &schedule,
             scheme,
         )
     }
+}
+
+/// How one sample is priced: the machine calibration, the i860
+/// scheduling-cost model, the link-cost overlay, and the backend doing
+/// the pricing. Assembled per cell by [`ExperimentRunner::run_cell`]
+/// and the grid executor (which resolves per-column overrides first).
+pub(crate) struct Pricing<'a> {
+    pub(crate) params: &'a MachineParams,
+    pub(crate) cost_model: &'a I860CostModel,
+    pub(crate) link_costs: &'a LinkCostModel,
+    pub(crate) backend: BackendKind,
 }
 
 /// Schedule-to-numbers for one already-generated sample: price the
@@ -306,21 +335,29 @@ impl ExperimentRunner {
 /// are bit-identical to every release before backends existed.
 /// [`BackendKind::Analytic`] skips program compilation entirely.
 pub(crate) fn measure_sample<T: Topology + ?Sized>(
-    params: &MachineParams,
-    cost_model: &I860CostModel,
-    backend: BackendKind,
+    pricing: &Pricing<'_>,
     topo: &T,
     com: &CommMatrix,
     schedule: &Schedule,
     scheme: Scheme,
 ) -> Result<SampleOutcome, SimError> {
+    let Pricing {
+        params,
+        cost_model,
+        link_costs,
+        backend,
+    } = *pricing;
     let comm_ms = match backend {
         BackendKind::Des => {
             let programs = compile(com, schedule, scheme);
-            simnet::simulate(topo, params, programs)?.makespan_ms()
+            if link_costs.is_uniform() {
+                simnet::simulate(topo, params, programs)?.makespan_ms()
+            } else {
+                simnet::simulate_costed(topo, params, link_costs, programs)?.makespan_ms()
+            }
         }
         BackendKind::Analytic => AnalyticBackend::default()
-            .estimate_on(params, topo, com, schedule, scheme)?
+            .estimate_on_costed(params, link_costs, topo, com, schedule, scheme)?
             .makespan_ms(),
     };
     Ok(SampleOutcome {

@@ -42,11 +42,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use commsched::{CommMatrix, Scheduler};
 use hypercube::Topology;
-use simnet::SimError;
+use simnet::{LinkCostModel, SimError};
 use workloads::{Generator, SampleSet};
 
 use crate::backend::BackendKind;
-use crate::experiment::{measure_sample, SampleOutcome};
+use crate::experiment::{measure_sample, Pricing, SampleOutcome};
 use crate::{CellRecord, CellResult, ExperimentRunner, Scheme};
 
 mod executor;
@@ -113,6 +113,7 @@ pub struct GridColumn {
     scheduler: SchedulerHandle,
     scheme: Scheme,
     backend: Option<BackendKind>,
+    cost_model: Option<LinkCostModel>,
 }
 
 impl GridColumn {
@@ -125,6 +126,7 @@ impl GridColumn {
             scheduler,
             scheme,
             backend: None,
+            cost_model: None,
         }
     }
 
@@ -140,6 +142,15 @@ impl GridColumn {
     /// backends make a differential grid (the `simcheck` harness's shape).
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Pin this column to a per-link cost model
+    /// ([`simnet::LinkCostModel`]), overriding the grid runner's. One
+    /// scheduler under `uniform` and under `faulty:p=0.05,seed=7` as two
+    /// columns is a degradation grid — the fault-sweep figure's shape.
+    pub fn with_cost_model(mut self, cost_model: LinkCostModel) -> Self {
+        self.cost_model = Some(cost_model);
         self
     }
 
@@ -164,9 +175,23 @@ impl GridColumn {
         self.backend.unwrap_or(default)
     }
 
+    /// This column's link-cost override (`None` = the runner's default).
+    pub fn cost_model(&self) -> Option<&LinkCostModel> {
+        self.cost_model.as_ref()
+    }
+
+    /// The link-cost model this column resolves to under a runner
+    /// defaulting to `default`.
+    pub fn cost_model_for(&self, default: LinkCostModel) -> LinkCostModel {
+        self.cost_model.unwrap_or(default)
+    }
+
     /// Column label: the scheduler name, qualified with the scheme when
-    /// it differs from the scheduler's paper default and with the backend
-    /// when the column pins one (`RS_NL[S2]@analytic`).
+    /// it differs from the scheduler's paper default, with the backend
+    /// when the column pins one (`RS_NL[S2]@analytic`), and with the
+    /// cost-model preset when the column pins a non-uniform one
+    /// (`RS_NL+faulty:p=0.05,seed=7`). Uniform-cost labels are unchanged
+    /// from every release before cost models existed.
     pub fn label(&self) -> String {
         let name = self.scheduler.entry().name();
         let mut label = if self.scheme == Scheme::for_scheduler(self.scheduler.entry()) {
@@ -177,6 +202,12 @@ impl GridColumn {
         if let Some(backend) = self.backend {
             label.push('@');
             label.push_str(backend.label());
+        }
+        if let Some(cm) = &self.cost_model {
+            if !cm.is_uniform() {
+                label.push('+');
+                label.push_str(&cm.to_string());
+            }
         }
         label
     }
@@ -444,6 +475,9 @@ pub struct ExperimentGrid {
     /// cannot matter: `with_runner` after `with_backend` does not reset
     /// the choice.
     backend: Option<BackendKind>,
+    /// Grid-level link-cost override; same builder-order discipline as
+    /// `backend`.
+    link_costs: Option<LinkCostModel>,
 }
 
 impl Default for ExperimentGrid {
@@ -463,6 +497,7 @@ impl ExperimentGrid {
             topologies: Vec::new(),
             samples: 1,
             backend: None,
+            link_costs: None,
         }
     }
 
@@ -505,6 +540,21 @@ impl ExperimentGrid {
     /// set, otherwise the runner's.
     pub fn default_backend(&self) -> BackendKind {
         self.backend.unwrap_or(self.runner.backend)
+    }
+
+    /// Set the default per-link cost model for every column that does not
+    /// pin its own ([`GridColumn::with_cost_model`]). The repro binaries
+    /// wire this to the `IPSC_COSTMODEL` environment variable. Same
+    /// builder-order discipline as [`ExperimentGrid::with_backend`].
+    pub fn with_link_costs(mut self, link_costs: LinkCostModel) -> Self {
+        self.link_costs = Some(link_costs);
+        self
+    }
+
+    /// The link-cost model grid cells default to: the grid-level override
+    /// when set, otherwise the runner's.
+    pub fn default_link_costs(&self) -> LinkCostModel {
+        self.link_costs.unwrap_or(self.runner.link_costs)
     }
 
     /// Samples aggregated per cell.
@@ -666,9 +716,12 @@ impl ExperimentGrid {
                     None => Arc::new(entry.schedule(&com, topo, seed)),
                 };
                 measure_sample(
-                    &self.runner.params,
-                    &self.runner.cost_model,
-                    spec.column.backend_for(self.default_backend()),
+                    &Pricing {
+                        params: &self.runner.params,
+                        cost_model: &self.runner.cost_model,
+                        link_costs: &spec.column.cost_model_for(self.default_link_costs()),
+                        backend: spec.column.backend_for(self.default_backend()),
+                    },
                     spec.topology.as_ref(),
                     &com,
                     &schedule,

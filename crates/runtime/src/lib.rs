@@ -72,3 +72,4 @@ pub use report::{
     read_json, write_csv, write_grid_json, write_grid_markdown, write_json, CellRecord,
 };
 pub use scheme::Scheme;
+pub use simnet::{CostModelError, LinkCostModel};

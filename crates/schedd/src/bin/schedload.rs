@@ -229,6 +229,7 @@ fn run_connection(
                     seed: base.seed,
                     base: keys[pick],
                     delta: drifted_delta(&base.matrix, mix(salt ^ 0xDE17A)),
+                    cost_model: base.cost_model,
                 })
             } else {
                 let mut req = pool[pick].clone();
@@ -299,6 +300,7 @@ fn main() -> ExitCode {
             backend: opts.backend,
             seed: i as u64,
             matrix: Generator::dregular(n, opts.degree.min(n - 1), opts.bytes).generate(i as u64),
+            cost_model: schedd::LinkCostModel::Uniform,
         })
         .collect();
     let topo = TopologySpec::Hypercube { dims: opts.dims }.build();

@@ -56,3 +56,4 @@ pub use protocol::{
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerHandle};
 pub use service::{ServiceConfig, ServiceError, ServiceState};
+pub use simnet::{CostModelError, LinkCostModel};

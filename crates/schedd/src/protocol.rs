@@ -37,6 +37,7 @@ use commcache::{Fingerprint, InstanceKey};
 use commrt::{BackendKind, BackendReport, ContentionStats, Scheme};
 use commsched::{CommMatrix, MatrixDelta, Schedule, Scheduler};
 use hypercube::{Hypercube, Mesh2d, NodeId, Topology};
+use simnet::LinkCostModel;
 
 /// Leading magic of every frame; the trailing `1` is the protocol
 /// version, so a future layout change is a new magic, not an ambiguity.
@@ -49,6 +50,9 @@ pub const MAX_BODY_LEN: u32 = 32 << 20;
 
 /// Longest accepted scheduler name.
 pub const MAX_NAME_LEN: usize = 64;
+
+/// Longest accepted canonical link-cost-model string.
+pub const MAX_COSTMODEL_LEN: usize = 128;
 
 /// Default for [`ProtocolLimits::max_request_nodes`]: large enough for
 /// every paper-scale request, small enough that a hostile header cannot
@@ -435,34 +439,81 @@ pub enum TopologySpec {
 }
 
 impl TopologySpec {
-    /// Number of nodes the spec describes.
+    /// Number of nodes the spec describes, saturating at `usize::MAX`.
+    ///
+    /// Hand-built specs are not bounded by [`ProtocolLimits`], so the
+    /// arithmetic here must never overflow: a hostile
+    /// `torus(4294967295x4294967295x…)` saturates instead of panicking,
+    /// and the decode-side comparison against the matrix node count then
+    /// rejects it as a typed mismatch.
     pub fn num_nodes(&self) -> usize {
         match self {
-            TopologySpec::Hypercube { dims } => 1usize << dims,
-            TopologySpec::Mesh2d { rows, cols } => *rows as usize * *cols as usize,
-            TopologySpec::Torus { extents } => {
-                extents.iter().map(|&k| k as usize).product::<usize>()
-            }
+            TopologySpec::Hypercube { dims } => 1usize.checked_shl(*dims).unwrap_or(usize::MAX),
+            TopologySpec::Mesh2d { rows, cols } => (*rows as usize).saturating_mul(*cols as usize),
+            TopologySpec::Torus { extents } => extents
+                .iter()
+                .try_fold(1usize, |acc, &k| acc.checked_mul(k as usize))
+                .unwrap_or(usize::MAX),
             TopologySpec::FatTree { k } => {
                 let k = *k as usize;
-                k * k * k / 4
+                k.saturating_mul(k).saturating_mul(k) / 4
             }
         }
     }
 
-    /// Materialize the topology.
-    pub fn build(&self) -> Box<dyn Topology> {
+    /// Materialize the topology, surfacing impossible specs as typed
+    /// errors instead of panicking in the builders.
+    ///
+    /// Specs that came through [`Request::decode`] have already passed
+    /// the [`ProtocolLimits`] bounds and cannot fail here; hand-built
+    /// specs (tests, embedding code) get the same hardening the decoder
+    /// provides.
+    pub fn try_build(&self) -> Result<Box<dyn Topology>, DecodeError> {
         match self {
-            TopologySpec::Hypercube { dims } => Box::new(Hypercube::new(*dims)),
+            TopologySpec::Hypercube { dims } => {
+                // Mirror `Hypercube::new`'s own bound so its assert can
+                // never fire on a hand-built spec.
+                if !(1..=20).contains(dims) {
+                    return Err(DecodeError::BadValue {
+                        field: "topology.dims",
+                        value: (*dims).into(),
+                    });
+                }
+                Ok(Box::new(Hypercube::new(*dims)))
+            }
             TopologySpec::Mesh2d { rows, cols } => {
-                Box::new(Mesh2d::new(*rows as usize, *cols as usize))
+                let nodes = u64::from(*rows) * u64::from(*cols);
+                // Mirror `Mesh2d::new`'s bounds: positive extents, node
+                // count within u32.
+                if *rows == 0 || *cols == 0 || nodes > u64::from(u32::MAX) {
+                    return Err(DecodeError::BadValue {
+                        field: "topology.mesh",
+                        value: nodes,
+                    });
+                }
+                Ok(Box::new(Mesh2d::new(*rows as usize, *cols as usize)))
             }
             TopologySpec::Torus { extents } => {
                 let extents: Vec<usize> = extents.iter().map(|&k| k as usize).collect();
-                Box::new(topo::Torus::new(&extents))
+                topo::Torus::try_new(&extents)
+                    .map(|t| Box::new(t) as Box<dyn Topology>)
+                    .map_err(|e| DecodeError::Invalid(format!("{self}: {e}")))
             }
-            TopologySpec::FatTree { k } => Box::new(topo::FatTree::new(*k as usize)),
+            TopologySpec::FatTree { k } => topo::FatTree::try_new(*k as usize)
+                .map(|t| Box::new(t) as Box<dyn Topology>)
+                .map_err(|e| DecodeError::Invalid(format!("{self}: {e}"))),
         }
+    }
+
+    /// Materialize the topology.
+    ///
+    /// # Panics
+    ///
+    /// On specs no builder can realize (see [`try_build`](Self::try_build)
+    /// for the fallible form). Decoded specs never panic here.
+    pub fn build(&self) -> Box<dyn Topology> {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("unbuildable topology spec {self}: {e}"))
     }
 
     fn encode(&self, out: &mut Vec<u8>) {
@@ -683,6 +734,15 @@ pub struct SubmitRequest {
     pub seed: u64,
     /// The communication matrix.
     pub matrix: CommMatrix,
+    /// Per-link cost model pricing the estimate.
+    ///
+    /// Travels as a **trailing optional field**: uniform requests encode
+    /// nothing (byte-identical to the pre-cost-model wire format, so old
+    /// daemons still serve them), non-uniform models append their
+    /// canonical string, which old daemons reject as
+    /// [`DecodeError::TrailingBytes`] — a typed error, not a silent
+    /// mis-price.
+    pub cost_model: LinkCostModel,
 }
 
 impl SubmitRequest {
@@ -703,6 +763,9 @@ impl SubmitRequest {
             out.extend_from_slice(&src.0.to_le_bytes());
             out.extend_from_slice(&dst.0.to_le_bytes());
             out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        if !self.cost_model.is_uniform() {
+            put_str(&mut out, &self.cost_model.to_string());
         }
         out
     }
@@ -789,6 +852,7 @@ impl SubmitRequest {
             }
             matrix.set(src, dst, bytes);
         }
+        let cost_model = decode_cost_model(rd)?;
         Ok(SubmitRequest {
             request_id,
             want_schedule,
@@ -798,8 +862,21 @@ impl SubmitRequest {
             backend,
             seed,
             matrix,
+            cost_model,
         })
     }
+}
+
+/// Decode the trailing optional cost-model field: absent means uniform
+/// (the pre-cost-model wire format), present means a canonical string
+/// validated by the [`LinkCostModel`] grammar.
+fn decode_cost_model(rd: &mut Rd<'_>) -> Result<LinkCostModel, DecodeError> {
+    if rd.remaining() == 0 {
+        return Ok(LinkCostModel::Uniform);
+    }
+    let s = rd.str("cost_model", MAX_COSTMODEL_LEN)?;
+    s.parse()
+        .map_err(|e| DecodeError::Invalid(format!("cost model {s:?}: {e}")))
 }
 
 /// A schedule request expressed as an **edit list against a base the
@@ -834,6 +911,9 @@ pub struct SubmitDeltaRequest {
     pub base: InstanceKey,
     /// The edits.
     pub delta: MatrixDelta,
+    /// Per-link cost model pricing the estimate (trailing optional
+    /// field; see [`SubmitRequest::cost_model`]).
+    pub cost_model: LinkCostModel,
 }
 
 impl SubmitDeltaRequest {
@@ -866,6 +946,9 @@ impl SubmitDeltaRequest {
             out.extend_from_slice(&src.0.to_le_bytes());
             out.extend_from_slice(&dst.0.to_le_bytes());
             out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        if !self.cost_model.is_uniform() {
+            put_str(&mut out, &self.cost_model.to_string());
         }
         out
     }
@@ -959,6 +1042,7 @@ impl SubmitDeltaRequest {
         // the daemon's apply path.
         let delta = MatrixDelta::from_parts(n, added, removed, resized)
             .map_err(|e| DecodeError::Invalid(e.to_string()))?;
+        let cost_model = decode_cost_model(rd)?;
         Ok(SubmitDeltaRequest {
             request_id,
             want_schedule,
@@ -969,6 +1053,7 @@ impl SubmitDeltaRequest {
             seed,
             base,
             delta,
+            cost_model,
         })
     }
 }
@@ -1525,6 +1610,7 @@ mod tests {
             backend: BackendKind::Des,
             seed: 9,
             matrix,
+            cost_model: LinkCostModel::Uniform,
         }
     }
 
@@ -1639,8 +1725,18 @@ mod tests {
             Request::decode(&mismatched.encode()),
             Err(DecodeError::Invalid(_))
         ));
-        // Unknown trailing bytes.
-        let mut trailing = good.clone();
+        // A torn trailing field (the optional cost model needs at least
+        // a length prefix) is truncation, not silent acceptance.
+        let mut torn = good.clone();
+        torn.push(0);
+        assert!(matches!(
+            Request::decode(&torn),
+            Err(DecodeError::Truncated)
+        ));
+        // Bytes after a complete cost-model field are trailing garbage.
+        let mut req = sample_request();
+        req.cost_model = "faulty:p=0.05,seed=3".parse().unwrap();
+        let mut trailing = req.encode();
         trailing.push(0);
         assert!(matches!(
             Request::decode(&trailing),
@@ -1671,6 +1767,7 @@ mod tests {
             backend: BackendKind::Analytic,
             seed: 1,
             matrix,
+            cost_model: LinkCostModel::Uniform,
         });
         let body = req.encode();
         assert!(matches!(
@@ -1765,6 +1862,7 @@ mod tests {
                 backend: BackendKind::Analytic,
                 seed: 0,
                 matrix: com,
+                cost_model: LinkCostModel::Uniform,
             });
             let body = req.encode();
             assert_eq!(Request::decode_with(&body, &limits).unwrap(), req);
@@ -1828,5 +1926,112 @@ mod tests {
                 other => panic!("expected typed error for {want_field}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn hostile_specs_saturate_num_nodes_instead_of_overflowing() {
+        // Hand-built specs bypass the decode limits entirely; the
+        // arithmetic itself must be total. Each of these used to
+        // overflow (debug panic / silent wrap in release).
+        let overflowing = [
+            TopologySpec::Hypercube { dims: u32::MAX },
+            TopologySpec::Hypercube { dims: 64 },
+            TopologySpec::Torus {
+                extents: vec![u32::MAX; 8],
+            },
+            TopologySpec::Torus {
+                extents: vec![1 << 22, 1 << 22, 1 << 22],
+            },
+        ];
+        for spec in &overflowing {
+            assert_eq!(spec.num_nodes(), usize::MAX, "{spec}");
+        }
+        // The worst mesh still fits 64-bit usize exactly (the overflow
+        // was a 32-bit hazard); saturating_mul computes it precisely.
+        let mesh = TopologySpec::Mesh2d {
+            rows: u32::MAX,
+            cols: u32::MAX,
+        };
+        assert_eq!(
+            mesh.num_nodes(),
+            (u32::MAX as usize).saturating_mul(u32::MAX as usize)
+        );
+        // FatTree k is capped at u32, k³/4 saturates rather than wraps.
+        let ft = TopologySpec::FatTree { k: u32::MAX };
+        assert!(ft.num_nodes() >= usize::MAX / 4);
+        // Sane specs are untouched by the checked arithmetic.
+        assert_eq!(TopologySpec::Hypercube { dims: 10 }.num_nodes(), 1024);
+    }
+
+    #[test]
+    fn unbuildable_specs_are_typed_errors_not_panics() {
+        let cases = [
+            TopologySpec::Hypercube { dims: 0 },
+            TopologySpec::Hypercube { dims: u32::MAX },
+            TopologySpec::Mesh2d { rows: 0, cols: 4 },
+            TopologySpec::Torus {
+                extents: vec![u32::MAX; 8],
+            },
+            TopologySpec::Torus { extents: vec![] },
+            TopologySpec::FatTree { k: 7 },
+            TopologySpec::FatTree { k: u32::MAX },
+        ];
+        for spec in cases {
+            assert!(spec.try_build().is_err(), "{spec} should not build");
+        }
+    }
+
+    #[test]
+    fn cost_model_rides_the_wire_and_uniform_stays_byte_identical() {
+        // Uniform encodes nothing: the frame is byte-for-byte the
+        // pre-cost-model format, so old daemons keep serving it.
+        let uniform = sample_request();
+        let mut legacy = uniform.clone();
+        legacy.cost_model = LinkCostModel::Uniform;
+        assert_eq!(uniform.encode(), legacy.encode());
+        match Request::decode(&uniform.encode()).unwrap() {
+            Request::Submit(req) => assert!(req.cost_model.is_uniform()),
+            other => panic!("expected submit, got {other:?}"),
+        }
+        // Non-uniform models roundtrip through their canonical string.
+        for model in [
+            "loggp:o=75000,g=10000,G=1.5",
+            "hetero:factor=4.0,frac=0.1,lat=2000,seed=9",
+            "faulty:p=0.05,seed=42",
+        ] {
+            let mut req = sample_request();
+            req.cost_model = model.parse().unwrap();
+            let decoded = Request::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, Request::Submit(req));
+        }
+    }
+
+    #[test]
+    fn hostile_cost_model_strings_are_typed_errors() {
+        let mut body = sample_request().encode();
+        // A syntactically valid string field that fails the grammar.
+        let junk = b"faulty:p=fast";
+        body.extend_from_slice(&(junk.len() as u32).to_le_bytes());
+        body.extend_from_slice(junk);
+        assert!(matches!(
+            Request::decode(&body),
+            Err(DecodeError::Invalid(msg)) if msg.contains("cost model")
+        ));
+        // A length prefix pointing past the body is truncation.
+        let mut torn = sample_request().encode();
+        torn.extend_from_slice(&64u32.to_le_bytes());
+        torn.extend_from_slice(b"faulty:");
+        assert!(matches!(
+            Request::decode(&torn),
+            Err(DecodeError::Truncated)
+        ));
+        // An oversized claimed length trips the string bomb guard
+        // before any allocation proportional to it.
+        let mut bomb = sample_request().encode();
+        bomb.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bomb),
+            Err(DecodeError::BadString("cost_model"))
+        ));
     }
 }

@@ -258,6 +258,7 @@ impl ServiceState {
             backend: req.backend,
             seed: req.seed,
             matrix,
+            cost_model: req.cost_model,
         })
     }
 
@@ -359,14 +360,27 @@ impl ServiceState {
         }
 
         let scheme = req.scheme.resolve(entry);
-        let estimate_key = (fp.0, scheme as u8, req.backend as u8);
+        // Schedules are cost-model agnostic (the scheduler never sees
+        // link prices), so `fp` stays the cache/dedup key above. The
+        // *estimate* is not: fold the canonical cost string into the
+        // memo key via the fingerprint extension — the identity for
+        // uniform, so pre-cost-model keys are unchanged.
+        let est_fp = fp.with_cost_model(&req.cost_model.to_string());
+        let estimate_key = (est_fp.0, scheme as u8, req.backend as u8);
         let estimate = match self.estimates.get(estimate_key) {
             Some(report) => report,
             None => {
                 let report = req
                     .backend
                     .backend()
-                    .estimate(&self.params, topo.as_ref(), &req.matrix, &schedule, scheme)
+                    .estimate_costed(
+                        &self.params,
+                        &req.cost_model,
+                        topo.as_ref(),
+                        &req.matrix,
+                        &schedule,
+                        scheme,
+                    )
                     .map_err(|e| ServiceError::Sim(e.to_string()))?;
                 let report = Arc::new(report);
                 self.estimates.insert(estimate_key, Arc::clone(&report));
@@ -390,6 +404,7 @@ mod tests {
     use crate::protocol::{SchemeChoice, TopologySpec};
     use commrt::{BackendKind, Scheme};
     use commsched::CommMatrix;
+    use simnet::LinkCostModel;
 
     fn request(seed: u64, backend: BackendKind) -> SubmitRequest {
         let mut matrix = CommMatrix::new(8);
@@ -405,6 +420,7 @@ mod tests {
             backend,
             seed,
             matrix,
+            cost_model: LinkCostModel::Uniform,
         }
     }
 
@@ -457,6 +473,26 @@ mod tests {
         assert_eq!(state.compiles(), 1);
         let (_, est_misses) = state.estimate_stats();
         assert_eq!(est_misses, 2);
+    }
+
+    #[test]
+    fn cost_models_share_the_compile_not_the_estimate() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let uniform = state.process(&request(5, BackendKind::Analytic)).unwrap();
+        let mut priced = request(5, BackendKind::Analytic);
+        priced.cost_model = "loggp:o=5000,g=1000,G=2.0".parse().unwrap();
+        let costed = state.process(&priced).unwrap();
+        // One compile: the schedule is cost-model agnostic.
+        assert_eq!(state.compiles(), 1);
+        assert_eq!(uniform.fingerprint, costed.fingerprint);
+        // Two estimate-cache entries: pricing is not.
+        let (_, est_misses) = state.estimate_stats();
+        assert_eq!(est_misses, 2);
+        assert!(costed.estimate.makespan_ns > uniform.estimate.makespan_ns);
+        // Repeats of the priced request hit the costed memo entry.
+        let again = state.process(&priced).unwrap();
+        assert_eq!(again.estimate, costed.estimate);
+        assert_eq!(state.estimate_stats().0, 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn pinned_requests() -> Vec<SubmitRequest> {
                     backend,
                     seed: 1000 + u64::from(dims),
                     matrix: matrix.clone(),
+                    cost_model: schedd::LinkCostModel::Uniform,
                 });
             }
         }
@@ -190,6 +191,7 @@ fn delta_submits_are_byte_identical_to_full_submits() {
                     backend: BackendKind::Des,
                     seed: 7,
                     matrix: base.clone(),
+                    cost_model: schedd::LinkCostModel::Uniform,
                 })
                 .expect("base submit");
         }
@@ -207,6 +209,7 @@ fn delta_submits_are_byte_identical_to_full_submits() {
                 seed: 7,
                 base: base_key,
                 delta: delta.clone(),
+                cost_model: schedd::LinkCostModel::Uniform,
             }))
             .expect("send delta");
         let via_delta = client_a.recv().expect("delta reply");
@@ -221,6 +224,7 @@ fn delta_submits_are_byte_identical_to_full_submits() {
                 backend: BackendKind::Des,
                 seed: 7,
                 matrix: target.clone(),
+                cost_model: schedd::LinkCostModel::Uniform,
             }))
             .expect("send full");
         let via_full = client_b.recv().expect("full reply");
@@ -265,6 +269,7 @@ fn delta_submits_are_byte_identical_to_full_submits() {
             seed: 7,
             base: bogus,
             delta: delta.clone(),
+            cost_model: schedd::LinkCostModel::Uniform,
         })
         .expect_err("unknown base must not be served");
     match err {
@@ -291,6 +296,7 @@ fn delta_submits_are_byte_identical_to_full_submits() {
             seed: 7,
             base: base_key,
             delta,
+            cost_model: schedd::LinkCostModel::Uniform,
         })
         .expect_err("non-incremental daemon must decline deltas");
     match err {
@@ -343,6 +349,7 @@ fn torus_and_fattree_submits_conform_too() {
                     backend,
                     seed: 7,
                     matrix: matrix.clone(),
+                    cost_model: schedd::LinkCostModel::Uniform,
                 };
                 if !supported {
                     let err = client
@@ -433,6 +440,7 @@ fn explicit_scheme_choices_conform_too() {
                 backend,
                 seed: 0,
                 matrix: matrix.clone(),
+                cost_model: schedd::LinkCostModel::Uniform,
             };
             let reply = client.submit(req.clone()).expect("submit succeeds");
             let entry = registry::find("AC").unwrap();

@@ -33,6 +33,7 @@ fn request(seed: u64) -> SubmitRequest {
         backend: BackendKind::Analytic,
         seed,
         matrix: workloads::Generator::dregular(8, 3, 512).generate(seed),
+        cost_model: schedd::LinkCostModel::Uniform,
     }
 }
 

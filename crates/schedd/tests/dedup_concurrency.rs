@@ -24,6 +24,7 @@ fn request(dims: u32, seed: u64) -> SubmitRequest {
         backend: BackendKind::Analytic,
         seed,
         matrix: workloads::Generator::dregular(n, 4.min(n - 1), 1024).generate(seed),
+        cost_model: schedd::LinkCostModel::Uniform,
     }
 }
 

@@ -13,9 +13,21 @@ use commsched::{registry, CommMatrix, MatrixDelta};
 use proptest::prelude::*;
 use schedd::{
     read_frame, write_frame, DaemonStats, DecodeError, ErrorCode, ErrorReply, FrameError,
-    ProtocolLimits, Request, Response, SchemeChoice, SubmitDeltaRequest, SubmitReply,
-    SubmitRequest, TopologySpec,
+    LinkCostModel, ProtocolLimits, Request, Response, SchemeChoice, SubmitDeltaRequest,
+    SubmitReply, SubmitRequest, TopologySpec,
 };
+
+/// The four cost-model kinds, cycled through the property tests.
+fn cost_model_from(idx: usize) -> LinkCostModel {
+    [
+        LinkCostModel::Uniform,
+        "loggp:o=75000,g=10000,G=1.5".parse().unwrap(),
+        "hetero:factor=4.0,frac=0.1,lat=2000,seed=9"
+            .parse()
+            .unwrap(),
+        "faulty:p=0.05,seed=42".parse().unwrap(),
+    ][idx % 4]
+}
 
 /// Sparse matrix on `n = 2^dim` nodes from raw triples.
 fn matrix_from(dim: u32, cells: &[(usize, usize, u32)]) -> CommMatrix {
@@ -51,6 +63,7 @@ proptest! {
         request_id in 0u64..u64::MAX,
         scheme_idx in 0usize..3,
         want_flag in 0u8..2,
+        cost_idx in 0usize..4,
     ) {
         let matrix = matrix_from(dim, &cells);
         let want_schedule = want_flag == 1;
@@ -65,6 +78,7 @@ proptest! {
                     backend,
                     seed,
                     matrix: matrix.clone(),
+                    cost_model: cost_model_from(cost_idx),
                 });
                 // Through the full framing layer, not just the body.
                 let wire = frame(&req.encode());
@@ -142,16 +156,28 @@ proptest! {
                 seed,
                 base: key,
                 delta: delta.clone(),
+                cost_model: cost_model_from(scheme_idx),
             });
             let wire = frame(&req.encode());
             let body = read_frame(&mut wire.as_slice())
                 .expect("well-formed frame")
                 .expect("not EOF");
-            prop_assert_eq!(Request::decode(&body).expect("decode"), req);
+            prop_assert_eq!(Request::decode(&body).expect("decode"), req.clone());
             // Cutting the body at any offset must be a typed error,
-            // never a panic and never a silently-shorter delta.
-            let cut = (body.len() - 1) * cut_pct / 100;
-            prop_assert!(Request::decode(&body[..cut]).is_err());
+            // never a panic and never a silently-shorter delta. Run on
+            // the uniform encoding: for non-uniform requests a cut at
+            // the optional cost-field boundary is, by design, a valid
+            // shorter (uniform) request, not a malformation.
+            let plain = match &req {
+                Request::SubmitDelta(r) => {
+                    let mut r = r.clone();
+                    r.cost_model = LinkCostModel::Uniform;
+                    r.encode()
+                }
+                _ => unreachable!(),
+            };
+            let cut = (plain.len() - 1) * cut_pct / 100;
+            prop_assert!(Request::decode(&plain[..cut]).is_err());
         }
     }
 
@@ -175,6 +201,7 @@ proptest! {
             backend: BackendKind::Analytic,
             seed,
             matrix: matrix_from(dim, &cells),
+            cost_model: LinkCostModel::Uniform,
         });
         let wire = frame(&req.encode());
         let body = read_frame(&mut wire.as_slice()).unwrap().unwrap();
@@ -249,6 +276,9 @@ proptest! {
             backend: BackendKind::Des,
             seed: 7,
             matrix: matrix_from(4, &cells),
+            // Uniform on purpose: a non-uniform body cut exactly at the
+            // optional cost-field boundary is a valid shorter request.
+            cost_model: LinkCostModel::Uniform,
         });
         let wire = frame(&req.encode());
         let cut = (wire.len() - 1) * cut_pct / 100;
@@ -270,6 +300,54 @@ proptest! {
     }
 
     #[test]
+    fn hostile_topology_arithmetic_never_panics(
+        extents in proptest::collection::vec(0u32..=u32::MAX, 0..16),
+        rows in 0u32..=u32::MAX,
+        cols in 0u32..=u32::MAX,
+        dims in 0u32..=u32::MAX,
+        k in 0u32..=u32::MAX,
+        max_nodes in 1u64..=u64::MAX,
+    ) {
+        // Hand-built specs bypass decode limits entirely: the node
+        // arithmetic and the builders must be total. `num_nodes` used to
+        // overflow on u32::MAX-extent tori (the protocol.rs:442 panic);
+        // now it saturates and `try_build` types the rejection.
+        let specs = [
+            TopologySpec::Torus { extents: extents.clone() },
+            TopologySpec::Mesh2d { rows, cols },
+            TopologySpec::Hypercube { dims },
+            TopologySpec::FatTree { k },
+        ];
+        for spec in &specs {
+            let _ = spec.num_nodes();
+            let _ = spec.try_build();
+        }
+
+        // The same hostility on the wire: a Submit prefix carrying the
+        // raw extents must decode to a typed error (or a legal spec),
+        // never a panic — under the default limits and under a daemon
+        // that raised --max-nodes arbitrarily high.
+        let mut torus = vec![2u8];
+        torus.extend_from_slice(&(extents.len() as u32).to_le_bytes());
+        for &e in &extents {
+            torus.extend_from_slice(&e.to_le_bytes());
+        }
+        let mut mesh = vec![1u8];
+        mesh.extend_from_slice(&rows.to_le_bytes());
+        mesh.extend_from_slice(&cols.to_le_bytes());
+        let raised = ProtocolLimits::with_max_nodes(max_nodes);
+        for topo_bytes in [torus, mesh] {
+            let mut body = vec![0x01u8]; // Submit
+            body.extend_from_slice(&1u64.to_le_bytes()); // request_id
+            body.push(0); // want_schedule
+            body.extend_from_slice(&topo_bytes);
+            // Truncated after the topology: any outcome but a panic.
+            let _ = Request::decode(&body);
+            let _ = Request::decode_with(&body, &raised);
+        }
+    }
+
+    #[test]
     fn single_byte_corruption_is_always_caught(
         victim in 0usize..100_000,
         flip in 1u8..=255,
@@ -284,6 +362,7 @@ proptest! {
             backend: BackendKind::Analytic,
             seed: 3,
             matrix: matrix_from(4, &cells),
+            cost_model: cost_model_from(cells.len()),
         });
         let mut wire = frame(&req.encode());
         let at = victim % wire.len();
@@ -386,6 +465,7 @@ fn delta_semantic_garbage_is_invalid_not_panic() {
         seed: 0,
         base: InstanceKey::compute(&base, cube.as_ref()),
         delta,
+        cost_model: LinkCostModel::Uniform,
     };
     let body = req.encode();
     assert_eq!(
@@ -450,6 +530,7 @@ fn semantic_garbage_is_invalid_not_panic() {
         backend: BackendKind::Des,
         seed: 0,
         matrix: CommMatrix::new(8),
+        cost_model: LinkCostModel::Uniform,
     };
     base.matrix.set(0, 1, 64);
     // A topology/matrix size mismatch on the wire is rejected at decode.
@@ -466,7 +547,9 @@ fn semantic_garbage_is_invalid_not_panic() {
         Request::decode(&mesh.encode()).unwrap(),
         Request::Submit(mesh)
     );
-    // Unknown kinds and trailing bytes are typed.
+    // Unknown kinds and torn trailing fields are typed. (A single
+    // trailing byte reads as a torn optional cost-model field, so it is
+    // truncation rather than trailing garbage.)
     assert!(matches!(
         Request::decode(&[0x55]),
         Err(DecodeError::BadKind(0x55))
@@ -475,7 +558,7 @@ fn semantic_garbage_is_invalid_not_panic() {
     trailing.push(0xFF);
     assert!(matches!(
         Request::decode(&trailing),
-        Err(DecodeError::TrailingBytes)
+        Err(DecodeError::Truncated)
     ));
     assert!(matches!(Request::decode(&[]), Err(DecodeError::Truncated)));
 }

@@ -3,7 +3,7 @@
 //! completion. A second `impl` block of the driver's `Sim`, split out so
 //! `sim.rs` stays the thin program-execution loop.
 
-use hypercube::{NodeId, Topology};
+use hypercube::{NodeId, Path, Topology};
 
 use crate::engine::arena::LinkRange;
 use crate::engine::node::RecvState;
@@ -18,6 +18,21 @@ use crate::{ClaimPolicy, PortModel};
 impl<T: Topology + ?Sized> Sim<'_, T> {
     // -- transfer creation --------------------------------------------------
 
+    /// The route a transfer will take under the active cost model:
+    /// the topology's deterministic route (uniform fast path), a detour
+    /// around down links, or `None` with [`crate::SimError::LinkDown`]
+    /// staged in `self.err` — the main loop surfaces it after the
+    /// current event.
+    fn resolve_route(&mut self, src: u32, dst: u32) -> Option<Path> {
+        match crate::cost::resolve_route(self.topo, self.cost, NodeId(src), NodeId(dst)) {
+            Ok(path) => Some(path),
+            Err(e) => {
+                self.err = Some(e);
+                None
+            }
+        }
+    }
+
     pub(crate) fn create_data_transfer(
         &mut self,
         src: u32,
@@ -26,12 +41,14 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
         tag: Tag,
         exchange_part: bool,
     ) -> Option<TransferId> {
-        let path = self.topo.route(NodeId(src), NodeId(dst));
-        let hops = path.hops();
+        let path = self.resolve_route(src, dst)?;
         let mut duration = match self.params.claim {
-            ClaimPolicy::Atomic => self.params.transfer_ns(bytes, hops),
-            // Hold-and-wait pays per-hop cost during claiming instead.
-            ClaimPolicy::HoldAndWait => self.params.wire_ns(bytes),
+            ClaimPolicy::Atomic => self.cost.transfer_ns(self.params, bytes, path.links()),
+            // Hold-and-wait pays per-hop cost during claiming instead;
+            // the cost model's per-link extras still ride on the wire time.
+            ClaimPolicy::HoldAndWait => {
+                self.params.wire_ns(bytes) + self.cost.extra_ns(self.params, bytes, path.links())
+            }
         };
         if exchange_part && self.params.ports == PortModel::Split {
             duration += self.params.exchange_sync_ns;
@@ -100,13 +117,17 @@ impl<T: Topology + ?Sized> Sim<'_, T> {
         ba_bytes: u32,
         tag: Tag,
     ) {
-        let fwd = self.topo.route(NodeId(a), NodeId(b));
-        let rev = self.topo.route(NodeId(b), NodeId(a));
+        let Some(fwd) = self.resolve_route(a, b) else {
+            return;
+        };
+        let Some(rev) = self.resolve_route(b, a) else {
+            return;
+        };
         let duration = self.params.exchange_sync_ns
             + self
-                .params
-                .transfer_ns(ab_bytes, fwd.hops())
-                .max(self.params.transfer_ns(ba_bytes, rev.hops()));
+                .cost
+                .transfer_ns(self.params, ab_bytes, fwd.links())
+                .max(self.cost.transfer_ns(self.params, ba_bytes, rev.links()));
         let links = self.transfers.push_links_pair(fwd.links(), rev.links());
         let id = self.transfers.alloc(Transfer {
             kind: TKind::Fused,

@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analytic;
+pub mod cost;
 mod engine;
 mod params;
 mod program;
@@ -76,8 +77,12 @@ mod stats;
 mod trace;
 
 pub use analytic::{LoadModel, PoolMode, TransferSpec};
+pub use cost::{CostModelError, LinkCost, LinkCostModel};
 pub use params::{ClaimPolicy, MachineParams, PortModel};
 pub use program::{Op, Program, ProgramBuilder, Tag};
-pub use sim::{simulate, simulate_traced, simulate_traced_with, simulate_with, ExecMode};
+pub use sim::{
+    simulate, simulate_costed, simulate_costed_with, simulate_traced, simulate_traced_costed_with,
+    simulate_traced_with, simulate_with, ExecMode,
+};
 pub use stats::{NodeStats, SimError, SimReport, SimStats};
 pub use trace::{TraceEvent, TraceKind};

@@ -117,6 +117,18 @@ impl MachineParams {
         self.wire_ns(bytes) + self.hop_ns * hops.saturating_sub(1) as u64
     }
 
+    /// The per-byte (payload) component of [`MachineParams::wire_ns`],
+    /// without the protocol startup — the part a degraded link's
+    /// bandwidth factor scales ([`crate::LinkCostModel`]).
+    #[inline]
+    pub fn wire_payload_ns(&self, bytes: u32) -> u64 {
+        if bytes <= self.protocol_threshold_bytes {
+            (bytes as f64 * self.short_per_byte_ns) as u64
+        } else {
+            (bytes as f64 * self.long_per_byte_ns) as u64
+        }
+    }
+
     /// Application-buffer copy time for a system-buffered arrival.
     #[inline]
     pub fn copy_ns(&self, bytes: u32) -> u64 {

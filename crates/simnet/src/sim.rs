@@ -8,6 +8,7 @@ use std::collections::HashMap;
 
 use hypercube::{NodeId, Topology};
 
+use crate::cost::LinkCostModel;
 use crate::engine::arena::TransferArena;
 use crate::engine::node::{Block, NodeState, RecvState};
 use crate::engine::parallel::ScanPool;
@@ -17,6 +18,9 @@ use crate::program::{Op, Program, Tag};
 use crate::stats::{SimError, SimReport, SimStats};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::{ClaimPolicy, MachineParams, PortModel};
+
+/// The paper's machine: what every legacy entry point prices under.
+const UNIFORM: &LinkCostModel = &LinkCostModel::Uniform;
 
 /// Safety valve: no legitimate schedule on machines this crate targets comes
 /// anywhere near this many events.
@@ -68,7 +72,32 @@ pub fn simulate_with<T: Topology + ?Sized>(
     programs: Vec<Program>,
     mode: ExecMode,
 ) -> Result<SimReport, SimError> {
-    Sim::new(topo, params, programs, false, mode)?
+    simulate_costed_with(topo, params, UNIFORM, programs, mode)
+}
+
+/// Like [`simulate`], pricing transfers under a [`LinkCostModel`]: routes
+/// that cross a down link detour where the fabric permits
+/// ([`Topology::route_avoiding`]) and fail with [`SimError::LinkDown`]
+/// where it does not. `LinkCostModel::Uniform` is byte-identical to
+/// [`simulate`].
+pub fn simulate_costed<T: Topology + ?Sized>(
+    topo: &T,
+    params: &MachineParams,
+    cost: &LinkCostModel,
+    programs: Vec<Program>,
+) -> Result<SimReport, SimError> {
+    simulate_costed_with(topo, params, cost, programs, ExecMode::Sequential)
+}
+
+/// Like [`simulate_costed`], under an explicit [`ExecMode`].
+pub fn simulate_costed_with<T: Topology + ?Sized>(
+    topo: &T,
+    params: &MachineParams,
+    cost: &LinkCostModel,
+    programs: Vec<Program>,
+    mode: ExecMode,
+) -> Result<SimReport, SimError> {
+    Sim::new(topo, params, cost, programs, false, mode)?
         .run()
         .map(|(r, _)| r)
 }
@@ -89,7 +118,18 @@ pub fn simulate_traced_with<T: Topology + ?Sized>(
     programs: Vec<Program>,
     mode: ExecMode,
 ) -> Result<(SimReport, Vec<TraceEvent>), SimError> {
-    let (r, t) = Sim::new(topo, params, programs, true, mode)?.run()?;
+    simulate_traced_costed_with(topo, params, UNIFORM, programs, mode)
+}
+
+/// Like [`simulate_traced_with`], pricing under a [`LinkCostModel`].
+pub fn simulate_traced_costed_with<T: Topology + ?Sized>(
+    topo: &T,
+    params: &MachineParams,
+    cost: &LinkCostModel,
+    programs: Vec<Program>,
+    mode: ExecMode,
+) -> Result<(SimReport, Vec<TraceEvent>), SimError> {
+    let (r, t) = Sim::new(topo, params, cost, programs, true, mode)?.run()?;
     Ok((r, t.expect("trace was requested")))
 }
 
@@ -103,6 +143,7 @@ pub(crate) struct ExchangeHalf {
 pub(crate) struct Sim<'a, T: ?Sized> {
     pub(crate) topo: &'a T,
     pub(crate) params: &'a MachineParams,
+    pub(crate) cost: &'a LinkCostModel,
     pub(crate) programs: Vec<Program>,
     pub(crate) n: usize,
     pub(crate) queue: Clock,
@@ -137,6 +178,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
     pub(crate) fn new(
         topo: &'a T,
         params: &'a MachineParams,
+        cost: &'a LinkCostModel,
         programs: Vec<Program>,
         traced: bool,
         mode: ExecMode,
@@ -186,6 +228,7 @@ impl<'a, T: Topology + ?Sized> Sim<'a, T> {
         Ok(Sim {
             topo,
             params,
+            cost,
             programs,
             n,
             queue,

@@ -99,6 +99,16 @@ pub enum SimError {
         /// Description.
         String,
     ),
+    /// A transfer's route crosses a down link (a [`crate::LinkCostModel`]
+    /// fault) and the topology offers no detour around it.
+    LinkDown {
+        /// The down directed link's index.
+        link: usize,
+        /// Sending node of the stranded transfer.
+        src: usize,
+        /// Receiving node of the stranded transfer.
+        dst: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -116,6 +126,10 @@ impl fmt::Display for SimError {
             }
             SimError::EventBudgetExhausted => write!(f, "event budget exhausted"),
             SimError::BadParams(msg) => write!(f, "invalid machine parameters: {msg}"),
+            SimError::LinkDown { link, src, dst } => write!(
+                f,
+                "link {link} is down and no detour exists for P{src} -> P{dst}"
+            ),
         }
     }
 }

@@ -1,5 +1,7 @@
 use hypercube::{LinkId, NodeId, Path, RoutingProperties, Topology};
 
+use crate::BuildError;
+
 /// A k-ary fat-tree (Clos) with deterministic up-down routing.
 ///
 /// The standard three-tier construction: `k` pods, each with `k/2` edge
@@ -42,24 +44,38 @@ impl FatTree {
     ///
     /// # Panics
     ///
-    /// Panics unless `k` is even and in `2..=64` (k = 64 is already a
-    /// 65 536-host fabric).
+    /// Panics on any spec [`FatTree::try_new`] rejects.
     pub fn new(k: usize) -> Self {
-        assert!(
-            (2..=64).contains(&k) && k.is_multiple_of(2),
-            "fat-tree arity must be even and in 2..=64, got {k}"
-        );
+        match Self::try_new(k) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`FatTree::new`]: a typed [`BuildError`] instead of a
+    /// panic unless `k` is even and in `2..=64` (k = 64 is already a
+    /// 65 536-host fabric).
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] naming the violated bound.
+    pub fn try_new(k: usize) -> Result<Self, BuildError> {
+        if !(2..=64).contains(&k) || !k.is_multiple_of(2) {
+            return Err(BuildError::new(format!(
+                "fat-tree arity must be even and in 2..=64, got {k}"
+            )));
+        }
         let k = k as u32;
         let hosts = k * k * k / 4;
         // This string is hashed into cache fingerprints; it must never
         // change shape.
         let name = format!("fattree(k={k}, hosts={hosts})");
-        FatTree {
+        Ok(FatTree {
             k,
             half: k / 2,
             hosts,
             name,
-        }
+        })
     }
 
     /// The arity `k`.
@@ -201,6 +217,15 @@ mod tests {
     #[should_panic(expected = "must be even")]
     fn odd_arity_rejected() {
         FatTree::new(5);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        assert!(FatTree::try_new(0).is_err());
+        assert!(FatTree::try_new(5).is_err());
+        assert!(FatTree::try_new(66).is_err());
+        assert!(FatTree::try_new(usize::MAX).is_err());
+        assert_eq!(FatTree::try_new(4).unwrap().num_nodes(), 16);
     }
 
     #[test]

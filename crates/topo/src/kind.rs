@@ -188,29 +188,80 @@ impl TopologyKind {
         }
     }
 
-    /// Node count without building the topology.
+    /// Node count without building the topology, saturating at
+    /// `usize::MAX` on overflow.
+    ///
+    /// A *parsed* kind never overflows — `parse` bounds every family at
+    /// `2^20` nodes — but the variant fields are public, so a
+    /// hand-constructed hostile kind must saturate (and then fail
+    /// [`TopologyKind::try_build`]'s bounds), never wrap or panic.
     pub fn num_nodes(&self) -> usize {
         match self {
-            TopologyKind::Cube { dims } => 1 << dims,
-            TopologyKind::Mesh { rows, cols } => (rows * cols) as usize,
-            TopologyKind::Torus { extents } => extents.iter().map(|&k| k as usize).product(),
-            TopologyKind::FatTree { k } => (k * k * k / 4) as usize,
+            TopologyKind::Cube { dims } => 1usize.checked_shl(*dims).unwrap_or(usize::MAX),
+            TopologyKind::Mesh { rows, cols } => (*rows as usize).saturating_mul(*cols as usize),
+            TopologyKind::Torus { extents } => extents
+                .iter()
+                .try_fold(1usize, |n, &k| n.checked_mul(k as usize))
+                .unwrap_or(usize::MAX),
+            TopologyKind::FatTree { k } => {
+                let k = *k as usize;
+                k.saturating_mul(k).saturating_mul(k) / 4
+            }
         }
     }
 
     /// Build the live topology this kind describes. A parsed kind never
     /// panics here — `parse` enforces the constructors' bounds.
     pub fn build(&self) -> Box<dyn Topology> {
+        match self.try_build() {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`TopologyKind::build`] for kinds that did not come from
+    /// [`TopologyKind::parse`] (hand-constructed, e.g. decoded from a
+    /// hostile wire frame): constructor bounds surface as typed
+    /// [`KindError::BadSpec`] errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`KindError::BadSpec`] naming the violated constructor bound.
+    pub fn try_build(&self) -> Result<Box<dyn Topology>, KindError> {
         match self {
-            TopologyKind::Cube { dims } => Box::new(Hypercube::new(*dims)),
+            TopologyKind::Cube { dims } => {
+                if !(1..=20).contains(dims) {
+                    return Err(KindError::BadSpec {
+                        kind: "cube",
+                        detail: format!("dimension must be in 1..=20, got {dims}"),
+                    });
+                }
+                Ok(Box::new(Hypercube::new(*dims)))
+            }
             TopologyKind::Mesh { rows, cols } => {
-                Box::new(Mesh2d::new(*rows as usize, *cols as usize))
+                if *rows == 0 || *cols == 0 || self.num_nodes() > 1 << 20 {
+                    return Err(KindError::BadSpec {
+                        kind: "mesh",
+                        detail: format!("mesh bounds violated: {rows}x{cols}"),
+                    });
+                }
+                Ok(Box::new(Mesh2d::new(*rows as usize, *cols as usize)))
             }
             TopologyKind::Torus { extents } => {
                 let extents: Vec<usize> = extents.iter().map(|&k| k as usize).collect();
-                Box::new(Torus::new(&extents))
+                Torus::try_new(&extents)
+                    .map(|t| Box::new(t) as Box<dyn Topology>)
+                    .map_err(|e| KindError::BadSpec {
+                        kind: "torus",
+                        detail: e.to_string(),
+                    })
             }
-            TopologyKind::FatTree { k } => Box::new(FatTree::new(*k as usize)),
+            TopologyKind::FatTree { k } => FatTree::try_new(*k as usize)
+                .map(|t| Box::new(t) as Box<dyn Topology>)
+                .map_err(|e| KindError::BadSpec {
+                    kind: "fattree",
+                    detail: e.to_string(),
+                }),
         }
     }
 
@@ -302,6 +353,50 @@ mod tests {
         assert!(e.to_string().contains("unknown topology kind"));
         let e = TopologyKind::parse("fattree:k=5").unwrap_err();
         assert!(e.to_string().contains("even"));
+    }
+
+    #[test]
+    fn hostile_hand_built_kinds_fail_typed_never_panic() {
+        // Variant fields are public: a kind that skipped `parse` (e.g.
+        // decoded from a hostile wire frame) must saturate its node
+        // count and fail `try_build` with a typed error — the unchecked
+        // arithmetic here used to wrap in release and panic in debug.
+        let k = TopologyKind::Torus {
+            extents: vec![u32::MAX; 8],
+        };
+        assert_eq!(k.num_nodes(), usize::MAX, "saturates, never wraps");
+        assert!(matches!(
+            k.try_build(),
+            Err(KindError::BadSpec { kind: "torus", .. })
+        ));
+        let k = TopologyKind::Mesh {
+            rows: u32::MAX,
+            cols: u32::MAX,
+        };
+        assert!(k.num_nodes() > 1 << 20);
+        assert!(matches!(
+            k.try_build(),
+            Err(KindError::BadSpec { kind: "mesh", .. })
+        ));
+        let k = TopologyKind::Cube { dims: 64 };
+        assert_eq!(k.num_nodes(), usize::MAX);
+        assert!(matches!(
+            k.try_build(),
+            Err(KindError::BadSpec { kind: "cube", .. })
+        ));
+        let k = TopologyKind::FatTree { k: u32::MAX };
+        assert!(matches!(
+            k.try_build(),
+            Err(KindError::BadSpec {
+                kind: "fattree",
+                ..
+            })
+        ));
+        // Parsed kinds still build infallibly through the same path.
+        assert!(TopologyKind::parse("torus:4x4")
+            .unwrap()
+            .try_build()
+            .is_ok());
     }
 
     #[test]

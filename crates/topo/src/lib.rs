@@ -39,6 +39,8 @@
 
 #![forbid(unsafe_code)]
 
+use std::fmt;
+
 mod fattree;
 mod kind;
 mod torus;
@@ -46,3 +48,33 @@ mod torus;
 pub use fattree::FatTree;
 pub use kind::{KindError, TopologyKind};
 pub use torus::Torus;
+
+/// Why a topology could not be constructed — the typed alternative to
+/// the constructors' panics, for untrusted input paths (wire frames,
+/// CLI flags, env vars).
+///
+/// [`Torus::try_new`] and [`FatTree::try_new`] return this;
+/// [`TopologyKind::parse`] folds it into [`KindError::BadSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildError {
+    detail: String,
+}
+
+impl BuildError {
+    pub(crate) fn new(detail: String) -> Self {
+        BuildError { detail }
+    }
+
+    /// What bound the spec violated.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for BuildError {}

@@ -1,5 +1,7 @@
 use hypercube::{LinkId, NodeId, Path, RoutingProperties, Topology};
 
+use crate::BuildError;
+
 /// Direction encoding for torus channels: around the ring toward higher
 /// coordinates.
 const PLUS: u32 = 0;
@@ -39,26 +41,48 @@ impl Torus {
     ///
     /// # Panics
     ///
-    /// Panics when there are no dimensions, more than 8 of them, an
-    /// extent is below 2 (a 1-ring has no links), or the node count
-    /// exceeds `2^20` (a million-node torus is assumed to be a bug in
-    /// the caller, mirroring the hypercube's cap).
+    /// Panics on any spec [`Torus::try_new`] rejects. Use `try_new` on
+    /// untrusted input (wire frames, CLI flags) — overflowing node
+    /// counts included, this constructor never returns a typed error.
     pub fn new(extents: &[usize]) -> Self {
-        assert!(
-            (1..=8).contains(&extents.len()),
-            "torus must have 1..=8 dimensions, got {}",
-            extents.len()
-        );
+        match Self::try_new(extents) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Torus::new`]: a typed [`BuildError`] instead of a
+    /// panic for hostile or out-of-bounds specs — no dimensions, more
+    /// than 8 of them, an extent below 2 (a 1-ring has no links), or a
+    /// node count above `2^20` (mirroring the hypercube's cap), however
+    /// astronomically the extents multiply out.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] naming the violated bound.
+    pub fn try_new(extents: &[usize]) -> Result<Self, BuildError> {
+        if !(1..=8).contains(&extents.len()) {
+            return Err(BuildError::new(format!(
+                "torus must have 1..=8 dimensions, got {}",
+                extents.len()
+            )));
+        }
         let mut nodes: usize = 1;
         let mut strides = Vec::with_capacity(extents.len());
         for &k in extents {
-            assert!(
-                (2..=1 << 20).contains(&k),
-                "torus extent must be >= 2, got {k}"
-            );
+            if !(2..=1 << 20).contains(&k) {
+                return Err(BuildError::new(format!(
+                    "torus extent must be >= 2, got {k}"
+                )));
+            }
             strides.push(nodes as u32);
-            nodes = nodes.checked_mul(k).expect("torus node count overflow");
-            assert!(nodes <= 1 << 20, "torus larger than 2^20 nodes");
+            // Checked, then bounded: `u32::MAX x u32::MAX x ...` wire
+            // specs must surface as this same typed error, not wrap or
+            // panic.
+            nodes = nodes
+                .checked_mul(k)
+                .filter(|&n| n <= 1 << 20)
+                .ok_or_else(|| BuildError::new("torus larger than 2^20 nodes".to_string()))?;
         }
         // This string is hashed into cache fingerprints; it must never
         // change shape.
@@ -70,12 +94,12 @@ impl Torus {
                 .collect::<Vec<_>>()
                 .join("x")
         );
-        Torus {
+        Ok(Torus {
             extents: extents.iter().map(|&k| k as u32).collect(),
             strides,
             nodes: nodes as u32,
             name,
-        }
+        })
     }
 
     /// Number of dimensions.
@@ -155,6 +179,32 @@ impl Torus {
         }
         debug_assert_eq!(cur, dst);
     }
+
+    /// Walk `steps` hops along `dim` in `dir` from `start`, appending
+    /// links to `out`; rolls `out` back and returns `None` if any link
+    /// on the arc is down.
+    fn walk_clear(
+        &self,
+        start: NodeId,
+        dim: usize,
+        dir: u32,
+        steps: u32,
+        down: &dyn Fn(LinkId) -> bool,
+        out: &mut Vec<LinkId>,
+    ) -> Option<NodeId> {
+        let mark = out.len();
+        let mut cur = start;
+        for _ in 0..steps {
+            let l = self.channel(cur.0, dim, dir);
+            if down(l) {
+                out.truncate(mark);
+                return None;
+            }
+            out.push(l);
+            cur = self.neighbor(cur, dim, dir);
+        }
+        Some(cur)
+    }
 }
 
 impl Topology for Torus {
@@ -186,6 +236,47 @@ impl Topology for Torus {
         out.clear();
         self.route_into_vec(src, dst, out);
         debug_assert_eq!(out.len(), self.hops(src, dst));
+    }
+
+    /// The wraparound detour: each ring can be walked in either
+    /// direction, so a dimension whose preferred (shorter) arc crosses a
+    /// down link reroutes the long way around that ring. Dimensions stay
+    /// ordered — if *both* arcs of some ring are blocked the fault has
+    /// cut the dimension-ordered route entirely and this router gives up
+    /// (`None`) rather than search non-dimension-ordered paths.
+    fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Path> {
+        let mut links = Vec::new();
+        let mut cur = src;
+        for dim in 0..self.ndims() {
+            let k = self.extents[dim];
+            let s = self.coord(cur, dim);
+            let d = self.coord(dst, dim);
+            let fwd = (d + k - s) % k;
+            if fwd == 0 {
+                continue;
+            }
+            let bwd = k - fwd;
+            let (steps, dir) = if fwd <= bwd {
+                (fwd, PLUS)
+            } else {
+                (bwd, MINUS)
+            };
+            let (alt_steps, alt_dir) = (k - steps, if dir == PLUS { MINUS } else { PLUS });
+            match self.walk_clear(cur, dim, dir, steps, down, &mut links) {
+                Some(end) => cur = end,
+                None => match self.walk_clear(cur, dim, alt_dir, alt_steps, down, &mut links) {
+                    Some(end) => cur = end,
+                    None => return None,
+                },
+            }
+        }
+        debug_assert_eq!(cur, dst);
+        Some(Path::new(src, dst, links))
     }
 
     fn routing(&self) -> RoutingProperties {
@@ -220,6 +311,66 @@ mod tests {
     #[should_panic(expected = "1..=8 dimensions")]
     fn zero_dims_rejected() {
         Torus::new(&[]);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors_never_panics() {
+        assert!(Torus::try_new(&[]).is_err());
+        assert!(Torus::try_new(&[4, 1]).is_err());
+        assert!(Torus::try_new(&[2; 9]).is_err());
+        // Extents individually in bounds whose product overflows the cap
+        // must surface the same typed error — the old constructor's
+        // `checked_mul(..).expect(..)` panicked here.
+        let e = Torus::try_new(&[1 << 20, 1 << 20]).unwrap_err();
+        assert!(e.to_string().contains("2^20"), "{e}");
+        // And extents big enough to overflow usize itself.
+        let e = Torus::try_new(&[usize::MAX, usize::MAX]).unwrap_err();
+        assert!(e.to_string().contains("extent"), "{e}");
+        // The happy path still builds.
+        assert_eq!(Torus::try_new(&[4, 4]).unwrap().num_nodes(), 16);
+    }
+
+    #[test]
+    fn route_avoiding_with_nothing_down_matches_route() {
+        let t = Torus::new(&[4, 3]);
+        let up = |_: LinkId| false;
+        for s in 0..12u32 {
+            for d in 0..12u32 {
+                let p = t.route_avoiding(NodeId(s), NodeId(d), &up).unwrap();
+                assert_eq!(p.links(), t.route(NodeId(s), NodeId(d)).links());
+            }
+        }
+    }
+
+    #[test]
+    fn route_avoiding_detours_the_long_way_around() {
+        let t = Torus::new(&[5]);
+        // The primary route 0 -> 1 is one positive hop; down that link.
+        let blocked = t.channel(0, 0, PLUS);
+        let down = |l: LinkId| l == blocked;
+        let p = t.route_avoiding(NodeId(0), NodeId(1), &down).unwrap();
+        assert_eq!(p.hops(), 4, "the long way around the 5-ring");
+        assert!(p.links().iter().all(|&l| l != blocked));
+        // The detour is a connected walk ending at the destination.
+        let mut cur = NodeId(0);
+        for &l in p.links() {
+            let (from, dim, dir) = t.link_endpoints(l);
+            assert_eq!(from, cur);
+            cur = t.neighbor(cur, dim, dir);
+        }
+        assert_eq!(cur, NodeId(1));
+    }
+
+    #[test]
+    fn route_avoiding_gives_up_when_both_arcs_are_cut() {
+        let t = Torus::new(&[4, 4]);
+        // Every dimension-0 link is down: no route can change the
+        // dimension-0 coordinate.
+        let down = |l: LinkId| t.link_endpoints(l).1 == 0;
+        assert!(t.route_avoiding(NodeId(0), NodeId(1), &down).is_none());
+        // But a pure dimension-1 move still routes.
+        let p = t.route_avoiding(NodeId(0), NodeId(4), &down).unwrap();
+        assert_eq!(p.hops(), 1);
     }
 
     #[test]

@@ -62,6 +62,14 @@ impl SampleSet {
     pub fn generate(&self, f: impl Fn(u64) -> CommMatrix) -> Vec<CommMatrix> {
         self.seeds().map(f).collect()
     }
+
+    /// Generate every sample of `g` — the [`crate::Generator`] form of
+    /// [`SampleSet::generate`], for sweeps that pin the whole test set up
+    /// front (e.g. fault sweeps re-pricing the same matrices under many
+    /// link-cost models) instead of streaming seeds through a closure.
+    pub fn realize(&self, g: &crate::Generator) -> Vec<CommMatrix> {
+        self.generate(|seed| g.generate(seed))
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +100,15 @@ mod tests {
         let mats = set.generate(|seed| random_dense(16, 3, 64, seed));
         assert_eq!(mats.len(), 5);
         assert_ne!(mats[0], mats[1]);
+    }
+
+    #[test]
+    fn realize_matches_generate_over_the_same_seeds() {
+        let set = SampleSet::new(7, 4);
+        let g = crate::Generator::dregular(16, 3, 512);
+        let via_realize = set.realize(&g);
+        let via_generate = set.generate(|seed| crate::random_dregular(16, 3, 512, seed));
+        assert_eq!(via_realize, via_generate);
     }
 
     #[test]
